@@ -1,0 +1,62 @@
+// Table II + Figures 25 and 37: the hhl case study — circuits whose
+// gate count is orders of magnitude larger than their qubit count.
+// Claims to reproduce: gate counts grow exponentially with the qubit
+// count (Table II shape); KERNELIZE matches ORDEREDKERNELIZE's cost
+// while preprocessing faster (it is linear in the gate count, the
+// ordered DP is quadratic).
+
+#include <cstdio>
+
+#include "common/timer.h"
+#include "kernelize/dp_kernelizer.h"
+#include "kernelize/greedy.h"
+#include "kernelize/ordered.h"
+#include "util.h"
+
+int main(int argc, char** argv) {
+  using namespace atlas;
+  using namespace atlas::kernelize;
+  const int max_k = argc > 1 ? std::atoi(argv[1]) : 10;
+
+  bench::print_header(
+      "Table II + Figures 25/37 — hhl case study (many gates, few qubits)",
+      "NWQBench hhl at 4/7/9/10 qubits (80 / 689 / 91,968 / 186,795 gates) "
+      "padded to 28 qubits",
+      "atlas::circuits::hhl (Trotterized QPE + uniformly controlled "
+      "rotation; exponential count, ~4x below NWQBench's transpilation), "
+      "padded to 28 qubits");
+
+  const CostModel model = CostModel::default_model();
+  const int paper_gates[] = {80, 689, 91968, 186795};
+  const int ks[] = {4, 7, 9, 10};
+
+  std::printf("%4s %9s %9s | %9s %9s %9s %9s | %9s %9s\n", "k", "gates",
+              "paper", "greedy", "ordered", "dp", "atlas", "dp_t(s)",
+              "ord_t(s)");
+  for (int i = 0; i < 4; ++i) {
+    const int k = ks[i];
+    if (k > max_k) break;
+    const Circuit c = circuits::hhl(k, 28);
+    DpOptions opt;
+    opt.prune_threshold = 200;
+
+    const double greedy = kernelize_greedy(c, model).total_cost;
+    Timer to;
+    const double ordered = kernelize_ordered(c, model).total_cost;
+    const double t_ord = to.seconds();
+    Timer td;
+    const double dp = kernelize_dp(c, model, opt).total_cost;
+    const double t_dp = td.seconds();
+    // "atlas" = the production planner (kernelize_best): min of the
+    // two DPs, since the ordered pass is cheap relative to the main DP.
+    std::printf("%4d %9d %9d | %9.1f %9.1f %9.1f %9.1f | %9.2f %9.2f\n", k,
+                c.num_gates(), paper_gates[i], greedy, ordered, dp,
+                std::min(dp, ordered), t_dp, t_ord);
+  }
+  std::printf("\n(paper: KERNELIZE matches ORDEREDKERNELIZE's cost on hhl "
+              "and preprocesses faster at large gate counts. Here the "
+              "ordered pass grows quadratically with the gate count while "
+              "the DP grows linearly — the Fig. 37 crossover; the planner "
+              "takes the cheaper result of the two.)\n");
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Figure 10 (kernelization effectiveness) and Appendix Figures 14-24
+// (per-family total execution cost) / 26-36 (preprocessing time):
+// KERNELIZE ("Atlas") vs ORDEREDKERNELIZE ("Atlas-Naive") vs the
+// greedy <=5-qubit fusion baseline, on every family at 28-36 qubits.
+//
+// Claims to reproduce: the DP's relative geomean cost vs greedy is
+// well below 1 on most families (paper geomean 0.583), ~1.0 on dj and
+// qsvm (where greedy is already good), and the DP never loses to the
+// ordered variant (Theorem 6).
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/timer.h"
+#include "kernelize/dp_kernelizer.h"
+#include "kernelize/greedy.h"
+#include "kernelize/ordered.h"
+#include "util.h"
+
+int main(int argc, char** argv) {
+  using namespace atlas;
+  using namespace atlas::kernelize;
+  const int n_lo = 28, n_hi = argc > 1 ? std::atoi(argv[1]) : 36;
+
+  bench::print_header(
+      "Figure 10 + Figs. 14-24/26-36 — kernelization effectiveness",
+      "11 families x 28-36 qubits, T=500, measured on a Xeon W-1350",
+      "same circuits and pruning threshold on this host");
+
+  const CostModel model = CostModel::default_model();
+  DpOptions dp_opt;
+  dp_opt.prune_threshold = 500;
+
+  // Paper Figure 10 relative geomean costs (Atlas / greedy baseline).
+  const std::map<std::string, double> paper_rel = {
+      {"ae", 0.401},        {"dj", 0.999},   {"ghz", 0.816},
+      {"graphstate", 0.699},{"ising", 0.607},{"qft", 0.370},
+      {"qpeexact", 0.417},  {"qsvm", 0.999}, {"su2random", 0.425},
+      {"vqc", 0.423},       {"wstate", 0.686}};
+
+  std::vector<double> all_rel;
+  std::printf("\n%-11s %8s | %10s %10s %10s | %9s %9s | %8s %8s\n", "family",
+              "qubits", "greedy", "ordered", "dp", "dp_t(s)", "ord_t(s)",
+              "rel", "paper");
+  for (const auto& family : circuits::family_names()) {
+    std::vector<double> rels;
+    for (int n = n_lo; n <= n_hi; ++n) {
+      const Circuit c = circuits::make_family(family, n);
+      const double greedy = kernelize_greedy(c, model).total_cost;
+      Timer to;
+      const double ordered = kernelize_ordered(c, model).total_cost;
+      const double t_ord = to.seconds();
+      Timer td;
+      const double dp = kernelize_dp(c, model, dp_opt).total_cost;
+      const double t_dp = td.seconds();
+      const double rel = dp / greedy;
+      rels.push_back(rel);
+      all_rel.push_back(rel);
+      if (n == n_lo || n == n_hi) {
+        std::printf("%-11s %8d | %10.1f %10.1f %10.1f | %9.2f %9.2f | %8.3f"
+                    " %8s\n",
+                    family.c_str(), n, greedy, ordered, dp, t_dp, t_ord, rel,
+                    "");
+      }
+      if (dp > ordered + 1e-6)
+        std::printf("  note: ordered beats the DP by %.1f%% on %s@%d (an "
+                    "artifact of the single-qubit attachment heuristic, "
+                    "Appendix B-d; the production planner takes the min)\n",
+                    100.0 * (dp - ordered) / ordered, family.c_str(), n);
+    }
+    std::printf("%-11s %8s | %*s geomean rel = %.3f   (paper %.3f)\n",
+                family.c_str(), "28-36", 44, "", bench::geomean(rels),
+                paper_rel.at(family));
+  }
+  std::printf("\noverall geomean relative cost (Atlas/greedy): %.3f   "
+              "(paper 0.583)\n",
+              bench::geomean(all_rel));
+  return 0;
+}

@@ -1,0 +1,312 @@
+#include "circuits/families.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace atlas::circuits {
+
+using std::numbers::pi;
+
+Circuit ghz(int n) {
+  ATLAS_CHECK(n >= 1, "ghz needs >= 1 qubit");
+  Circuit c(n, "ghz");
+  c.add(Gate::h(0));
+  for (int i = 1; i < n; ++i) c.add(Gate::cx(i - 1, i));
+  return c;
+}
+
+Circuit dj(int n) {
+  ATLAS_CHECK(n >= 2, "dj needs >= 2 qubits");
+  Circuit c(n, "dj");
+  for (int i = 0; i < n; ++i) c.add(Gate::h(i));
+  for (int i = 0; i < n - 1; ++i) c.add(Gate::cx(i, n - 1));  // balanced oracle
+  for (int i = 0; i < n - 1; ++i) c.add(Gate::h(i));
+  return c;
+}
+
+Circuit graphstate(int n) {
+  ATLAS_CHECK(n >= 3, "graphstate needs >= 3 qubits");
+  Circuit c(n, "graphstate");
+  for (int i = 0; i < n; ++i) c.add(Gate::h(i));
+  for (int i = 0; i < n; ++i) c.add(Gate::cz(i, (i + 1) % n));
+  return c;
+}
+
+Circuit ising(int n) {
+  ATLAS_CHECK(n >= 2, "ising needs >= 2 qubits");
+  Circuit c(n, "ising");
+  const double dt = 0.1;
+  const double h_field = 1.0, j_coupling = 1.0;
+  // Initial layer: transverse-field kick.
+  for (int i = 0; i < n; ++i) c.add(Gate::rx(i, 2 * h_field * dt));
+  // Two first-order Trotter steps: ZZ couplings (CX-RZ-CX) + fields.
+  for (int step = 0; step < 2; ++step) {
+    for (int i = 0; i + 1 < n; ++i) {
+      c.add(Gate::cx(i, i + 1));
+      c.add(Gate::rz(i + 1, 2 * j_coupling * dt));
+      c.add(Gate::cx(i, i + 1));
+    }
+    for (int i = 0; i < n; ++i) c.add(Gate::rz(i, 2 * h_field * dt));
+    for (int i = 0; i < n; ++i) c.add(Gate::rx(i, 2 * h_field * dt));
+  }
+  return c;
+}
+
+Circuit qft(int n) {
+  ATLAS_CHECK(n >= 1, "qft needs >= 1 qubit");
+  Circuit c(n, "qft");
+  for (int i = n - 1; i >= 0; --i) {
+    c.add(Gate::h(i));
+    for (int j = i - 1; j >= 0; --j)
+      c.add(Gate::cp(j, i, pi / static_cast<double>(Index{1} << (i - j))));
+  }
+  return c;
+}
+
+Circuit iqft(int n) {
+  Circuit c(n, "iqft");
+  for (int i = 0; i < n / 2; ++i) c.add(Gate::swap(i, n - 1 - i));
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < i; ++j)
+      c.add(Gate::cp(j, i, -pi / static_cast<double>(Index{1} << (i - j))));
+    c.add(Gate::h(i));
+  }
+  return c;
+}
+
+Circuit qpeexact(int n) {
+  ATLAS_CHECK(n >= 3, "qpeexact needs >= 3 qubits");
+  // Counting register: qubits 0..n-2; eigenstate qubit: n-1.
+  const int m = n - 1;
+  Circuit c(n, "qpeexact");
+  // Phase with an exactly representable m-bit binary expansion.
+  const double theta = (static_cast<double>((Index{1} << (m - 1)) | 1)) /
+                       static_cast<double>(Index{1} << m);
+  c.add(Gate::x(n - 1));  // eigenstate |1> of the phase gate
+  for (int i = 0; i < m; ++i) c.add(Gate::h(i));
+  for (int i = 0; i < m; ++i) {
+    // Controlled-U^(2^i) with U = P(2*pi*theta): still one CP gate.
+    const double angle =
+        2 * pi * theta * static_cast<double>(Index{1} << i);
+    c.add(Gate::cp(i, n - 1, angle));
+  }
+  // Inverse QFT on the counting register.
+  for (int i = 0; i < m / 2; ++i) c.add(Gate::swap(i, m - 1 - i));
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < i; ++j)
+      c.add(Gate::cp(j, i, -pi / static_cast<double>(Index{1} << (i - j))));
+    c.add(Gate::h(i));
+  }
+  return c;
+}
+
+Circuit ae(int n) {
+  ATLAS_CHECK(n >= 3, "ae needs >= 3 qubits");
+  // Counting register: 0..n-2; Bernoulli state qubit: n-1.
+  const int m = n - 1;
+  Circuit c(n, "ae");
+  const double p_good = 0.2;
+  const double theta = 2 * std::asin(std::sqrt(p_good));
+  c.add(Gate::ry(n - 1, theta));  // A operator
+  for (int i = 0; i < m; ++i) c.add(Gate::h(i));
+  for (int i = 0; i < m; ++i) {
+    // Controlled Grover power Q^(2^i); for the Bernoulli operator the
+    // power collapses to a single controlled rotation plus a phase fix.
+    const double angle = theta * static_cast<double>(Index{1} << (i + 1));
+    c.add(Gate::cry(i, n - 1, angle));
+    c.add(Gate::cp(i, n - 1, pi));
+  }
+  // Inverse QFT on the counting register.
+  for (int i = 0; i < m / 2; ++i) c.add(Gate::swap(i, m - 1 - i));
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < i; ++j)
+      c.add(Gate::cp(j, i, -pi / static_cast<double>(Index{1} << (i - j))));
+    c.add(Gate::h(i));
+  }
+  return c;
+}
+
+Circuit qsvm(int n, std::uint64_t seed) {
+  ATLAS_CHECK(n >= 2, "qsvm needs >= 2 qubits");
+  Circuit c(n, "qsvm");
+  Rng rng(seed);
+  std::vector<double> x(n);
+  for (auto& v : x) v = rng.uniform(0, 2 * pi);
+  for (int layer = 0; layer < 2; ++layer) {
+    for (int i = 0; i < n; ++i) c.add(Gate::h(i));
+    for (int i = 0; i < n; ++i) c.add(Gate::p(i, 2 * x[i]));
+    for (int i = 0; i + 1 < n; ++i) {
+      c.add(Gate::cx(i, i + 1));
+      c.add(Gate::p(i + 1, 2 * (pi - x[i]) * (pi - x[i + 1])));
+      c.add(Gate::cx(i, i + 1));
+    }
+  }
+  return c;
+}
+
+Circuit su2random(int n, std::uint64_t seed) {
+  ATLAS_CHECK(n >= 2, "su2random needs >= 2 qubits");
+  Circuit c(n, "su2random");
+  Rng rng(seed);
+  const int reps = 3;
+  auto rotation_layer = [&] {
+    for (int i = 0; i < n; ++i) c.add(Gate::ry(i, rng.uniform(0, 2 * pi)));
+    for (int i = 0; i < n; ++i) c.add(Gate::rz(i, rng.uniform(0, 2 * pi)));
+  };
+  rotation_layer();
+  for (int r = 0; r < reps; ++r) {
+    for (int i = 0; i < n; ++i)
+      for (int j = i + 1; j < n; ++j) c.add(Gate::cx(i, j));  // full
+    rotation_layer();
+  }
+  return c;
+}
+
+Circuit vqc(int n, std::uint64_t seed) {
+  ATLAS_CHECK(n >= 2, "vqc needs >= 2 qubits");
+  Circuit c(n, "vqc");
+  Rng rng(seed);
+  // Data-encoding feature map.
+  for (int i = 0; i < n; ++i) c.add(Gate::h(i));
+  for (int i = 0; i < n; ++i) c.add(Gate::rz(i, rng.uniform(0, 2 * pi)));
+  // Ansatz: 4 reps of rotations + full CX entanglement + final layer.
+  const int reps = 4;
+  for (int r = 0; r < reps; ++r) {
+    for (int i = 0; i < n; ++i) c.add(Gate::ry(i, rng.uniform(0, 2 * pi)));
+    for (int i = 0; i < n; ++i) c.add(Gate::rz(i, rng.uniform(0, 2 * pi)));
+    for (int i = 0; i < n; ++i)
+      for (int j = i + 1; j < n; ++j) c.add(Gate::cx(i, j));
+  }
+  for (int i = 0; i < n; ++i) c.add(Gate::ry(i, rng.uniform(0, 2 * pi)));
+  for (int i = 0; i < n; ++i) c.add(Gate::rz(i, rng.uniform(0, 2 * pi)));
+  return c;
+}
+
+Circuit wstate(int n) {
+  ATLAS_CHECK(n >= 2, "wstate needs >= 2 qubits");
+  Circuit c(n, "wstate");
+  c.add(Gate::x(0));
+  // Each step splits the excitation between qubit i and i+1 with the
+  // controlled-G block (ry/cz/ry) and moves it along with a CX,
+  // leaving amplitude 1/sqrt(n) behind at each qubit. 4n-3 gates.
+  for (int i = 0; i + 1 < n; ++i) {
+    const double theta =
+        std::acos(std::sqrt(1.0 / static_cast<double>(n - i)));
+    c.add(Gate::ry(i + 1, -theta));
+    c.add(Gate::cz(i, i + 1));
+    c.add(Gate::ry(i + 1, theta));
+    c.add(Gate::cx(i + 1, i));
+  }
+  return c;
+}
+
+Circuit hhl(int k, int padded_qubits) {
+  ATLAS_CHECK(k >= 4, "hhl needs >= 4 logical qubits");
+  ATLAS_CHECK(padded_qubits >= k, "padding must not shrink the circuit");
+  // Registers: b-vector qubit b = 0, clock register 1..nc, ancilla last.
+  const int nc = k - 2;
+  const int b = 0;
+  const int anc = k - 1;
+  Circuit c(padded_qubits, "hhl");
+  // Trotter repetitions per controlled power; grows with k the way
+  // NWQBench's transpiled gate counts do (Table II).
+  const int trotter = std::max(1, 3 * (1 << std::max(0, k - 6)));
+  const double t0 = 2 * pi / static_cast<double>(Index{1} << nc);
+
+  auto evolution = [&](int sign) {
+    // QPE controlled evolution exp(sign * i A t), Trotterized.
+    for (int j = 0; j < nc; ++j) {
+      const Index reps = static_cast<Index>(trotter) * (Index{1} << j);
+      const double step = sign * t0 / static_cast<double>(trotter);
+      for (Index r = 0; r < reps; ++r) {
+        c.add(Gate::crx(1 + j, b, step));
+        c.add(Gate::crz(1 + j, b, step * 0.5));
+      }
+    }
+  };
+
+  for (int j = 0; j < nc; ++j) c.add(Gate::h(1 + j));
+  evolution(+1);
+  // Uniformly controlled RY on the ancilla conditioned on the clock:
+  // standard 2^nc-term CX/RY staircase decomposition.
+  const Index terms = Index{1} << nc;
+  for (Index t = 0; t < terms; ++t) {
+    const double angle =
+        2 * std::asin(1.0 / static_cast<double>(t + 1));
+    c.add(Gate::ry(anc, angle / static_cast<double>(terms)));
+    const int ctrl = std::countr_zero(t + 1) % nc;
+    c.add(Gate::cx(1 + ctrl, anc));
+  }
+  evolution(-1);
+  for (int j = 0; j < nc; ++j) c.add(Gate::h(1 + j));
+  return c;
+}
+
+const std::vector<std::string>& family_names() {
+  static const std::vector<std::string> names = {
+      "ae",  "dj",        "ghz",  "graphstate", "ising", "qft",
+      "qpeexact", "qsvm", "su2random", "vqc",   "wstate"};
+  return names;
+}
+
+Circuit make_family(const std::string& name, int n) {
+  if (name == "ae") return ae(n);
+  if (name == "dj") return dj(n);
+  if (name == "ghz") return ghz(n);
+  if (name == "graphstate") return graphstate(n);
+  if (name == "ising") return ising(n);
+  if (name == "qft") return qft(n);
+  if (name == "qpeexact") return qpeexact(n);
+  if (name == "qsvm") return qsvm(n);
+  if (name == "su2random") return su2random(n);
+  if (name == "vqc") return vqc(n);
+  if (name == "wstate") return wstate(n);
+  throw Error("unknown circuit family '" + name + "'");
+}
+
+Circuit random_circuit(int n, int num_gates, std::uint64_t seed) {
+  ATLAS_CHECK(n >= 3, "random_circuit needs >= 3 qubits");
+  Circuit c(n, "random");
+  Rng rng(seed);
+  auto q = [&] { return static_cast<Qubit>(rng.index(n)); };
+  auto distinct2 = [&](Qubit a) {
+    Qubit b = q();
+    while (b == a) b = q();
+    return b;
+  };
+  for (int i = 0; i < num_gates; ++i) {
+    const int pick = static_cast<int>(rng.index(16));
+    const Qubit a = q();
+    const double th = rng.uniform(0, 2 * pi);
+    switch (pick) {
+      case 0: c.add(Gate::h(a)); break;
+      case 1: c.add(Gate::x(a)); break;
+      case 2: c.add(Gate::y(a)); break;
+      case 3: c.add(Gate::z(a)); break;
+      case 4: c.add(Gate::t(a)); break;
+      case 5: c.add(Gate::rx(a, th)); break;
+      case 6: c.add(Gate::ry(a, th)); break;
+      case 7: c.add(Gate::rz(a, th)); break;
+      case 8: c.add(Gate::p(a, th)); break;
+      case 9: c.add(Gate::cx(a, distinct2(a))); break;
+      case 10: c.add(Gate::cz(a, distinct2(a))); break;
+      case 11: c.add(Gate::cp(a, distinct2(a), th)); break;
+      case 12: c.add(Gate::swap(a, distinct2(a))); break;
+      case 13: c.add(Gate::rzz(a, distinct2(a), th)); break;
+      case 14: {
+        const Qubit b2 = distinct2(a);
+        Qubit c3 = q();
+        while (c3 == a || c3 == b2) c3 = q();
+        c.add(Gate::ccx(a, b2, c3));
+        break;
+      }
+      default: c.add(Gate::u3(a, th, th / 2, th / 3)); break;
+    }
+  }
+  return c;
+}
+
+}  // namespace atlas::circuits

@@ -1,0 +1,74 @@
+#pragma once
+
+/// \file bits.h
+/// Bit-manipulation helpers for state-vector index arithmetic.
+///
+/// State-vector indices encode qubit values: bit `q` of index `i` is the
+/// value of (physical) qubit `q` in basis state |i>. Applying a k-qubit
+/// gate iterates over all assignments of the non-target bits and, for
+/// each, gathers the 2^k amplitudes obtained by varying the target bits
+/// — `insert_bits`/`spread_bits` implement that index arithmetic.
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace atlas {
+
+/// Returns an Index with bit `q` set.
+constexpr Index bit(int q) { return Index{1} << q; }
+
+/// Tests bit `q` of `i`.
+constexpr bool test_bit(Index i, int q) { return (i >> q) & 1; }
+
+/// Sets bit `q` of `i` to `v`.
+constexpr Index set_bit(Index i, int q, bool v) {
+  return v ? (i | bit(q)) : (i & ~bit(q));
+}
+
+/// Number of set bits.
+constexpr int popcount(Index i) { return std::popcount(i); }
+
+/// Inserts a zero bit at position `q`: bits [q..) of `i` shift up by one.
+/// This is the f(i) of the paper's Eq. (1) generalized: iterating i over
+/// [0, 2^(n-1)) and inserting a zero at q enumerates all indices with
+/// bit q clear.
+constexpr Index insert_zero_bit(Index i, int q) {
+  const Index low = i & (bit(q) - 1);
+  const Index high = (i >> q) << (q + 1);
+  return high | low;
+}
+
+/// Inserts zero bits at each position in `qs` (ascending, distinct).
+inline Index insert_zero_bits(Index i, const std::vector<int>& qs) {
+  for (int q : qs) i = insert_zero_bit(i, q);
+  return i;
+}
+
+/// Scatters the low `qs.size()` bits of `mask_bits` to positions `qs`.
+inline Index spread_bits(Index mask_bits, const std::vector<int>& qs) {
+  Index r = 0;
+  for (std::size_t j = 0; j < qs.size(); ++j)
+    if (test_bit(mask_bits, static_cast<int>(j))) r |= bit(qs[j]);
+  return r;
+}
+
+/// Gathers bits of `i` at positions `qs` into a compact low-bit value.
+inline Index gather_bits(Index i, const std::vector<int>& qs) {
+  Index r = 0;
+  for (std::size_t j = 0; j < qs.size(); ++j)
+    if (test_bit(i, qs[j])) r |= bit(static_cast<int>(j));
+  return r;
+}
+
+/// floor(log2(x)) for x > 0.
+constexpr int floor_log2(Index x) {
+  return 63 - std::countl_zero(x);
+}
+
+/// True iff x is a power of two (x > 0).
+constexpr bool is_pow2(Index x) { return x != 0 && (x & (x - 1)) == 0; }
+
+}  // namespace atlas

@@ -1,0 +1,52 @@
+#pragma once
+
+/// \file error.h
+/// Error handling used across Atlas. Programming errors and violated
+/// invariants throw atlas::Error with a formatted message; hot loops use
+/// ATLAS_DCHECK which compiles out in release builds.
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace atlas {
+
+/// Exception type thrown on any Atlas failure (bad input, violated
+/// invariant, infeasible model, ...).
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void fail(const char* cond, const char* file, int line,
+                              const std::string& msg) {
+  std::ostringstream os;
+  os << file << ":" << line << ": check failed: " << cond;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+
+}  // namespace detail
+}  // namespace atlas
+
+/// Always-on invariant check. `msg` is streamed, e.g.
+/// ATLAS_CHECK(x > 0, "x=" << x).
+#define ATLAS_CHECK(cond, ...)                                          \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      std::ostringstream atlas_check_os_;                               \
+      atlas_check_os_ << "" __VA_ARGS__;                                \
+      ::atlas::detail::fail(#cond, __FILE__, __LINE__,                  \
+                            atlas_check_os_.str());                     \
+    }                                                                   \
+  } while (0)
+
+#ifdef NDEBUG
+#define ATLAS_DCHECK(cond, ...) \
+  do {                          \
+  } while (0)
+#else
+#define ATLAS_DCHECK(cond, ...) ATLAS_CHECK(cond, __VA_ARGS__)
+#endif

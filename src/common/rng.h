@@ -1,0 +1,44 @@
+#pragma once
+
+/// \file rng.h
+/// Deterministic random number generation. Every randomized component
+/// (random circuits, random states, su2random parameters) takes an
+/// explicit seed so tests and benchmarks are reproducible.
+
+#include <cstdint>
+#include <random>
+
+#include "common/types.h"
+
+namespace atlas {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) : gen_(seed) {}
+
+  /// Uniform double in [0, 1).
+  double uniform() { return dist_(gen_); }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n).
+  std::uint64_t index(std::uint64_t n) {
+    return std::uniform_int_distribution<std::uint64_t>(0, n - 1)(gen_);
+  }
+
+  /// Standard normal.
+  double normal() { return normal_(gen_); }
+
+  /// A random complex amplitude with normally distributed components.
+  Amp amp() { return Amp(normal(), normal()); }
+
+  std::mt19937_64& engine() { return gen_; }
+
+ private:
+  std::mt19937_64 gen_;
+  std::uniform_real_distribution<double> dist_{0.0, 1.0};
+  std::normal_distribution<double> normal_{0.0, 1.0};
+};
+
+}  // namespace atlas

@@ -1,0 +1,53 @@
+#pragma once
+
+/// \file thread_pool.h
+/// A small task-based thread pool (Core Guidelines CP.4: think in terms
+/// of tasks). Atlas uses it to execute per-shard GPU work in parallel:
+/// each virtual GPU's kernel launches for a stage form one task.
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace atlas {
+
+class ThreadPool {
+ public:
+  /// Creates a pool with `num_threads` workers; 0 means
+  /// hardware_concurrency (at least 1).
+  explicit ThreadPool(std::size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueues a task; returns immediately.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void wait_idle();
+
+  /// Runs fn(i) for i in [0, n), distributing across the pool and
+  /// blocking until all iterations complete. Exceptions from tasks are
+  /// rethrown (the first one captured).
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace atlas

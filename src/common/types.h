@@ -1,0 +1,25 @@
+#pragma once
+
+/// \file types.h
+/// Fundamental scalar types shared by every Atlas module.
+
+#include <complex>
+#include <cstdint>
+
+namespace atlas {
+
+/// A single state-vector amplitude. The paper simulates with
+/// double-precision complex numbers (16 bytes each).
+using Amp = std::complex<double>;
+
+/// Index into a (possibly distributed) state vector. 64 bits supports
+/// up to 2^63 amplitudes, far beyond any simulable circuit.
+using Index = std::uint64_t;
+
+/// A qubit id within a circuit (logical) or within the machine
+/// (physical). Circuits in this codebase stay well below 2^31 qubits.
+using Qubit = int;
+
+inline constexpr double kAmpTolerance = 1e-9;
+
+}  // namespace atlas

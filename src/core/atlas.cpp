@@ -1,0 +1,57 @@
+#include "core/atlas.h"
+
+#include "common/error.h"
+#include "kernelize/kernelizer.h"
+
+namespace atlas {
+
+Simulator::Simulator(SimulatorConfig config)
+    : config_(std::move(config)), cluster_(config_.cluster) {}
+
+exec::ExecutionPlan Simulator::plan(const Circuit& circuit) const {
+  const auto& cc = config_.cluster;
+  ATLAS_CHECK(circuit.num_qubits() == cc.total_qubits(),
+              "circuit has " << circuit.num_qubits()
+                             << " qubits but the cluster shape totals "
+                             << cc.total_qubits());
+  staging::MachineShape shape;
+  shape.num_local = cc.local_qubits;
+  shape.num_regional = cc.regional_qubits;
+  shape.num_global = cc.global_qubits;
+  shape.cost_factor = config_.stage_cost_factor;
+
+  const staging::StagedCircuit staged =
+      staging::stage_circuit(circuit, shape, config_.staging);
+  staging::validate_staging(circuit, staged, shape);
+
+  exec::ExecutionPlan plan;
+  plan.staging_comm_cost = staged.comm_cost;
+  for (const auto& stage : staged.stages) {
+    exec::PlannedStage ps;
+    ps.original_indices = stage.gate_indices;
+    ps.partition = stage.partition;
+    ps.subcircuit = circuit.subcircuit(stage.gate_indices);
+    ps.kernels = kernelize::kernelize_best(ps.subcircuit, config_.cost_model,
+                                           config_.kernelize);
+    kernelize::validate_kernelization(ps.subcircuit, ps.kernels,
+                                      config_.cost_model);
+    plan.kernel_cost_total += ps.kernels.total_cost;
+    plan.stages.push_back(std::move(ps));
+  }
+  return plan;
+}
+
+exec::ExecutionReport Simulator::execute(const exec::ExecutionPlan& plan,
+                                         exec::DistState& state) const {
+  return exec::execute_plan(plan, cluster_, state);
+}
+
+SimulationResult Simulator::simulate(const Circuit& circuit) const {
+  SimulationResult result;
+  result.plan = plan(circuit);
+  result.state = exec::initial_state(result.plan, cluster_);
+  result.report = execute(result.plan, result.state);
+  return result;
+}
+
+}  // namespace atlas

@@ -1,0 +1,72 @@
+#pragma once
+
+/// \file atlas.h
+/// The Atlas public API. Mirrors the paper's Algorithm 1:
+///
+///   PARTITION = STAGE (ILP / specialized B&B, Section IV)
+///             + KERNELIZE per stage (DP, Section V)
+///   EXECUTE   = reshard between stages + per-shard kernel launches
+///   SIMULATE  = PARTITION then EXECUTE
+///
+/// Quick start:
+///
+///   atlas::SimulatorConfig cfg;
+///   cfg.cluster.local_qubits = 20;    // 2^20 amplitudes per GPU
+///   cfg.cluster.regional_qubits = 2;  // 4 GPUs per node
+///   cfg.cluster.global_qubits = 1;    // 2 nodes
+///   cfg.cluster.gpus_per_node = 4;
+///   atlas::Simulator sim(cfg);
+///   auto result = sim.simulate(atlas::circuits::qft(23));
+///   // result.state holds the final distributed state vector;
+///   // result.report carries wall/modeled times and comm statistics.
+
+#include <memory>
+
+#include "device/cluster.h"
+#include "exec/executor.h"
+#include "ir/circuit.h"
+#include "kernelize/dp_kernelizer.h"
+#include "staging/stager.h"
+
+namespace atlas {
+
+struct SimulatorConfig {
+  device::ClusterConfig cluster;
+  staging::StagingOptions staging;
+  kernelize::CostModel cost_model = kernelize::CostModel::default_model();
+  kernelize::DpOptions kernelize;
+  /// Inter-node cost factor c of Eq. (2); the paper uses 3.
+  double stage_cost_factor = 3.0;
+  device::CommCostModel comm = device::CommCostModel::perlmutter_like();
+};
+
+struct SimulationResult {
+  exec::ExecutionPlan plan;
+  exec::ExecutionReport report;
+  exec::DistState state;
+};
+
+class Simulator {
+ public:
+  explicit Simulator(SimulatorConfig config);
+
+  const SimulatorConfig& config() const { return config_; }
+  const device::Cluster& cluster() const { return cluster_; }
+
+  /// PARTITION: stages the circuit and kernelizes each stage. The plan
+  /// is state-independent and reusable across runs (Section III).
+  exec::ExecutionPlan plan(const Circuit& circuit) const;
+
+  /// EXECUTE: runs a plan over an existing distributed state.
+  exec::ExecutionReport execute(const exec::ExecutionPlan& plan,
+                                exec::DistState& state) const;
+
+  /// SIMULATE: plan + execute from |0...0>.
+  SimulationResult simulate(const Circuit& circuit) const;
+
+ private:
+  SimulatorConfig config_;
+  device::Cluster cluster_;
+};
+
+}  // namespace atlas

@@ -1,0 +1,52 @@
+#include "device/comm.h"
+
+#include <algorithm>
+
+namespace atlas::device {
+
+CommCostModel CommCostModel::perlmutter_like() {
+  CommCostModel m;
+  m.intra_node_bw = 200e9;
+  m.inter_node_bw = 25e9;
+  m.offload_bw = 25e9;
+  m.intra_node_latency = 10e-6;
+  m.inter_node_latency = 30e-6;
+  m.gpu_mem_bw = 1.5e12;
+  return m;
+}
+
+CommStats& CommStats::operator+=(const CommStats& o) {
+  intra_gpu_bytes += o.intra_gpu_bytes;
+  intra_node_bytes += o.intra_node_bytes;
+  inter_node_bytes += o.inter_node_bytes;
+  offload_bytes += o.offload_bytes;
+  kernel_bytes += o.kernel_bytes;
+  alltoall_rounds += o.alltoall_rounds;
+  return *this;
+}
+
+double CommStats::modeled_comm_seconds(const CommCostModel& m, int gpus,
+                                       int nodes) const {
+  // Balanced all-to-all assumption: each GPU moves its share of the
+  // intra-node traffic concurrently; each node its share of the
+  // inter-node traffic. Latency is charged once per all-to-all round.
+  const double intra =
+      static_cast<double>(intra_node_bytes) / std::max(1, gpus) /
+      m.intra_node_bw;
+  const double inter =
+      static_cast<double>(inter_node_bytes) / std::max(1, nodes) /
+      m.inter_node_bw;
+  const double offload =
+      static_cast<double>(offload_bytes) / std::max(1, gpus) / m.offload_bw;
+  const double latency =
+      alltoall_rounds * (inter_node_bytes > 0 ? m.inter_node_latency
+                                              : m.intra_node_latency);
+  return intra + inter + offload + latency;
+}
+
+double CommStats::modeled_compute_seconds(const CommCostModel& m,
+                                          int gpus) const {
+  return static_cast<double>(kernel_bytes) / std::max(1, gpus) / m.gpu_mem_bw;
+}
+
+}  // namespace atlas::device

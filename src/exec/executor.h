@@ -1,0 +1,70 @@
+#pragma once
+
+/// \file executor.h
+/// The EXECUTE algorithm (paper Algorithm 1): runs a partitioned
+/// circuit — stages of kernels — over the distributed state, doing the
+/// all-to-all reshard between stages and launching each stage's
+/// kernels on every shard in parallel. Supports DRAM offloading: when
+/// the cluster has fewer GPUs than shards, shards are swapped through
+/// the GPUs and the staging traffic is metered.
+
+#include <vector>
+
+#include "device/cluster.h"
+#include "exec/dist_state.h"
+#include "ir/circuit.h"
+#include "kernelize/kernel.h"
+#include "staging/stage.h"
+
+namespace atlas::exec {
+
+/// One stage ready for execution: the stage's gates as a subcircuit
+/// (indices into the original circuit retained) plus its kernelization
+/// and qubit partition.
+struct PlannedStage {
+  Circuit subcircuit;
+  std::vector<int> original_indices;
+  staging::QubitPartition partition;
+  kernelize::Kernelization kernels;
+};
+
+struct ExecutionPlan {
+  std::vector<PlannedStage> stages;
+  double staging_comm_cost = 0;   // Eq. (2) value from the stager
+  double kernel_cost_total = 0;   // sum of kernel cost-model values
+  /// When offloading, reload every shard once per *kernel* instead of
+  /// once per stage (models QDAO-style block scheduling; Atlas plans
+  /// always swap once per stage).
+  bool offload_reload_per_kernel = false;
+};
+
+struct StageReport {
+  double comm_seconds = 0;     // wall time in remap
+  double compute_seconds = 0;  // wall time in kernels
+  device::CommStats stats;
+};
+
+struct ExecutionReport {
+  std::vector<StageReport> stages;
+  device::CommStats totals;
+  double wall_seconds = 0;
+  double comm_seconds = 0;
+  double compute_seconds = 0;
+
+  /// Modeled end-to-end seconds on the target machine.
+  double modeled_seconds(const device::CommCostModel& m, int gpus,
+                         int nodes) const;
+};
+
+/// Executes `plan` on `cluster`, starting from |0...0>.
+ExecutionReport execute_plan(const ExecutionPlan& plan,
+                             const device::Cluster& cluster,
+                             DistState& state);
+
+/// Convenience: build the initial distributed state for a plan (stage
+/// 0's partition as the initial layout, which is free — Eq. (2) only
+/// charges transitions).
+DistState initial_state(const ExecutionPlan& plan,
+                        const device::Cluster& cluster);
+
+}  // namespace atlas::exec

@@ -1,0 +1,87 @@
+#include "exec/partial_eval.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace atlas::exec {
+
+LocalOp partial_evaluate(const Gate& g, const Layout& layout, int shard) {
+  LocalOp op;
+  bool any_nonlocal = false;
+  for (Qubit q : g.qubits()) any_nonlocal |= !layout.is_local(q);
+  if (!any_nonlocal) {
+    op.gate = g;
+    return op;
+  }
+
+  // Case 1: fully diagonal gate — restrict the diagonal by the fixed
+  // non-local bits.
+  if (g.fully_diagonal()) {
+    const Matrix full = g.full_matrix();
+    const int k = g.num_qubits();
+    std::vector<Qubit> local_qubits;
+    Index fixed = 0;
+    for (int pos = 0; pos < k; ++pos) {
+      const Qubit q = g.qubits()[pos];
+      if (layout.is_local(q)) {
+        local_qubits.push_back(q);
+      } else if (layout.nonlocal_bit(q, shard)) {
+        fixed |= bit(pos);
+      }
+    }
+    if (local_qubits.empty()) {
+      op.scale = full(static_cast<int>(fixed), static_cast<int>(fixed));
+      op.skip = op.scale == Amp(1, 0);
+      return op;
+    }
+    // Positions of the local qubits within the gate's index space.
+    std::vector<int> local_pos;
+    for (int pos = 0; pos < k; ++pos)
+      if (layout.is_local(g.qubits()[pos])) local_pos.push_back(pos);
+    const int lk = static_cast<int>(local_qubits.size());
+    Matrix restricted(1 << lk, 1 << lk);
+    for (Index v = 0; v < (Index{1} << lk); ++v) {
+      const Index full_idx = fixed | spread_bits(v, local_pos);
+      restricted(static_cast<int>(v), static_cast<int>(v)) =
+          full(static_cast<int>(full_idx), static_cast<int>(full_idx));
+    }
+    op.gate = Gate::unitary(local_qubits, std::move(restricted));
+    return op;
+  }
+
+  // Case 2: 1-qubit anti-diagonal gate (X/Y) on a non-local qubit —
+  // flip the shard-id mapping and scale by the anti-diagonal entry.
+  if (g.antidiagonal_1q() && !layout.is_local(g.qubits()[0])) {
+    const Qubit q = g.qubits()[0];
+    const Matrix m = g.target_matrix();
+    const bool old_bit = layout.nonlocal_bit(q, shard);
+    // After the flip this shard represents value (1 - old_bit); its
+    // contents pick up u_{new,old}.
+    op.scale = old_bit ? m(0, 1) : m(1, 0);
+    op.flip_phys_bit = layout.phys_of_logical[q];
+    op.skip = false;
+    return op;
+  }
+
+  // Case 3: controlled gate with non-local (insular) controls.
+  std::vector<Qubit> local_controls;
+  for (Qubit c : g.controls()) {
+    if (layout.is_local(c)) {
+      local_controls.push_back(c);
+    } else if (!layout.nonlocal_bit(c, shard)) {
+      op.skip = true;  // control is |0>: identity on this shard
+      return op;
+    }
+    // control is |1>: drop it.
+  }
+  for (Qubit t : g.targets())
+    ATLAS_CHECK(layout.is_local(t),
+                "non-insular qubit " << t << " of gate " << g.to_string()
+                                     << " is not local (staging bug)");
+  op.gate = Gate::controlled_unitary(std::move(local_controls), g.targets(),
+                                     g.target_matrix());
+  return op;
+}
+
+}  // namespace atlas::exec

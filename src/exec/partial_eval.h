@@ -1,0 +1,45 @@
+#pragma once
+
+/// \file partial_eval.h
+/// Partial evaluation of gates whose insular qubits are non-local
+/// (Appendix B-a, "insular qubits"): before a shard executes a gate,
+/// the known values of the shard's regional/global qubits are folded
+/// in, leaving a smaller purely-local operation:
+///
+///  * non-local control = 0  -> the gate is the identity (skip);
+///  * non-local control = 1  -> drop the control;
+///  * fully diagonal gate    -> restrict the diagonal by the fixed
+///                              bits (possibly down to a scalar);
+///  * 1q anti-diagonal (X/Y) -> flip the shard-id mapping bit
+///                              (layout.shard_xor) + a scalar.
+///
+/// Staging guarantees every *non-insular* qubit is local, so these
+/// four cases are exhaustive.
+
+#include <optional>
+#include <variant>
+
+#include "exec/layout.h"
+#include "ir/gate.h"
+
+namespace atlas::exec {
+
+/// A purely local operation produced by partial evaluation.
+struct LocalOp {
+  /// Multiply the shard by this scalar (1 if only the gate part acts).
+  Amp scale = Amp(1, 0);
+  /// The local remainder of the gate, if any: matrix on local qubits.
+  std::optional<Gate> gate;
+  /// Physical high bit to flip in the layout's shard-id mapping
+  /// (anti-diagonal on a non-local qubit); -1 if none. The flip is a
+  /// *layout-wide* effect: the caller applies it once, not per shard.
+  int flip_phys_bit = -1;
+  /// True when the gate reduces to the identity on this shard.
+  bool skip = false;
+};
+
+/// Evaluates `gate` for `shard` under `layout`. Throws atlas::Error if
+/// the gate has a non-insular qubit that is not local (staging bug).
+LocalOp partial_evaluate(const Gate& gate, const Layout& layout, int shard);
+
+}  // namespace atlas::exec

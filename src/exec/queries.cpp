@@ -1,0 +1,118 @@
+#include "exec/queries.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/bits.h"
+#include "common/error.h"
+
+namespace atlas::exec {
+namespace {
+
+/// Logical basis index -> (shard, offset) under the state's layout.
+std::pair<int, Index> locate(const DistState& state, Index logical_index) {
+  const Layout& l = state.layout();
+  Index phys = 0;
+  for (int q = 0; q < l.num_qubits(); ++q)
+    if (test_bit(logical_index, q)) phys |= bit(l.phys_of_logical[q]);
+  const Index offset = phys & (state.shard_size() - 1);
+  const Index high = phys >> l.num_local;
+  return {static_cast<int>(high ^ l.shard_xor), offset};
+}
+
+/// Logical index of the amplitude stored at (shard, offset).
+Index logical_of(const DistState& state, int shard, Index offset) {
+  const Layout& l = state.layout();
+  const Index phys =
+      ((static_cast<Index>(shard) ^ l.shard_xor) << l.num_local) | offset;
+  Index logical = 0;
+  for (int p = 0; p < l.num_qubits(); ++p)
+    if (test_bit(phys, p)) logical |= bit(l.logical_of_phys[p]);
+  return logical;
+}
+
+}  // namespace
+
+Amp amplitude(const DistState& state, Index logical_index) {
+  ATLAS_CHECK(logical_index < (Index{1} << state.num_qubits()),
+              "basis state out of range");
+  const auto [s, o] = locate(state, logical_index);
+  return state.shard(s)[o];
+}
+
+double probability(const DistState& state, Index logical_index) {
+  return std::norm(amplitude(state, logical_index));
+}
+
+double norm_sq(const DistState& state) {
+  double total = 0;
+  for (int s = 0; s < state.num_shards(); ++s)
+    for (const Amp& a : state.shard(s)) total += std::norm(a);
+  return total;
+}
+
+std::vector<double> marginal_distribution(const DistState& state,
+                                          const std::vector<Qubit>& qubits) {
+  const Layout& l = state.layout();
+  for (Qubit q : qubits)
+    ATLAS_CHECK(q >= 0 && q < state.num_qubits(), "qubit out of range");
+  std::vector<double> dist(Index{1} << qubits.size(), 0.0);
+  // Split the queried qubits into local (vary inside the shard) and
+  // non-local (fixed per shard) so the inner loop touches each
+  // amplitude once with cheap index arithmetic.
+  std::vector<int> local_pos, nonlocal_out;
+  std::vector<int> local_out;
+  for (std::size_t i = 0; i < qubits.size(); ++i) {
+    if (l.is_local(qubits[i])) {
+      local_pos.push_back(l.phys_of_logical[qubits[i]]);
+      local_out.push_back(static_cast<int>(i));
+    } else {
+      nonlocal_out.push_back(static_cast<int>(i));
+    }
+  }
+  for (int s = 0; s < state.num_shards(); ++s) {
+    Index base_out = 0;
+    for (std::size_t j = 0; j < nonlocal_out.size(); ++j) {
+      const Qubit q = qubits[nonlocal_out[j]];
+      if (l.nonlocal_bit(q, s)) base_out |= bit(nonlocal_out[j]);
+    }
+    const auto& shard = state.shard(s);
+    for (Index o = 0; o < state.shard_size(); ++o) {
+      const double p = std::norm(shard[o]);
+      if (p == 0.0) continue;
+      Index out = base_out;
+      for (std::size_t j = 0; j < local_pos.size(); ++j)
+        if (test_bit(o, local_pos[j])) out |= bit(local_out[j]);
+      dist[out] += p;
+    }
+  }
+  return dist;
+}
+
+double expectation_z(const DistState& state, Qubit q) {
+  const auto dist = marginal_distribution(state, {q});
+  return dist[0] - dist[1];
+}
+
+std::vector<Index> sample(const DistState& state, int shots, Rng& rng) {
+  std::vector<double> draws(shots);
+  for (auto& d : draws) d = rng.uniform();
+  std::sort(draws.begin(), draws.end());
+  std::vector<Index> out(shots);
+  double cum = 0;
+  std::size_t k = 0;
+  Index last = 0;
+  for (int s = 0; s < state.num_shards() && k < draws.size(); ++s) {
+    const auto& shard = state.shard(s);
+    for (Index o = 0; o < state.shard_size() && k < draws.size(); ++o) {
+      cum += std::norm(shard[o]);
+      last = logical_of(state, s, o);
+      while (k < draws.size() && draws[k] < cum) out[k++] = last;
+    }
+  }
+  while (k < draws.size()) out[k++] = last;
+  std::shuffle(out.begin(), out.end(), rng.engine());
+  return out;
+}
+
+}  // namespace atlas::exec

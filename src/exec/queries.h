@@ -1,0 +1,36 @@
+#pragma once
+
+/// \file queries.h
+/// Observable queries on a *distributed* state without gathering it:
+/// for large qubit counts the full vector never fits in one buffer, so
+/// amplitude lookups, probabilities, marginals, and Z-expectations run
+/// shard by shard through the current layout (including the shard_xor
+/// correction from anti-diagonal insular gates).
+
+#include <vector>
+
+#include "common/rng.h"
+#include "exec/dist_state.h"
+
+namespace atlas::exec {
+
+/// The amplitude of one logical basis state.
+Amp amplitude(const DistState& state, Index logical_index);
+
+/// |amplitude|^2 of one logical basis state.
+double probability(const DistState& state, Index logical_index);
+
+/// Sum of |a|^2 over all shards (~1 for a normalized state).
+double norm_sq(const DistState& state);
+
+/// Marginal distribution over logical `qubits` (packed ascending).
+std::vector<double> marginal_distribution(const DistState& state,
+                                          const std::vector<Qubit>& qubits);
+
+/// <Z_q> on logical qubit q.
+double expectation_z(const DistState& state, Qubit q);
+
+/// Draws `shots` logical basis-state samples.
+std::vector<Index> sample(const DistState& state, int shots, Rng& rng);
+
+}  // namespace atlas::exec

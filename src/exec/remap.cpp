@@ -1,0 +1,99 @@
+#include "exec/remap.h"
+
+#include <atomic>
+#include <cstring>
+#include <mutex>
+
+#include "common/error.h"
+
+namespace atlas::exec {
+
+device::CommStats remap(DistState& state, const Layout& new_layout,
+                        const device::Cluster& cluster) {
+  const Layout& old_layout = state.layout();
+  const int n = state.num_qubits();
+  const int L = new_layout.num_local;
+  ATLAS_CHECK(old_layout.num_local == L,
+              "remap cannot change the local qubit count");
+  ATLAS_CHECK(new_layout.num_qubits() == n, "layout size mismatch");
+
+  // Composite map: dst storage index -> src storage index.
+  //   src = spread_bits(dst, bitmap) ^ xor_const
+  // where bitmap[p] = old physical position of the logical qubit that
+  // the new layout places at physical position p, and xor_const folds
+  // both layouts' shard_xor corrections through the permutation.
+  std::vector<int> bitmap(n);
+  for (int p = 0; p < n; ++p)
+    bitmap[p] = old_layout.phys_of_logical[new_layout.logical_of_phys[p]];
+  Index xor_const = old_layout.shard_xor << L;
+  {
+    const Index a = new_layout.shard_xor << L;  // pre-permutation flips
+    for (int p = 0; p < n; ++p)
+      if (test_bit(a, p)) xor_const ^= bit(bitmap[p]);
+  }
+
+  device::CommStats stats;
+  // Identity fast path: nothing moves.
+  bool identity = xor_const == 0;
+  for (int p = 0; p < n && identity; ++p) identity = bitmap[p] == p;
+  if (identity) {
+    state.layout() = new_layout;
+    return stats;
+  }
+
+  // Block size: low bits fixed by the map move as contiguous runs.
+  int block_bits = 0;
+  while (block_bits < L && bitmap[block_bits] == block_bits &&
+         !test_bit(xor_const, block_bits))
+    ++block_bits;
+  const Index block = Index{1} << block_bits;
+  const Index shard_size = state.shard_size();
+  const int num_shards = state.num_shards();
+
+  std::vector<std::vector<Amp>> dst(
+      num_shards, std::vector<Amp>(shard_size));
+  const auto& src_shards = state.shards();
+
+  // Per-shard byte accounting, merged after the parallel loop.
+  std::vector<std::uint64_t> intra_gpu(num_shards, 0), intra_node(num_shards, 0),
+      inter_node(num_shards, 0);
+
+  cluster.pool().parallel_for(
+      static_cast<std::size_t>(num_shards), [&](std::size_t s1) {
+        const Index base = static_cast<Index>(s1) << L;
+        for (Index o = 0; o < shard_size; o += block) {
+          const Index d = base | o;
+          Index src = xor_const;
+          for (int p = block_bits; p < n; ++p)
+            if (test_bit(d, p)) src ^= bit(bitmap[p]);
+          src |= d & (block - 1);
+          const int s0 = static_cast<int>(src >> L);
+          std::memcpy(dst[s1].data() + o,
+                      src_shards[s0].data() + (src & (shard_size - 1)),
+                      block * sizeof(Amp));
+          const std::uint64_t bytes = block * sizeof(Amp);
+          if (s0 == static_cast<int>(s1)) {
+            intra_gpu[s1] += bytes;
+          } else if (cluster.node_of_shard(s0) ==
+                     cluster.node_of_shard(static_cast<int>(s1))) {
+            intra_node[s1] += bytes;
+          } else {
+            inter_node[s1] += bytes;
+          }
+        }
+      });
+
+  for (int s = 0; s < num_shards; ++s) {
+    stats.intra_gpu_bytes += intra_gpu[s];
+    stats.intra_node_bytes += intra_node[s];
+    stats.inter_node_bytes += inter_node[s];
+  }
+  if (stats.intra_node_bytes + stats.inter_node_bytes > 0)
+    stats.alltoall_rounds = 1;
+
+  state.shards() = std::move(dst);
+  state.layout() = new_layout;
+  return stats;
+}
+
+}  // namespace atlas::exec

@@ -1,0 +1,20 @@
+#pragma once
+
+/// \file remap.h
+/// State repartitioning between stages (the SHARD step of Algorithm 1):
+/// an all-to-all exchange that realizes a new qubit layout. The move
+/// is a bit permutation of storage indices; contiguous runs whose low
+/// bits are fixed by the permutation are moved with single block
+/// copies, and every byte is metered by link class.
+
+#include "device/cluster.h"
+#include "exec/dist_state.h"
+
+namespace atlas::exec {
+
+/// Permutes `state` into `new_layout`. Returns the communication
+/// metering of the exchange.
+device::CommStats remap(DistState& state, const Layout& new_layout,
+                        const device::Cluster& cluster);
+
+}  // namespace atlas::exec

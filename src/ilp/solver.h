@@ -1,0 +1,62 @@
+#pragma once
+
+/// \file solver.h
+/// A 0/1 integer linear programming solver: branch-and-bound over the
+/// LP relaxation (lp/simplex.h), with LP-guided rounding for incumbent
+/// generation and most-fractional branching. This plays the role of
+/// the paper's off-the-shelf PuLP/HiGHS solver for the circuit-staging
+/// model (Section IV, Eq. 3-11).
+///
+/// The solver is exact: when it returns Optimal the solution minimizes
+/// the objective over all feasible 0/1 assignments. A node budget
+/// guards against pathological instances; exceeding it returns
+/// `Feasible` (best incumbent, not proven optimal) or `NodeLimit`.
+
+#include <string>
+#include <vector>
+
+#include "lp/simplex.h"
+
+namespace atlas::ilp {
+
+enum class IlpStatus {
+  Optimal,    // proven optimal incumbent
+  Feasible,   // incumbent found but search truncated by node budget
+  Infeasible, // no 0/1 assignment satisfies the constraints
+  NodeLimit,  // budget exhausted with no incumbent
+};
+
+struct IlpSolution {
+  IlpStatus status = IlpStatus::Infeasible;
+  double objective = 0.0;
+  std::vector<int> x;     // 0/1 per variable
+  long nodes_explored = 0;
+};
+
+class IlpModel {
+ public:
+  /// Adds a binary variable with the given objective coefficient
+  /// (minimized); returns its index. `name` aids debugging.
+  int add_binary(double obj_coeff, std::string name = "");
+
+  /// Adds sum(coeffs[i] * x[vars[i]]) `sense` rhs.
+  void add_constraint(std::vector<int> vars, std::vector<double> coeffs,
+                      lp::RowSense sense, double rhs);
+
+  /// Convenience: x[a] <= x[b] + x[c] (common implication shape).
+  void add_le_sum(int a, std::vector<int> rhs_vars);
+
+  int num_vars() const { return static_cast<int>(names_.size()); }
+  int num_constraints() const { return static_cast<int>(rows_.size()); }
+  const std::string& var_name(int v) const { return names_[v]; }
+
+  /// Solves with branch-and-bound. `max_nodes` bounds the search tree.
+  IlpSolution solve(long max_nodes = 200000) const;
+
+ private:
+  std::vector<double> objective_;
+  std::vector<std::string> names_;
+  std::vector<lp::LpRow> rows_;
+};
+
+}  // namespace atlas::ilp

@@ -1,0 +1,60 @@
+#pragma once
+
+/// \file circuit.h
+/// A quantum circuit as an ordered gate sequence plus dependency
+/// structure. Staging and kernelization both consume this
+/// representation; the dependency DAG (adjacent gate pairs sharing a
+/// qubit) is the `E` of the paper's ILP constraint 8.
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+#include "ir/gate.h"
+
+namespace atlas {
+
+class Circuit {
+ public:
+  Circuit() = default;
+  explicit Circuit(int num_qubits, std::string name = "");
+
+  int num_qubits() const { return num_qubits_; }
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  int num_gates() const { return static_cast<int>(gates_.size()); }
+  const Gate& gate(int i) const { return gates_[i]; }
+  const std::vector<Gate>& gates() const { return gates_; }
+
+  /// Appends a gate; validates qubit ids against num_qubits().
+  void add(Gate g);
+
+  /// Dependency edges (g1, g2) with g1 < g2: g2 is the next gate after
+  /// g1 acting on some common qubit. This is the adjacency relation E
+  /// used in ILP constraint 8; its transitive closure is the full
+  /// dependence partial order.
+  std::vector<std::pair<int, int>> dependency_edges() const;
+
+  /// For each gate, the indices of gates it directly depends on
+  /// (predecessors in the dependency DAG).
+  std::vector<std::vector<int>> predecessors() const;
+
+  /// The union of non-insular qubits over all gates.
+  std::vector<Qubit> non_insular_qubit_union() const;
+
+  /// Total number of gates with >= 2 qubits.
+  int num_multi_qubit_gates() const;
+
+  /// A sub-circuit containing the given gate indices, in the given
+  /// order, over the same qubit count.
+  Circuit subcircuit(const std::vector<int>& gate_indices) const;
+
+ private:
+  int num_qubits_ = 0;
+  std::string name_;
+  std::vector<Gate> gates_;
+};
+
+}  // namespace atlas

@@ -1,0 +1,351 @@
+#include "ir/gate.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <sstream>
+#include <unordered_set>
+
+#include "common/bits.h"
+#include "common/error.h"
+
+namespace atlas {
+namespace {
+
+constexpr double kInvSqrt2 = 0.70710678118654752440;
+
+Amp expi(double theta) { return Amp(std::cos(theta), std::sin(theta)); }
+
+Matrix m2(Amp a, Amp b, Amp c, Amp d) { return Matrix::square(2, {a, b, c, d}); }
+
+Matrix rx_matrix(double t) {
+  const double c = std::cos(t / 2), s = std::sin(t / 2);
+  return m2(Amp(c, 0), Amp(0, -s), Amp(0, -s), Amp(c, 0));
+}
+
+Matrix ry_matrix(double t) {
+  const double c = std::cos(t / 2), s = std::sin(t / 2);
+  return m2(Amp(c, 0), Amp(-s, 0), Amp(s, 0), Amp(c, 0));
+}
+
+Matrix rz_matrix(double t) {
+  return m2(expi(-t / 2), Amp{}, Amp{}, expi(t / 2));
+}
+
+Matrix u3_matrix(double t, double phi, double lam) {
+  const double c = std::cos(t / 2), s = std::sin(t / 2);
+  return m2(Amp(c, 0), -expi(lam) * s, expi(phi) * s, expi(phi + lam) * c);
+}
+
+}  // namespace
+
+std::string gate_kind_name(GateKind kind) {
+  switch (kind) {
+    case GateKind::H: return "h";
+    case GateKind::X: return "x";
+    case GateKind::Y: return "y";
+    case GateKind::Z: return "z";
+    case GateKind::S: return "s";
+    case GateKind::Sdg: return "sdg";
+    case GateKind::T: return "t";
+    case GateKind::Tdg: return "tdg";
+    case GateKind::SX: return "sx";
+    case GateKind::RX: return "rx";
+    case GateKind::RY: return "ry";
+    case GateKind::RZ: return "rz";
+    case GateKind::P: return "p";
+    case GateKind::U2: return "u2";
+    case GateKind::U3: return "u3";
+    case GateKind::CX: return "cx";
+    case GateKind::CY: return "cy";
+    case GateKind::CZ: return "cz";
+    case GateKind::CH: return "ch";
+    case GateKind::CP: return "cp";
+    case GateKind::CRX: return "crx";
+    case GateKind::CRY: return "cry";
+    case GateKind::CRZ: return "crz";
+    case GateKind::SWAP: return "swap";
+    case GateKind::RZZ: return "rzz";
+    case GateKind::RXX: return "rxx";
+    case GateKind::CCX: return "ccx";
+    case GateKind::CCZ: return "ccz";
+    case GateKind::CSWAP: return "cswap";
+    case GateKind::Unitary: return "unitary";
+  }
+  return "?";
+}
+
+Gate::Gate(GateKind kind, std::vector<Qubit> qubits, int num_controls,
+           std::vector<double> params)
+    : kind_(kind),
+      qubits_(std::move(qubits)),
+      num_controls_(num_controls),
+      params_(std::move(params)) {
+  std::unordered_set<Qubit> seen;
+  for (Qubit q : qubits_) {
+    ATLAS_CHECK(q >= 0, "negative qubit id " << q);
+    ATLAS_CHECK(seen.insert(q).second, "duplicate qubit " << q << " in gate "
+                                                          << gate_kind_name(kind_));
+  }
+}
+
+Gate Gate::h(Qubit q) { return Gate(GateKind::H, {q}, 0, {}); }
+Gate Gate::x(Qubit q) { return Gate(GateKind::X, {q}, 0, {}); }
+Gate Gate::y(Qubit q) { return Gate(GateKind::Y, {q}, 0, {}); }
+Gate Gate::z(Qubit q) { return Gate(GateKind::Z, {q}, 0, {}); }
+Gate Gate::s(Qubit q) { return Gate(GateKind::S, {q}, 0, {}); }
+Gate Gate::sdg(Qubit q) { return Gate(GateKind::Sdg, {q}, 0, {}); }
+Gate Gate::t(Qubit q) { return Gate(GateKind::T, {q}, 0, {}); }
+Gate Gate::tdg(Qubit q) { return Gate(GateKind::Tdg, {q}, 0, {}); }
+Gate Gate::sx(Qubit q) { return Gate(GateKind::SX, {q}, 0, {}); }
+Gate Gate::rx(Qubit q, double t) { return Gate(GateKind::RX, {q}, 0, {t}); }
+Gate Gate::ry(Qubit q, double t) { return Gate(GateKind::RY, {q}, 0, {t}); }
+Gate Gate::rz(Qubit q, double t) { return Gate(GateKind::RZ, {q}, 0, {t}); }
+Gate Gate::p(Qubit q, double t) { return Gate(GateKind::P, {q}, 0, {t}); }
+Gate Gate::u2(Qubit q, double phi, double lam) {
+  return Gate(GateKind::U2, {q}, 0, {phi, lam});
+}
+Gate Gate::u3(Qubit q, double t, double phi, double lam) {
+  return Gate(GateKind::U3, {q}, 0, {t, phi, lam});
+}
+Gate Gate::cx(Qubit c, Qubit t) { return Gate(GateKind::CX, {t, c}, 1, {}); }
+Gate Gate::cy(Qubit c, Qubit t) { return Gate(GateKind::CY, {t, c}, 1, {}); }
+Gate Gate::cz(Qubit a, Qubit b) { return Gate(GateKind::CZ, {a, b}, 1, {}); }
+Gate Gate::ch(Qubit c, Qubit t) { return Gate(GateKind::CH, {t, c}, 1, {}); }
+Gate Gate::cp(Qubit a, Qubit b, double t) {
+  return Gate(GateKind::CP, {a, b}, 1, {t});
+}
+Gate Gate::crx(Qubit c, Qubit t, double th) {
+  return Gate(GateKind::CRX, {t, c}, 1, {th});
+}
+Gate Gate::cry(Qubit c, Qubit t, double th) {
+  return Gate(GateKind::CRY, {t, c}, 1, {th});
+}
+Gate Gate::crz(Qubit c, Qubit t, double th) {
+  return Gate(GateKind::CRZ, {t, c}, 1, {th});
+}
+Gate Gate::swap(Qubit a, Qubit b) {
+  return Gate(GateKind::SWAP, {a, b}, 0, {});
+}
+Gate Gate::rzz(Qubit a, Qubit b, double t) {
+  return Gate(GateKind::RZZ, {a, b}, 0, {t});
+}
+Gate Gate::rxx(Qubit a, Qubit b, double t) {
+  return Gate(GateKind::RXX, {a, b}, 0, {t});
+}
+Gate Gate::ccx(Qubit c0, Qubit c1, Qubit t) {
+  return Gate(GateKind::CCX, {t, c0, c1}, 2, {});
+}
+Gate Gate::ccz(Qubit a, Qubit b, Qubit c) {
+  return Gate(GateKind::CCZ, {a, b, c}, 2, {});
+}
+Gate Gate::cswap(Qubit c, Qubit a, Qubit b) {
+  return Gate(GateKind::CSWAP, {a, b, c}, 1, {});
+}
+
+Gate Gate::unitary(std::vector<Qubit> targets, Matrix m) {
+  const int t = static_cast<int>(targets.size());
+  ATLAS_CHECK(m.rows() == (1 << t) && m.cols() == (1 << t),
+              "unitary matrix size " << m.rows() << " does not match "
+                                     << t << " target qubits");
+  Gate g(GateKind::Unitary, std::move(targets), 0, {});
+  g.custom_ = std::make_shared<Matrix>(std::move(m));
+  return g;
+}
+
+Gate Gate::controlled_unitary(std::vector<Qubit> controls,
+                              std::vector<Qubit> targets, Matrix m) {
+  const int t = static_cast<int>(targets.size());
+  ATLAS_CHECK(m.rows() == (1 << t) && m.cols() == (1 << t),
+              "unitary matrix size mismatch");
+  std::vector<Qubit> qubits = std::move(targets);
+  const int c = static_cast<int>(controls.size());
+  qubits.insert(qubits.end(), controls.begin(), controls.end());
+  Gate g(GateKind::Unitary, std::move(qubits), c, {});
+  g.custom_ = std::make_shared<Matrix>(std::move(m));
+  return g;
+}
+
+std::vector<Qubit> Gate::targets() const {
+  return {qubits_.begin(), qubits_.begin() + num_targets()};
+}
+
+std::vector<Qubit> Gate::controls() const {
+  return {qubits_.begin() + num_targets(), qubits_.end()};
+}
+
+Matrix Gate::target_matrix() const {
+  const Amp i(0, 1);
+  switch (kind_) {
+    case GateKind::H:
+      return m2(kInvSqrt2, kInvSqrt2, kInvSqrt2, -kInvSqrt2);
+    case GateKind::X:
+    case GateKind::CX:
+    case GateKind::CCX:
+      return m2(0, 1, 1, 0);
+    case GateKind::Y:
+    case GateKind::CY:
+      return m2(0, -i, i, 0);
+    case GateKind::Z:
+    case GateKind::CZ:
+    case GateKind::CCZ:
+      return m2(1, 0, 0, -1);
+    case GateKind::S:
+      return m2(1, 0, 0, i);
+    case GateKind::Sdg:
+      return m2(1, 0, 0, -i);
+    case GateKind::T:
+      return m2(1, 0, 0, expi(std::numbers::pi / 4));
+    case GateKind::Tdg:
+      return m2(1, 0, 0, expi(-std::numbers::pi / 4));
+    case GateKind::SX:
+      return m2(Amp(0.5, 0.5), Amp(0.5, -0.5), Amp(0.5, -0.5), Amp(0.5, 0.5));
+    case GateKind::RX:
+    case GateKind::CRX:
+      return rx_matrix(params_[0]);
+    case GateKind::RY:
+    case GateKind::CRY:
+      return ry_matrix(params_[0]);
+    case GateKind::RZ:
+    case GateKind::CRZ:
+      return rz_matrix(params_[0]);
+    case GateKind::P:
+    case GateKind::CP:
+      return m2(1, 0, 0, expi(params_[0]));
+    case GateKind::U2:
+      return u3_matrix(std::numbers::pi / 2, params_[0], params_[1]);
+    case GateKind::U3:
+      return u3_matrix(params_[0], params_[1], params_[2]);
+    case GateKind::SWAP:
+    case GateKind::CSWAP:
+      return Matrix::square(4, {1, 0, 0, 0,  //
+                                0, 0, 1, 0,  //
+                                0, 1, 0, 0,  //
+                                0, 0, 0, 1});
+    case GateKind::RZZ: {
+      const Amp e0 = expi(-params_[0] / 2), e1 = expi(params_[0] / 2);
+      return Matrix::square(4, {e0, 0, 0, 0,  //
+                                0, e1, 0, 0,  //
+                                0, 0, e1, 0,  //
+                                0, 0, 0, e0});
+    }
+    case GateKind::RXX: {
+      const double c = std::cos(params_[0] / 2), s = std::sin(params_[0] / 2);
+      const Amp d(c, 0), o(0, -s);
+      return Matrix::square(4, {d, 0, 0, o,  //
+                                0, d, o, 0,  //
+                                0, o, d, 0,  //
+                                o, 0, 0, d});
+    }
+    case GateKind::CH:
+      return m2(kInvSqrt2, kInvSqrt2, kInvSqrt2, -kInvSqrt2);
+    case GateKind::Unitary:
+      return *custom_;
+  }
+  throw Error("unhandled gate kind in target_matrix");
+}
+
+Matrix Gate::full_matrix() const {
+  const Matrix u = target_matrix();
+  const int t = num_targets();
+  const int k = num_qubits();
+  Matrix full = Matrix::identity(1 << k);
+  // Controls occupy bits [t, k): the U block sits where all controls = 1.
+  const Index ctrl_mask = ((Index{1} << num_controls_) - 1) << t;
+  for (int r = 0; r < (1 << t); ++r)
+    for (int c = 0; c < (1 << t); ++c) {
+      const int fr = static_cast<int>(ctrl_mask) | r;
+      const int fc = static_cast<int>(ctrl_mask) | c;
+      full(fr, fc) = u(r, c);
+      if (r == c && fr != r) {
+        // Leave the identity block untouched elsewhere; clear the
+        // identity entry we are overwriting only at the U block.
+      }
+    }
+  // The loop above overwrote the diagonal of the control-1 block; the
+  // remaining blocks stay identity, which is exactly controlled-U.
+  return full;
+}
+
+bool Gate::fully_diagonal() const {
+  switch (kind_) {
+    case GateKind::Z:
+    case GateKind::S:
+    case GateKind::Sdg:
+    case GateKind::T:
+    case GateKind::Tdg:
+    case GateKind::RZ:
+    case GateKind::P:
+    case GateKind::CZ:
+    case GateKind::CP:
+    case GateKind::CRZ:
+    case GateKind::CCZ:
+    case GateKind::RZZ:
+      return true;
+    case GateKind::Unitary:
+      return custom_->is_diagonal();
+    default:
+      return false;
+  }
+}
+
+bool Gate::antidiagonal_1q() const {
+  if (num_controls_ != 0 || num_targets() != 1) return false;
+  switch (kind_) {
+    case GateKind::X:
+    case GateKind::Y:
+      return true;
+    case GateKind::Unitary:
+      return custom_->is_antidiagonal();
+    default:
+      return false;
+  }
+}
+
+bool Gate::qubit_insular(int pos) const {
+  ATLAS_DCHECK(pos >= 0 && pos < num_qubits(), "bad qubit position " << pos);
+  if (fully_diagonal()) return true;
+  if (antidiagonal_1q()) return true;
+  return pos >= num_targets();  // control qubits are insular
+}
+
+std::vector<Qubit> Gate::non_insular_qubits() const {
+  std::vector<Qubit> out;
+  for (int pos = 0; pos < num_qubits(); ++pos)
+    if (!qubit_insular(pos)) out.push_back(qubits_[pos]);
+  return out;
+}
+
+bool Gate::acts_on(Qubit q) const {
+  return std::find(qubits_.begin(), qubits_.end(), q) != qubits_.end();
+}
+
+std::string Gate::to_string() const {
+  std::ostringstream os;
+  os << gate_kind_name(kind_);
+  if (!params_.empty()) {
+    os << "(";
+    for (std::size_t i = 0; i < params_.size(); ++i) {
+      if (i) os << ",";
+      os << params_[i];
+    }
+    os << ")";
+  }
+  os << " ";
+  // Print in user-facing order: controls first, then targets (matching
+  // the factory signatures like cx(control, target)).
+  bool first = true;
+  for (Qubit q : controls()) {
+    if (!first) os << ", ";
+    os << "q" << q;
+    first = false;
+  }
+  for (Qubit q : targets()) {
+    if (!first) os << ", ";
+    os << "q" << q;
+    first = false;
+  }
+  return os.str();
+}
+
+}  // namespace atlas

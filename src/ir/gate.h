@@ -1,0 +1,141 @@
+#pragma once
+
+/// \file gate.h
+/// The quantum gate library: gate kinds, unitaries, and the insular-
+/// qubit classification of the paper's Definition 2.
+///
+/// Conventions
+/// -----------
+/// * `qubits` lists targets first, then controls:
+///   `qubits = [t0 .. t_{T-1}, c0 .. c_{C-1}]`.
+/// * In any matrix produced for this gate, qubit `qubits[i]` maps to bit
+///   `i` of the row/column index (LSB = `qubits[0]`).
+/// * `target_matrix()` is the 2^T x 2^T unitary applied to the targets
+///   when all control bits are 1; `full_matrix()` is the full
+///   2^(T+C) x 2^(T+C) controlled unitary.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "ir/matrix.h"
+
+namespace atlas {
+
+enum class GateKind {
+  // Single-qubit.
+  H, X, Y, Z, S, Sdg, T, Tdg, SX,
+  RX, RY, RZ, P,  // P(theta) = diag(1, e^{i theta}) (a.k.a. u1)
+  U2, U3,
+  // Two-qubit.
+  CX, CY, CZ, CH, CP, CRX, CRY, CRZ,
+  SWAP, RZZ, RXX,
+  // Three-qubit.
+  CCX, CCZ, CSWAP,
+  // Arbitrary (possibly controlled) unitary with an explicit matrix;
+  // used by generators (e.g. QPE's controlled powers) and by fusion.
+  Unitary,
+};
+
+/// Human-readable lowercase gate name ("h", "cx", ...).
+std::string gate_kind_name(GateKind kind);
+
+class Gate {
+ public:
+  /// \name Factories
+  /// @{
+  static Gate h(Qubit q);
+  static Gate x(Qubit q);
+  static Gate y(Qubit q);
+  static Gate z(Qubit q);
+  static Gate s(Qubit q);
+  static Gate sdg(Qubit q);
+  static Gate t(Qubit q);
+  static Gate tdg(Qubit q);
+  static Gate sx(Qubit q);
+  static Gate rx(Qubit q, double theta);
+  static Gate ry(Qubit q, double theta);
+  static Gate rz(Qubit q, double theta);
+  static Gate p(Qubit q, double theta);
+  static Gate u2(Qubit q, double phi, double lambda);
+  static Gate u3(Qubit q, double theta, double phi, double lambda);
+  static Gate cx(Qubit control, Qubit target);
+  static Gate cy(Qubit control, Qubit target);
+  static Gate cz(Qubit a, Qubit b);
+  static Gate ch(Qubit control, Qubit target);
+  static Gate cp(Qubit a, Qubit b, double theta);
+  static Gate crx(Qubit control, Qubit target, double theta);
+  static Gate cry(Qubit control, Qubit target, double theta);
+  static Gate crz(Qubit control, Qubit target, double theta);
+  static Gate swap(Qubit a, Qubit b);
+  static Gate rzz(Qubit a, Qubit b, double theta);
+  static Gate rxx(Qubit a, Qubit b, double theta);
+  static Gate ccx(Qubit c0, Qubit c1, Qubit target);
+  static Gate ccz(Qubit a, Qubit b, Qubit c);
+  static Gate cswap(Qubit control, Qubit a, Qubit b);
+  /// Arbitrary unitary on `targets` (matrix size 2^|targets|).
+  static Gate unitary(std::vector<Qubit> targets, Matrix m);
+  /// `matrix` applied to `targets` when all `controls` are |1>.
+  static Gate controlled_unitary(std::vector<Qubit> controls,
+                                 std::vector<Qubit> targets, Matrix m);
+  /// @}
+
+  GateKind kind() const { return kind_; }
+  const std::vector<Qubit>& qubits() const { return qubits_; }
+  const std::vector<double>& params() const { return params_; }
+
+  int num_qubits() const { return static_cast<int>(qubits_.size()); }
+  int num_targets() const { return num_qubits() - num_controls_; }
+  int num_controls() const { return num_controls_; }
+
+  Qubit target(int i) const { return qubits_[i]; }
+  Qubit control(int i) const { return qubits_[num_targets() + i]; }
+  std::vector<Qubit> targets() const;
+  std::vector<Qubit> controls() const;
+
+  /// 2^T x 2^T unitary applied to targets when all controls are 1.
+  Matrix target_matrix() const;
+
+  /// Full 2^(T+C) x 2^(T+C) matrix (controls = high bits).
+  Matrix full_matrix() const;
+
+  /// Insularity of `qubits()[pos]` per Definition 2:
+  /// * all qubits of a fully diagonal gate are insular (covers
+  ///   footnote 2's "any qubit can be the control": cz, cp, ccz, rzz,
+  ///   and the diagonal 1-qubit gates);
+  /// * the qubit of an uncontrolled single-qubit anti-diagonal gate
+  ///   (x, y) is insular;
+  /// * control qubits of controlled-U gates are insular;
+  /// * everything else is non-insular.
+  bool qubit_insular(int pos) const;
+
+  /// The subset of qubits() that is non-insular (order preserved).
+  std::vector<Qubit> non_insular_qubits() const;
+
+  /// True iff full_matrix() is diagonal (decided per kind, not
+  /// numerically, so it is exact for parameterized gates).
+  bool fully_diagonal() const;
+
+  /// True iff this is an uncontrolled 1-qubit gate whose matrix is
+  /// anti-diagonal (x, y).
+  bool antidiagonal_1q() const;
+
+  /// True iff the gate touches qubit q.
+  bool acts_on(Qubit q) const;
+
+  /// "h q3", "cp(0.7853982) q0, q5", ... for debugging and QASM output.
+  std::string to_string() const;
+
+ private:
+  Gate(GateKind kind, std::vector<Qubit> qubits, int num_controls,
+       std::vector<double> params);
+
+  GateKind kind_;
+  std::vector<Qubit> qubits_;  // targets..., controls...
+  int num_controls_ = 0;
+  std::vector<double> params_;
+  std::shared_ptr<const Matrix> custom_;  // target matrix for Unitary
+};
+
+}  // namespace atlas

@@ -1,0 +1,85 @@
+#include "ir/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace atlas {
+
+Matrix Matrix::square(int n, std::initializer_list<Amp> values) {
+  ATLAS_CHECK(static_cast<int>(values.size()) == n * n,
+              "expected " << n * n << " entries, got " << values.size());
+  Matrix m(n, n);
+  std::copy(values.begin(), values.end(), m.data_.begin());
+  return m;
+}
+
+Matrix Matrix::identity(int n) {
+  Matrix m(n, n);
+  for (int i = 0; i < n; ++i) m(i, i) = Amp(1.0, 0.0);
+  return m;
+}
+
+Matrix Matrix::operator*(const Matrix& rhs) const {
+  ATLAS_CHECK(cols_ == rhs.rows_, "matmul shape mismatch: " << cols_ << " vs "
+                                                            << rhs.rows_);
+  Matrix out(rows_, rhs.cols_);
+  for (int i = 0; i < rows_; ++i) {
+    for (int k = 0; k < cols_; ++k) {
+      const Amp a = (*this)(i, k);
+      if (a == Amp{}) continue;
+      for (int j = 0; j < rhs.cols_; ++j) out(i, j) += a * rhs(k, j);
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::kron(const Matrix& rhs) const {
+  Matrix out(rows_ * rhs.rows_, cols_ * rhs.cols_);
+  for (int i = 0; i < rows_; ++i)
+    for (int j = 0; j < cols_; ++j)
+      for (int r = 0; r < rhs.rows_; ++r)
+        for (int c = 0; c < rhs.cols_; ++c)
+          out(i * rhs.rows_ + r, j * rhs.cols_ + c) = (*this)(i, j) * rhs(r, c);
+  return out;
+}
+
+Matrix Matrix::dagger() const {
+  Matrix out(cols_, rows_);
+  for (int i = 0; i < rows_; ++i)
+    for (int j = 0; j < cols_; ++j) out(j, i) = std::conj((*this)(i, j));
+  return out;
+}
+
+bool Matrix::is_diagonal(double tol) const {
+  if (rows_ != cols_) return false;
+  for (int i = 0; i < rows_; ++i)
+    for (int j = 0; j < cols_; ++j)
+      if (i != j && std::abs((*this)(i, j)) > tol) return false;
+  return true;
+}
+
+bool Matrix::is_antidiagonal(double tol) const {
+  if (rows_ != cols_) return false;
+  for (int i = 0; i < rows_; ++i)
+    for (int j = 0; j < cols_; ++j)
+      if (j != rows_ - 1 - i && std::abs((*this)(i, j)) > tol) return false;
+  return true;
+}
+
+bool Matrix::is_unitary(double tol) const {
+  if (rows_ != cols_) return false;
+  const Matrix p = (*this) * dagger();
+  return max_abs_diff(p, identity(rows_)) < tol;
+}
+
+double Matrix::max_abs_diff(const Matrix& a, const Matrix& b) {
+  ATLAS_CHECK(a.rows() == b.rows() && a.cols() == b.cols(),
+              "shape mismatch in max_abs_diff");
+  double m = 0.0;
+  for (int i = 0; i < a.rows(); ++i)
+    for (int j = 0; j < a.cols(); ++j)
+      m = std::max(m, std::abs(a(i, j) - b(i, j)));
+  return m;
+}
+
+}  // namespace atlas

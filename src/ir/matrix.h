@@ -1,0 +1,66 @@
+#pragma once
+
+/// \file matrix.h
+/// Dense complex matrices for gate unitaries and kernel fusion. Gate
+/// matrices are tiny (2^k x 2^k for k-qubit gates, k <= ~6 after
+/// fusion), so a simple row-major dense representation suffices.
+
+#include <initializer_list>
+#include <vector>
+
+#include "common/error.h"
+#include "common/types.h"
+
+namespace atlas {
+
+class Matrix {
+ public:
+  Matrix() = default;
+
+  /// Zero matrix of the given shape.
+  Matrix(int rows, int cols) : rows_(rows), cols_(cols), data_(static_cast<std::size_t>(rows) * cols) {}
+
+  /// Square matrix from a row-major initializer list.
+  static Matrix square(int n, std::initializer_list<Amp> values);
+
+  /// Identity of size n x n.
+  static Matrix identity(int n);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+
+  Amp& operator()(int r, int c) { return data_[static_cast<std::size_t>(r) * cols_ + c]; }
+  const Amp& operator()(int r, int c) const {
+    return data_[static_cast<std::size_t>(r) * cols_ + c];
+  }
+
+  const std::vector<Amp>& data() const { return data_; }
+
+  Matrix operator*(const Matrix& rhs) const;
+
+  /// Kronecker product: (*this) ⊗ rhs, with `rhs` occupying the
+  /// low-order index bits.
+  Matrix kron(const Matrix& rhs) const;
+
+  /// Conjugate transpose.
+  Matrix dagger() const;
+
+  /// True iff every off-diagonal entry is (numerically) zero.
+  bool is_diagonal(double tol = kAmpTolerance) const;
+
+  /// True iff nonzero entries appear only on the anti-diagonal.
+  bool is_antidiagonal(double tol = kAmpTolerance) const;
+
+  /// True iff U * U^dagger == I within `tol`.
+  bool is_unitary(double tol = 1e-8) const;
+
+  /// Max |a_ij - b_ij| over all entries.
+  static double max_abs_diff(const Matrix& a, const Matrix& b);
+
+ private:
+  int rows_ = 0;
+  int cols_ = 0;
+  std::vector<Amp> data_;
+};
+
+}  // namespace atlas

@@ -1,0 +1,91 @@
+#include "ir/transform.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace atlas {
+
+Gate inverse_gate(const Gate& g) {
+  switch (g.kind()) {
+    // Self-inverse gates.
+    case GateKind::H: case GateKind::X: case GateKind::Y: case GateKind::Z:
+    case GateKind::CX: case GateKind::CY: case GateKind::CZ:
+    case GateKind::CH: case GateKind::SWAP: case GateKind::CCX:
+    case GateKind::CCZ: case GateKind::CSWAP:
+      return g;
+    case GateKind::S:
+      return Gate::sdg(g.qubits()[0]);
+    case GateKind::Sdg:
+      return Gate::s(g.qubits()[0]);
+    case GateKind::T:
+      return Gate::tdg(g.qubits()[0]);
+    case GateKind::Tdg:
+      return Gate::t(g.qubits()[0]);
+    case GateKind::SX:
+      // SX^-1 = SX^dagger, expressible as a custom unitary.
+      return Gate::unitary({g.qubits()[0]}, g.target_matrix().dagger());
+    case GateKind::RX:
+      return Gate::rx(g.qubits()[0], -g.params()[0]);
+    case GateKind::RY:
+      return Gate::ry(g.qubits()[0], -g.params()[0]);
+    case GateKind::RZ:
+      return Gate::rz(g.qubits()[0], -g.params()[0]);
+    case GateKind::P:
+      return Gate::p(g.qubits()[0], -g.params()[0]);
+    case GateKind::U2:
+    case GateKind::U3:
+      return Gate::unitary({g.qubits()[0]}, g.target_matrix().dagger());
+    case GateKind::CP:
+      return Gate::cp(g.qubits()[0], g.qubits()[1], -g.params()[0]);
+    case GateKind::CRX:
+      return Gate::crx(g.control(0), g.target(0), -g.params()[0]);
+    case GateKind::CRY:
+      return Gate::cry(g.control(0), g.target(0), -g.params()[0]);
+    case GateKind::CRZ:
+      return Gate::crz(g.control(0), g.target(0), -g.params()[0]);
+    case GateKind::RZZ:
+      return Gate::rzz(g.qubits()[0], g.qubits()[1], -g.params()[0]);
+    case GateKind::RXX:
+      return Gate::rxx(g.qubits()[0], g.qubits()[1], -g.params()[0]);
+    case GateKind::Unitary:
+      return Gate::controlled_unitary(g.controls(), g.targets(),
+                                      g.target_matrix().dagger());
+  }
+  throw Error("unhandled gate kind in inverse_gate");
+}
+
+Circuit inverse(const Circuit& circuit) {
+  Circuit inv(circuit.num_qubits(), circuit.name() + "_inv");
+  for (int i = circuit.num_gates() - 1; i >= 0; --i)
+    inv.add(inverse_gate(circuit.gate(i)));
+  return inv;
+}
+
+int depth(const Circuit& circuit) {
+  std::vector<int> level(circuit.num_qubits(), 0);
+  int d = 0;
+  for (const Gate& g : circuit.gates()) {
+    int l = 0;
+    for (Qubit q : g.qubits()) l = std::max(l, level[q]);
+    ++l;
+    for (Qubit q : g.qubits()) level[q] = l;
+    d = std::max(d, l);
+  }
+  return d;
+}
+
+CircuitStats statistics(const Circuit& circuit) {
+  CircuitStats s;
+  s.num_qubits = circuit.num_qubits();
+  s.num_gates = circuit.num_gates();
+  s.depth = depth(circuit);
+  s.multi_qubit_gates = circuit.num_multi_qubit_gates();
+  for (const Gate& g : circuit.gates()) {
+    ++s.gate_histogram[gate_kind_name(g.kind())];
+    if (g.non_insular_qubits().empty()) ++s.fully_insular_gates;
+  }
+  return s;
+}
+
+}  // namespace atlas

@@ -1,0 +1,37 @@
+#pragma once
+
+/// \file transform.h
+/// Circuit-level utilities: inversion, depth, and summary statistics.
+/// These are standard toolbox operations a downstream user expects from
+/// a circuit IR (and tests use inverse() to build identity round trips
+/// on every family).
+
+#include <map>
+#include <string>
+
+#include "ir/circuit.h"
+
+namespace atlas {
+
+/// The inverse circuit: gates reversed, each replaced by its dagger.
+/// inverse(c) applied after c maps any state back to itself.
+Circuit inverse(const Circuit& circuit);
+
+/// The dagger of a single gate.
+Gate inverse_gate(const Gate& gate);
+
+/// Circuit depth: longest dependency chain (layers of parallel gates).
+int depth(const Circuit& circuit);
+
+struct CircuitStats {
+  int num_qubits = 0;
+  int num_gates = 0;
+  int depth = 0;
+  int multi_qubit_gates = 0;
+  int fully_insular_gates = 0;
+  std::map<std::string, int> gate_histogram;
+};
+
+CircuitStats statistics(const Circuit& circuit);
+
+}  // namespace atlas

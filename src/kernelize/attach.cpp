@@ -1,0 +1,65 @@
+#include "kernelize/attach.h"
+
+#include <algorithm>
+
+#include "common/bits.h"
+#include "common/error.h"
+
+namespace atlas::kernelize {
+
+std::vector<Item> attach_single_qubit_gates(const Circuit& circuit) {
+  const int n = circuit.num_qubits();
+  ATLAS_CHECK(n < 64, "kernelization supports < 64 qubits");
+  std::vector<Item> items;
+  // Index of the item last touching each qubit, and 1-qubit gates
+  // waiting for the next multi-qubit gate on their qubit.
+  std::vector<int> last_item(n, -1);
+  std::vector<std::vector<int>> pending(n);
+
+  for (int i = 0; i < circuit.num_gates(); ++i) {
+    const Gate& g = circuit.gate(i);
+    if (g.num_qubits() == 1) {
+      const Qubit q = g.qubits()[0];
+      if (pending[q].empty() && last_item[q] >= 0) {
+        // Adjacent to the previous item on q: attach backwards.
+        items[last_item[q]].gate_indices.push_back(i);
+      } else {
+        // Wait for the next multi-qubit gate on q.
+        pending[q].push_back(i);
+      }
+      continue;
+    }
+    Item item;
+    for (Qubit q : g.qubits()) {
+      item.qubit_mask |= bit(q);
+      for (int p : pending[q]) item.gate_indices.push_back(p);
+      pending[q].clear();
+    }
+    item.gate_indices.push_back(i);
+    std::sort(item.gate_indices.begin(), item.gate_indices.end());
+    const int idx = static_cast<int>(items.size());
+    for (Qubit q : g.qubits()) last_item[q] = idx;
+    items.push_back(std::move(item));
+  }
+
+  // Leftovers: trailing 1-qubit gates with no following multi-qubit
+  // gate. Attach to the last item on the qubit, else form a standalone
+  // single-qubit chain item.
+  for (Qubit q = 0; q < n; ++q) {
+    if (pending[q].empty()) continue;
+    if (last_item[q] >= 0) {
+      auto& host = items[last_item[q]].gate_indices;
+      host.insert(host.end(), pending[q].begin(), pending[q].end());
+      std::sort(host.begin(), host.end());
+    } else {
+      Item item;
+      item.qubit_mask = bit(q);
+      item.gate_indices = pending[q];
+      items.push_back(std::move(item));
+    }
+    pending[q].clear();
+  }
+  return items;
+}
+
+}  // namespace atlas::kernelize

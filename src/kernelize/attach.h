@@ -1,0 +1,31 @@
+#pragma once
+
+/// \file attach.h
+/// Single-qubit-gate attachment (Section VI-B, optimization d):
+/// independent single-qubit gates explode the kernelization DP state
+/// count, so each one is attached to an adjacent multi-qubit gate and
+/// the DP operates on the resulting *items*. Attachment is sound
+/// because the attached gate is adjacent to its host on the shared
+/// qubit (no gate on that qubit in between), so grouping them into one
+/// kernel preserves topological equivalence.
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/circuit.h"
+
+namespace atlas::kernelize {
+
+/// A DP item: one multi-qubit gate plus its attached single-qubit
+/// gates (or a chain of single-qubit gates on a qubit that never meets
+/// a multi-qubit gate).
+struct Item {
+  std::uint64_t qubit_mask = 0;
+  std::vector<int> gate_indices;  // ascending original order
+};
+
+/// Groups the circuit's gates into items. Every gate appears in
+/// exactly one item; items are ordered by their anchor gate's position.
+std::vector<Item> attach_single_qubit_gates(const Circuit& circuit);
+
+}  // namespace atlas::kernelize

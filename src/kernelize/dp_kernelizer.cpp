@@ -1,0 +1,432 @@
+#include "kernelize/dp_kernelizer.h"
+
+#include <algorithm>
+#include <limits>
+#include <memory>
+#include <unordered_map>
+
+#include "common/bits.h"
+#include "common/error.h"
+#include "kernelize/attach.h"
+#include "sim/fusion.h"
+
+namespace atlas::kernelize {
+namespace {
+
+using Mask = std::uint64_t;
+
+/// An open kernel in a DP state.
+struct OpenKernel {
+  Mask qubits = 0;
+  Mask ext = 0;        // meaningful when !ext_all
+  bool ext_all = true; // extensible set is "all qubits"
+  KernelType type = KernelType::Fusion;
+  double shm_cost = 0; // accumulated per-gate cost (SharedMemory only)
+  std::vector<int> items;
+};
+
+/// Closed kernels are kept in an immutable shared chain so states can
+/// branch cheaply.
+struct ClosedNode {
+  std::shared_ptr<const ClosedNode> prev;
+  KernelType type;
+  std::vector<int> items;
+  double cost;
+};
+
+struct DpState {
+  std::vector<OpenKernel> open;
+  double closed_cost = 0;
+  std::shared_ptr<const ClosedNode> closed;
+};
+
+/// Structural key for dominance dedup: two states with the same open-
+/// kernel structure differ only in committed cost, so the cheaper one
+/// dominates.
+struct StateKey {
+  std::vector<std::tuple<Mask, Mask, bool, int>> open;
+  bool operator==(const StateKey& o) const { return open == o.open; }
+};
+
+struct StateKeyHash {
+  std::size_t operator()(const StateKey& k) const {
+    std::size_t h = 1469598103934665603ull;
+    for (const auto& [q, e, all, t] : k.open) {
+      h ^= q + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+      h ^= e + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+      h ^= (static_cast<std::size_t>(all) << 1) ^ t;
+      h *= 1099511628211ull;
+    }
+    return h;
+  }
+};
+
+StateKey key_of(const DpState& s) {
+  StateKey k;
+  for (const auto& ok : s.open)
+    k.open.emplace_back(ok.qubits, ok.ext_all ? ~Mask{0} : ok.ext, ok.ext_all,
+                        static_cast<int>(ok.type));
+  std::sort(k.open.begin(), k.open.end());
+  return k;
+}
+
+class DpKernelizer {
+ public:
+  DpKernelizer(const Circuit& circuit, const CostModel& model,
+               const DpOptions& options)
+      : circuit_(circuit), model_(model), options_(options) {}
+
+  Kernelization run() {
+    items_ = attach_single_qubit_gates(circuit_);
+    if (items_.empty()) return {};
+
+    std::unordered_map<StateKey, DpState, StateKeyHash> frontier;
+    frontier.emplace(StateKey{}, DpState{});
+
+    for (const Item& item : items_) {
+      std::unordered_map<StateKey, DpState, StateKeyHash> next;
+      next.reserve(frontier.size() * 4);
+      auto offer = [&](DpState&& s) {
+        StateKey k = key_of(s);
+        auto it = next.find(k);
+        if (it == next.end()) {
+          next.emplace(std::move(k), std::move(s));
+        } else if (total_open_cost(s) + s.closed_cost <
+                   total_open_cost(it->second) + it->second.closed_cost) {
+          it->second = std::move(s);
+        }
+      };
+      for (auto& [key, state] : frontier) {
+        expand(state, item, offer);
+      }
+      ATLAS_CHECK(!next.empty(), "kernelizer produced no successor states");
+      frontier = std::move(next);
+      prune(frontier);
+    }
+
+    // Finalize: the greedy packing estimate can be optimistic (a merge
+    // may be invalidated by cross-kernel dependencies), so rank states
+    // by estimate but select by *actual* reconstructed cost over the
+    // best few candidates.
+    std::vector<std::pair<double, const DpState*>> ranked;
+    for (auto& [key, state] : frontier)
+      ranked.emplace_back(state.closed_cost + pack(state.open).first, &state);
+    std::sort(ranked.begin(), ranked.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    ATLAS_CHECK(!ranked.empty(), "kernelizer found no solution");
+
+    Kernelization best;
+    best.total_cost = std::numeric_limits<double>::infinity();
+    const std::size_t candidates = std::min<std::size_t>(ranked.size(), 16);
+    for (std::size_t i = 0; i < candidates; ++i) {
+      const DpState& state = *ranked[i].second;
+      Kernelization attempt;
+      try {
+        attempt = reconstruct(state, pack(state.open).second);
+      } catch (const Error&) {
+        // Greedy packing merged kernels into a dependency cycle; the
+        // unmerged open kernels are always a valid fallback.
+        attempt = reconstruct(state, state.open);
+      }
+      if (attempt.total_cost < best.total_cost) best = std::move(attempt);
+    }
+    return best;
+  }
+
+ private:
+  bool capacity_ok(Mask qubits, KernelType type) const {
+    if (type == KernelType::Fusion)
+      return popcount(qubits) <= model_.max_fusion_qubits;
+    // Shared-memory kernels always include the shard's 3 least
+    // significant *physical* bits; the kernel's logical qubits may map
+    // anywhere, so budget for them conservatively.
+    return popcount(qubits) + 3 <= model_.max_shm_qubits;
+  }
+
+  double item_shm_cost(const Item& item) const {
+    double c = 0;
+    for (int gi : item.gate_indices)
+      c += model_.shm_gate_cost(circuit_.gate(gi));
+    return c;
+  }
+
+  double close_cost(const OpenKernel& k) const {
+    if (k.type == KernelType::Fusion)
+      return model_.fusion_kernel_cost(popcount(k.qubits));
+    return model_.shm_alpha + k.shm_cost;
+  }
+
+  /// Applies Algorithm 4 to all kernels other than `receiver` after
+  /// the item with mask g was added; closes kernels whose extensible
+  /// set empties.
+  void update_others(DpState& s, std::size_t receiver, Mask g) const {
+    std::vector<OpenKernel> kept;
+    kept.reserve(s.open.size());
+    for (std::size_t j = 0; j < s.open.size(); ++j) {
+      OpenKernel& k = s.open[j];
+      if (j == receiver) {
+        kept.push_back(std::move(k));
+        continue;
+      }
+      if (k.ext_all) {
+        if ((g & k.qubits) != 0) {
+          k.ext_all = false;
+          k.ext = k.qubits & ~g;  // monotonicity freezes the qubit set
+        }
+      } else {
+        k.ext &= ~g;
+      }
+      if (!k.ext_all && k.ext == 0) {
+        // No gate can ever join: close and commit the cost.
+        s.closed_cost += close_cost(k);
+        auto node = std::make_shared<ClosedNode>();
+        node->prev = s.closed;
+        node->type = k.type;
+        node->items = std::move(k.items);
+        node->cost = close_cost(k);
+        s.closed = std::move(node);
+      } else {
+        kept.push_back(std::move(k));
+      }
+    }
+    s.open = std::move(kept);
+  }
+
+  template <typename Offer>
+  void expand(const DpState& state, const Item& item, Offer&& offer) const {
+    const Mask g = item.qubit_mask;
+    const int item_index = static_cast<int>(&item - items_.data());
+
+    // Which kernels can accept this item under Constraint 1?
+    std::vector<std::size_t> eligible;
+    for (std::size_t j = 0; j < state.open.size(); ++j) {
+      const OpenKernel& k = state.open[j];
+      const bool ext_ok = k.ext_all || (g & ~k.ext) == 0;
+      if (!ext_ok) continue;
+      if (!capacity_ok(k.qubits | g, k.type)) continue;
+      eligible.push_back(j);
+    }
+
+    // Subsumption fast path (Appendix B-b): if the item's qubits are
+    // contained in a kernel (or contain it while extensible), commit
+    // to that single transition.
+    for (std::size_t j : eligible) {
+      const OpenKernel& k = state.open[j];
+      if ((g & ~k.qubits) == 0 || (k.qubits & ~g) == 0) {
+        DpState s = state;
+        OpenKernel& recv = s.open[j];
+        recv.qubits |= g;
+        recv.items.push_back(item_index);
+        if (recv.type == KernelType::SharedMemory)
+          recv.shm_cost += item_shm_cost(item);
+        update_others(s, j, g);
+        offer(std::move(s));
+        return;
+      }
+    }
+
+    // General transitions: join each eligible kernel...
+    for (std::size_t j : eligible) {
+      DpState s = state;
+      OpenKernel& recv = s.open[j];
+      recv.qubits |= g;
+      recv.items.push_back(item_index);
+      if (recv.type == KernelType::SharedMemory)
+        recv.shm_cost += item_shm_cost(item);
+      update_others(s, j, g);
+      offer(std::move(s));
+    }
+    // ...or start a new kernel of either type (Section VI-B).
+    for (KernelType type : {KernelType::Fusion, KernelType::SharedMemory}) {
+      if (!capacity_ok(g, type)) continue;
+      DpState s = state;
+      OpenKernel k;
+      k.qubits = g;
+      k.ext_all = true;
+      k.type = type;
+      k.items = {item_index};
+      if (type == KernelType::SharedMemory) k.shm_cost = item_shm_cost(item);
+      s.open.push_back(std::move(k));
+      update_others(s, s.open.size() - 1, g);
+      offer(std::move(s));
+    }
+  }
+
+  double total_open_cost(const DpState& s) const {
+    double c = 0;
+    for (const auto& k : s.open) c += close_cost(k);
+    return c;
+  }
+
+  /// Greedy packing of the remaining open kernels (Appendix B-e):
+  /// disjoint fusion kernels are merged toward the most cost-efficient
+  /// width, disjoint shared-memory kernels toward the capacity limit.
+  /// Returns (cost, merged kernels).
+  std::pair<double, std::vector<OpenKernel>> pack(
+      std::vector<OpenKernel> open) const {
+    const int fusion_target = model_.most_efficient_fusion_size();
+    int merges = 0;
+    for (int pass = 0; pass < 2; ++pass) {
+      bool merged_any = true;
+      while (merged_any) {
+        merged_any = false;
+        for (std::size_t a = 0; a < open.size() && !merged_any; ++a) {
+          for (std::size_t b = a + 1; b < open.size() && !merged_any; ++b) {
+            if (open[a].type != open[b].type) continue;
+            if ((open[a].qubits & open[b].qubits) != 0) continue;
+            const Mask q = open[a].qubits | open[b].qubits;
+            if (!capacity_ok(q, open[a].type)) continue;
+            if (open[a].type == KernelType::Fusion) {
+              // Only merge when it does not exceed the efficient width
+              // on the first pass; the second pass merges the rest.
+              if (pass == 0 && popcount(q) > fusion_target) continue;
+              // Merging must actually pay.
+              const double before = close_cost(open[a]) + close_cost(open[b]);
+              OpenKernel m = open[a];
+              m.qubits = q;
+              if (close_cost(m) >= before) continue;
+            }
+            // Perform the merge (gate order restored by the final
+            // topological sort).
+            open[a].qubits = q;
+            open[a].shm_cost += open[b].shm_cost;
+            open[a].items.insert(open[a].items.end(), open[b].items.begin(),
+                                 open[b].items.end());
+            open.erase(open.begin() + b);
+            merged_any = true;
+            ++merges;
+          }
+        }
+      }
+    }
+    double cost = 0;
+    for (const auto& k : open) cost += close_cost(k);
+    // Merges can be invalidated by cross-kernel dependencies at
+    // reconstruction, so an estimate that relies on them is slightly
+    // optimistic; a tiny penalty breaks pruning ties in favor of
+    // states that do not need merging.
+    cost += 1e-7 * merges;
+    return {cost, std::move(open)};
+  }
+
+  /// Builds the final kernel sequence: closed chain + packed leftovers,
+  /// topologically ordered by gate dependencies.
+  Kernelization reconstruct(const DpState& state,
+                            const std::vector<OpenKernel>& packed) const {
+    struct ProtoKernel {
+      KernelType type;
+      std::vector<int> gates;  // original gate indices
+      double cost;
+    };
+    std::vector<ProtoKernel> protos;
+    for (auto node = state.closed; node; node = node->prev) {
+      ProtoKernel p;
+      p.type = node->type;
+      for (int it : node->items)
+        p.gates.insert(p.gates.end(), items_[it].gate_indices.begin(),
+                       items_[it].gate_indices.end());
+      p.cost = node->cost;
+      protos.push_back(std::move(p));
+    }
+    for (const auto& k : packed) {
+      ProtoKernel p;
+      p.type = k.type;
+      for (int it : k.items)
+        p.gates.insert(p.gates.end(), items_[it].gate_indices.begin(),
+                       items_[it].gate_indices.end());
+      p.cost = close_cost(k);
+      protos.push_back(std::move(p));
+    }
+    for (auto& p : protos) std::sort(p.gates.begin(), p.gates.end());
+
+    // Topological order over kernels: edge a->b when some gate of a
+    // precedes a dependent gate of b. Constraint 1 guarantees this
+    // relation is acyclic (Theorem 2).
+    const int nk = static_cast<int>(protos.size());
+    std::vector<int> kernel_of_gate(circuit_.num_gates(), -1);
+    for (int k = 0; k < nk; ++k)
+      for (int gi : protos[k].gates) kernel_of_gate[gi] = k;
+    std::vector<std::vector<int>> succ(nk);
+    std::vector<int> indeg(nk, 0);
+    for (const auto& [a, b] : circuit_.dependency_edges()) {
+      const int ka = kernel_of_gate[a], kb = kernel_of_gate[b];
+      if (ka != kb) {
+        succ[ka].push_back(kb);
+        ++indeg[kb];
+      }
+    }
+    std::vector<int> order;
+    std::vector<int> ready;
+    for (int k = 0; k < nk; ++k)
+      if (indeg[k] == 0) ready.push_back(k);
+    while (!ready.empty()) {
+      // Deterministic order: smallest kernel id (creation order) first.
+      std::sort(ready.begin(), ready.end(), std::greater<int>());
+      const int k = ready.back();
+      ready.pop_back();
+      order.push_back(k);
+      for (int s : succ[k])
+        if (--indeg[s] == 0) ready.push_back(s);
+    }
+    ATLAS_CHECK(static_cast<int>(order.size()) == nk,
+                "kernel dependency graph has a cycle (Constraint 1 violated)");
+
+    Kernelization out;
+    for (int k : order) {
+      Kernel kernel;
+      kernel.type = protos[k].type;
+      kernel.gate_indices = protos[k].gates;
+      std::vector<Gate> gates;
+      for (int gi : kernel.gate_indices) gates.push_back(circuit_.gate(gi));
+      kernel.qubits = qubit_union(gates);
+      kernel.cost = kernel_cost(circuit_, kernel, model_);
+      out.total_cost += kernel.cost;
+      out.kernels.push_back(std::move(kernel));
+    }
+    return out;
+  }
+
+  void prune(
+      std::unordered_map<StateKey, DpState, StateKeyHash>& frontier) const {
+    const int t = options_.prune_threshold;
+    if (static_cast<int>(frontier.size()) < t) return;
+    std::vector<std::pair<double, const StateKey*>> scored;
+    scored.reserve(frontier.size());
+    for (auto& [key, state] : frontier) {
+      auto open_copy = state.open;
+      scored.emplace_back(state.closed_cost + pack(std::move(open_copy)).first,
+                          &key);
+    }
+    const std::size_t keep = std::max<std::size_t>(1, t / 2);
+    std::nth_element(scored.begin(), scored.begin() + keep - 1, scored.end(),
+                     [](const auto& a, const auto& b) {
+                       return a.first < b.first;
+                     });
+    std::unordered_map<StateKey, DpState, StateKeyHash> kept;
+    kept.reserve(keep);
+    for (std::size_t i = 0; i < keep; ++i) {
+      auto it = frontier.find(*scored[i].second);
+      kept.insert(frontier.extract(it));
+    }
+    frontier = std::move(kept);
+  }
+
+  const Circuit& circuit_;
+  const CostModel& model_;
+  const DpOptions& options_;
+  std::vector<Item> items_;
+};
+
+}  // namespace
+
+Kernelization kernelize_dp(const Circuit& circuit, const CostModel& model,
+                           const DpOptions& options) {
+  for (const Gate& g : circuit.gates()) {
+    ATLAS_CHECK(g.num_qubits() <= model.max_fusion_qubits ||
+                    g.num_qubits() + 3 <= model.max_shm_qubits,
+                "gate " << g.to_string() << " exceeds every kernel capacity");
+  }
+  return DpKernelizer(circuit, model, options).run();
+}
+
+}  // namespace atlas::kernelize

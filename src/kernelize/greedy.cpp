@@ -1,0 +1,44 @@
+#include "kernelize/greedy.h"
+
+#include "common/bits.h"
+#include "common/error.h"
+#include "sim/fusion.h"
+
+namespace atlas::kernelize {
+
+Kernelization kernelize_greedy(const Circuit& circuit, const CostModel& model,
+                               int max_qubits) {
+  ATLAS_CHECK(max_qubits >= 1 && max_qubits <= model.max_fusion_qubits,
+              "greedy width out of range");
+  using Mask = std::uint64_t;
+  Kernelization out;
+  Mask current = 0;
+  std::vector<int> gates;
+  auto flush = [&] {
+    if (gates.empty()) return;
+    Kernel k;
+    k.type = KernelType::Fusion;
+    k.gate_indices = gates;
+    std::vector<Gate> gs;
+    for (int gi : k.gate_indices) gs.push_back(circuit.gate(gi));
+    k.qubits = qubit_union(gs);
+    k.cost = kernel_cost(circuit, k, model);
+    out.total_cost += k.cost;
+    out.kernels.push_back(std::move(k));
+    gates.clear();
+    current = 0;
+  };
+  for (int i = 0; i < circuit.num_gates(); ++i) {
+    Mask m = 0;
+    for (Qubit q : circuit.gate(i).qubits()) m |= bit(q);
+    ATLAS_CHECK(popcount(m) <= max_qubits,
+                "gate wider than the greedy fusion limit");
+    if (popcount(current | m) > max_qubits) flush();
+    current |= m;
+    gates.push_back(i);
+  }
+  flush();
+  return out;
+}
+
+}  // namespace atlas::kernelize

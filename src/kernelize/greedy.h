@@ -1,0 +1,18 @@
+#pragma once
+
+/// \file greedy.h
+/// The greedy fusion baseline of Section VII-E (Figure 10): scan the
+/// sequence packing gates into fusion kernels of up to the most
+/// cost-efficient width (5 qubits under the reference cost model),
+/// closing a kernel whenever the next gate does not fit.
+
+#include "ir/circuit.h"
+#include "kernelize/cost_model.h"
+#include "kernelize/kernel.h"
+
+namespace atlas::kernelize {
+
+Kernelization kernelize_greedy(const Circuit& circuit, const CostModel& model,
+                               int max_qubits = 5);
+
+}  // namespace atlas::kernelize

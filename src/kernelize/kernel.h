@@ -1,0 +1,45 @@
+#pragma once
+
+/// \file kernel.h
+/// Kernelization output types (Section V): a kernel is a group of
+/// gates executed by one GPU kernel launch, either as a fused matrix
+/// or as a shared-memory batch pass.
+
+#include <vector>
+
+#include "common/types.h"
+#include "ir/circuit.h"
+#include "kernelize/cost_model.h"
+
+namespace atlas::kernelize {
+
+enum class KernelType { Fusion, SharedMemory };
+
+struct Kernel {
+  KernelType type = KernelType::Fusion;
+  /// Gate indices into the kernelized circuit, in execution order.
+  std::vector<int> gate_indices;
+  /// Union of the gates' qubits, ascending.
+  std::vector<Qubit> qubits;
+  double cost = 0.0;
+};
+
+struct Kernelization {
+  std::vector<Kernel> kernels;
+  double total_cost = 0.0;
+};
+
+/// Computes a kernel's cost under `model` from its type, qubit count,
+/// and member gates.
+double kernel_cost(const Circuit& circuit, const Kernel& kernel,
+                   const CostModel& model);
+
+/// Throws atlas::Error unless `k` is a valid kernelization of
+/// `circuit`: every gate appears exactly once, each kernel's qubit
+/// union and size limits hold, and concatenating the kernels yields a
+/// sequence topologically equivalent to the circuit (Theorem 2): any
+/// two gates sharing a qubit keep their relative order.
+void validate_kernelization(const Circuit& circuit, const Kernelization& k,
+                            const CostModel& model);
+
+}  // namespace atlas::kernelize

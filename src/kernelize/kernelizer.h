@@ -1,0 +1,29 @@
+#pragma once
+
+/// \file kernelizer.h
+/// Production kernelization facade: runs KERNELIZE (the DP of
+/// Algorithm 3) and, because ORDEREDKERNELIZE costs O(|C|^2) which is
+/// negligible next to the DP, also the ordered variant, returning the
+/// cheaper result. The DP's single-qubit *attachment* preprocessing
+/// (Appendix B-d) is a heuristic that can very occasionally cede a
+/// fraction of a percent to the ordered DP on shallow circuits; taking
+/// the min restores Theorem 6 unconditionally for the planner.
+
+#include "ir/circuit.h"
+#include "kernelize/cost_model.h"
+#include "kernelize/dp_kernelizer.h"
+#include "kernelize/kernel.h"
+#include "kernelize/ordered.h"
+
+namespace atlas::kernelize {
+
+inline Kernelization kernelize_best(const Circuit& circuit,
+                                    const CostModel& model,
+                                    const DpOptions& options = {}) {
+  Kernelization dp = kernelize_dp(circuit, model, options);
+  Kernelization ordered = kernelize_ordered(circuit, model);
+  return dp.total_cost <= ordered.total_cost ? std::move(dp)
+                                             : std::move(ordered);
+}
+
+}  // namespace atlas::kernelize

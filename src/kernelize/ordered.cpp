@@ -1,0 +1,84 @@
+#include "kernelize/ordered.h"
+
+#include <limits>
+
+#include "common/bits.h"
+#include "common/error.h"
+#include "sim/fusion.h"
+
+namespace atlas::kernelize {
+
+Kernelization kernelize_ordered(const Circuit& circuit,
+                                const CostModel& model) {
+  const int ng = circuit.num_gates();
+  if (ng == 0) return {};
+  using Mask = std::uint64_t;
+  std::vector<Mask> gate_mask(ng, 0);
+  std::vector<double> gate_shm(ng, 0);
+  for (int i = 0; i < ng; ++i) {
+    for (Qubit q : circuit.gate(i).qubits()) gate_mask[i] |= bit(q);
+    gate_shm[i] = model.shm_gate_cost(circuit.gate(i));
+  }
+
+  // DP[i] = best cost of kernelizing the first i gates; split[i] = the
+  // start of the last kernel; type[i] = its execution mode.
+  const double inf = std::numeric_limits<double>::infinity();
+  std::vector<double> dp(ng + 1, inf);
+  std::vector<int> split(ng + 1, -1);
+  std::vector<KernelType> type(ng + 1, KernelType::Fusion);
+  dp[0] = 0;
+  for (int i = 0; i < ng; ++i) {
+    if (dp[i] == inf) continue;
+    Mask qubits = 0;
+    double shm_sum = 0;
+    for (int j = i; j < ng; ++j) {
+      qubits |= gate_mask[j];
+      shm_sum += gate_shm[j];
+      const int width = popcount(qubits);
+      // Budget 3 slots for the shard's physical LSBs (see
+      // dp_kernelizer.cpp's capacity rule).
+      const int shm_width = popcount(qubits) + 3;
+      const bool fusion_ok = width <= model.max_fusion_qubits;
+      const bool shm_ok = shm_width <= model.max_shm_qubits;
+      if (!fusion_ok && !shm_ok) break;  // wider segments only grow
+      double seg_cost = inf;
+      KernelType seg_type = KernelType::Fusion;
+      if (fusion_ok) {
+        seg_cost = model.fusion_kernel_cost(width);
+      }
+      if (shm_ok) {
+        const double c = model.shm_alpha + shm_sum;
+        if (c < seg_cost) {
+          seg_cost = c;
+          seg_type = KernelType::SharedMemory;
+        }
+      }
+      if (dp[i] + seg_cost < dp[j + 1]) {
+        dp[j + 1] = dp[i] + seg_cost;
+        split[j + 1] = i;
+        type[j + 1] = seg_type;
+      }
+    }
+  }
+  ATLAS_CHECK(dp[ng] < inf, "a gate exceeds every kernel capacity");
+
+  // Reconstruct segments right-to-left.
+  std::vector<std::pair<int, int>> segments;  // [start, end)
+  for (int i = ng; i > 0; i = split[i]) segments.emplace_back(split[i], i);
+
+  Kernelization out;
+  for (auto it = segments.rbegin(); it != segments.rend(); ++it) {
+    Kernel k;
+    k.type = type[it->second];
+    for (int g = it->first; g < it->second; ++g) k.gate_indices.push_back(g);
+    std::vector<Gate> gates;
+    for (int gi : k.gate_indices) gates.push_back(circuit.gate(gi));
+    k.qubits = qubit_union(gates);
+    k.cost = kernel_cost(circuit, k, model);
+    out.total_cost += k.cost;
+    out.kernels.push_back(std::move(k));
+  }
+  return out;
+}
+
+}  // namespace atlas::kernelize

@@ -1,0 +1,19 @@
+#pragma once
+
+/// \file ordered.h
+/// ORDEREDKERNELIZE (paper Appendix A, Algorithm 5): the O(|C|^2)
+/// dynamic program over contiguous gate segments. It is optimal among
+/// kernelizations that respect the given sequential order, and serves
+/// as the "Atlas-Naive" comparison line in Figures 13-37. KERNELIZE is
+/// provably at least as good (Theorem 6); tests assert that property.
+
+#include "ir/circuit.h"
+#include "kernelize/cost_model.h"
+#include "kernelize/kernel.h"
+
+namespace atlas::kernelize {
+
+Kernelization kernelize_ordered(const Circuit& circuit,
+                                const CostModel& model);
+
+}  // namespace atlas::kernelize

@@ -1,0 +1,221 @@
+#include "lp/simplex.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/error.h"
+
+namespace atlas::lp {
+namespace {
+
+constexpr double kEps = 1e-9;
+
+/// Dense tableau with explicit basis, pivoted with Bland's rule.
+class Tableau {
+ public:
+  Tableau(int num_rows, int num_cols)
+      : m_(num_rows), n_(num_cols), a_(num_rows, std::vector<double>(num_cols + 1, 0.0)),
+        obj_(num_cols + 1, 0.0), basis_(num_rows, -1) {}
+
+  std::vector<double>& row(int i) { return a_[i]; }
+  double& obj(int j) { return obj_[j]; }
+  double rhs_obj() const { return obj_[n_]; }
+  int basis(int i) const { return basis_[i]; }
+  void set_basis(int i, int var) { basis_[i] = var; }
+
+  /// Eliminates basic columns from the objective row.
+  void price_out() {
+    for (int i = 0; i < m_; ++i) {
+      const int b = basis_[i];
+      const double coeff = obj_[b];
+      if (std::abs(coeff) < kEps) continue;
+      for (int j = 0; j <= n_; ++j) obj_[j] -= coeff * a_[i][j];
+    }
+  }
+
+  /// Runs simplex iterations until optimal or unbounded. Returns false
+  /// on unbounded.
+  bool iterate(int max_col) {
+    for (;;) {
+      // Bland: entering variable = lowest index with negative reduced
+      // cost (we minimize; improving columns have obj coeff < 0).
+      int enter = -1;
+      for (int j = 0; j < max_col; ++j) {
+        if (obj_[j] < -kEps) {
+          enter = j;
+          break;
+        }
+      }
+      if (enter < 0) return true;  // optimal
+      // Ratio test; Bland tie-break on basis variable index.
+      int leave = -1;
+      double best_ratio = std::numeric_limits<double>::infinity();
+      for (int i = 0; i < m_; ++i) {
+        if (a_[i][enter] > kEps) {
+          const double ratio = a_[i][n_] / a_[i][enter];
+          if (ratio < best_ratio - kEps ||
+              (ratio < best_ratio + kEps &&
+               (leave < 0 || basis_[i] < basis_[leave]))) {
+            best_ratio = ratio;
+            leave = i;
+          }
+        }
+      }
+      if (leave < 0) return false;  // unbounded
+      pivot(leave, enter);
+    }
+  }
+
+  void pivot(int r, int c) {
+    const double p = a_[r][c];
+    ATLAS_CHECK(std::abs(p) > kEps, "zero pivot");
+    for (int j = 0; j <= n_; ++j) a_[r][j] /= p;
+    for (int i = 0; i < m_; ++i) {
+      if (i == r) continue;
+      const double f = a_[i][c];
+      if (std::abs(f) < kEps) continue;
+      for (int j = 0; j <= n_; ++j) a_[i][j] -= f * a_[r][j];
+    }
+    const double f = obj_[c];
+    if (std::abs(f) > kEps)
+      for (int j = 0; j <= n_; ++j) obj_[j] -= f * a_[r][j];
+    basis_[r] = c;
+  }
+
+  int rows() const { return m_; }
+  int cols() const { return n_; }
+
+ private:
+  int m_, n_;
+  std::vector<std::vector<double>> a_;  // m x (n+1); last col = rhs
+  std::vector<double> obj_;
+  std::vector<int> basis_;
+};
+
+}  // namespace
+
+int LpProblem::add_var(double obj_coeff, double upper_bound) {
+  objective.push_back(obj_coeff);
+  upper.push_back(upper_bound);
+  return num_vars++;
+}
+
+void LpProblem::add_row(LpRow row) { rows.push_back(std::move(row)); }
+
+LpSolution solve(const LpProblem& problem) {
+  const int n = problem.num_vars;
+  ATLAS_CHECK(static_cast<int>(problem.objective.size()) == n &&
+                  static_cast<int>(problem.upper.size()) == n,
+              "inconsistent LpProblem arrays");
+
+  // Materialize rows including variable upper bounds (x_j <= ub_j),
+  // skipping bounds that can never bind for binary models (ub >= big).
+  struct DenseRow {
+    std::vector<double> a;
+    RowSense sense;
+    double rhs;
+  };
+  std::vector<DenseRow> rows;
+  rows.reserve(problem.rows.size() + n);
+  for (const LpRow& r : problem.rows) {
+    DenseRow d{std::vector<double>(n, 0.0), r.sense, r.rhs};
+    ATLAS_CHECK(r.vars.size() == r.coeffs.size(), "ragged LpRow");
+    for (std::size_t k = 0; k < r.vars.size(); ++k) {
+      ATLAS_CHECK(r.vars[k] >= 0 && r.vars[k] < n,
+                  "row references unknown variable " << r.vars[k]);
+      d.a[r.vars[k]] += r.coeffs[k];
+    }
+    rows.push_back(std::move(d));
+  }
+  for (int j = 0; j < n; ++j) {
+    ATLAS_CHECK(problem.upper[j] >= 0, "negative upper bound");
+    if (problem.upper[j] < 1e17) {
+      DenseRow d{std::vector<double>(n, 0.0), RowSense::LessEq,
+                 problem.upper[j]};
+      d.a[j] = 1.0;
+      rows.push_back(std::move(d));
+    }
+  }
+
+  const int m = static_cast<int>(rows.size());
+  // Column layout: [0,n) structural; [n, n+m) slack/surplus (zero
+  // column for Eq rows); [n+m, n+2m) artificials (created on demand).
+  const int n_total = n + 2 * m;
+  Tableau t(m, n_total);
+  int num_artificials = 0;
+  for (int i = 0; i < m; ++i) {
+    DenseRow& r = rows[i];
+    double sign = 1.0;
+    if (r.rhs < 0) {
+      // Normalize rhs >= 0 by negating the row (flips the sense).
+      sign = -1.0;
+      r.rhs = -r.rhs;
+      r.sense = r.sense == RowSense::LessEq ? RowSense::GreaterEq
+                : r.sense == RowSense::GreaterEq ? RowSense::LessEq
+                                                 : RowSense::Eq;
+    }
+    auto& row = t.row(i);
+    for (int j = 0; j < n; ++j) row[j] = sign * r.a[j];
+    row[n_total] = r.rhs;
+    if (r.sense == RowSense::LessEq) {
+      row[n + i] = 1.0;  // slack enters the basis directly
+      t.set_basis(i, n + i);
+    } else {
+      if (r.sense == RowSense::GreaterEq) row[n + i] = -1.0;  // surplus
+      const int art = n + m + i;
+      row[art] = 1.0;
+      t.set_basis(i, art);
+      ++num_artificials;
+    }
+  }
+
+  // Phase 1: minimize the sum of artificials.
+  if (num_artificials > 0) {
+    for (int i = 0; i < m; ++i)
+      if (t.basis(i) >= n + m) t.obj(t.basis(i)) = 1.0;
+    t.price_out();
+    // Artificials may enter/leave; allow pivoting on all columns.
+    if (!t.iterate(n_total)) {
+      // Phase 1 is bounded below by 0, so this cannot happen.
+      throw Error("phase-1 simplex reported unbounded");
+    }
+    if (t.rhs_obj() < -kEps) {
+      // Objective row stores -(current value); infeasible if sum > 0.
+      return {LpStatus::Infeasible, 0.0, {}};
+    }
+    // Drive any artificial still in the basis (at value 0) out by
+    // pivoting on any nonbasic non-artificial column in its row.
+    for (int i = 0; i < m; ++i) {
+      if (t.basis(i) >= n + m) {
+        bool pivoted = false;
+        for (int j = 0; j < n + m && !pivoted; ++j) {
+          if (std::abs(t.row(i)[j]) > kEps) {
+            t.pivot(i, j);
+            pivoted = true;
+          }
+        }
+        // If the whole row is zero, the row is redundant; the
+        // artificial stays basic at value 0 and is harmless as long as
+        // phase 2 never pivots on artificial columns.
+      }
+    }
+  }
+
+  // Phase 2: original objective over non-artificial columns.
+  for (int j = 0; j <= n_total; ++j) t.obj(j) = 0.0;
+  for (int j = 0; j < n; ++j) t.obj(j) = problem.objective[j];
+  t.price_out();
+  if (!t.iterate(n + m)) return {LpStatus::Unbounded, 0.0, {}};
+
+  LpSolution sol;
+  sol.status = LpStatus::Optimal;
+  sol.x.assign(n, 0.0);
+  for (int i = 0; i < m; ++i) {
+    const int b = t.basis(i);
+    if (b < n) sol.x[b] = t.row(i)[n_total];
+  }
+  sol.objective = -t.rhs_obj();
+  return sol;
+}
+
+}  // namespace atlas::lp

@@ -1,0 +1,55 @@
+#pragma once
+
+/// \file simplex.h
+/// A dense two-phase primal simplex solver for linear programs in the
+/// form
+///     minimize    c^T x
+///     subject to  A_i x {<=, =, >=} b_i      for each row i
+///                 0 <= x_j <= ub_j           for each variable j
+///
+/// This is the LP engine underneath the 0/1 branch-and-bound MIP
+/// solver (ilp/solver.h) that stands in for the paper's off-the-shelf
+/// HiGHS solver. It targets the small/medium models produced by the
+/// circuit-staging formulation; it is a textbook tableau implementation
+/// with Bland's rule for anti-cycling.
+
+#include <vector>
+
+namespace atlas::lp {
+
+enum class RowSense { LessEq, Eq, GreaterEq };
+
+enum class LpStatus { Optimal, Infeasible, Unbounded };
+
+struct LpRow {
+  /// Sparse row: parallel arrays of variable indices and coefficients.
+  std::vector<int> vars;
+  std::vector<double> coeffs;
+  RowSense sense = RowSense::LessEq;
+  double rhs = 0.0;
+};
+
+struct LpProblem {
+  int num_vars = 0;
+  std::vector<double> objective;   // size num_vars; minimized
+  std::vector<double> upper;       // per-variable upper bound (>= 0)
+  std::vector<LpRow> rows;
+
+  /// Creates a variable with the given objective coefficient and upper
+  /// bound; returns its index.
+  int add_var(double obj_coeff, double upper_bound = 1.0);
+
+  void add_row(LpRow row);
+};
+
+struct LpSolution {
+  LpStatus status = LpStatus::Infeasible;
+  double objective = 0.0;
+  std::vector<double> x;
+};
+
+/// Solves the LP. Deterministic; throws atlas::Error on malformed
+/// input (NaNs, bad indices).
+LpSolution solve(const LpProblem& problem);
+
+}  // namespace atlas::lp

@@ -1,0 +1,381 @@
+#include "qasm/qasm.h"
+
+#include <cctype>
+#include <cmath>
+#include <fstream>
+#include <numbers>
+#include <sstream>
+#include <unordered_map>
+
+#include "common/error.h"
+
+namespace atlas::qasm {
+namespace {
+
+/// Recursive-descent evaluator for gate parameter expressions.
+class ExprParser {
+ public:
+  explicit ExprParser(const std::string& text) : text_(text) {}
+
+  double parse() {
+    const double v = expr();
+    skip_ws();
+    ATLAS_CHECK(pos_ == text_.size(), "trailing characters in expression '"
+                                          << text_ << "'");
+    return v;
+  }
+
+ private:
+  double expr() {
+    double v = term();
+    for (;;) {
+      skip_ws();
+      if (consume('+')) {
+        v += term();
+      } else if (consume('-')) {
+        v -= term();
+      } else {
+        return v;
+      }
+    }
+  }
+
+  double term() {
+    double v = unary();
+    for (;;) {
+      skip_ws();
+      if (consume('*')) {
+        v *= unary();
+      } else if (consume('/')) {
+        v /= unary();
+      } else {
+        return v;
+      }
+    }
+  }
+
+  double unary() {
+    skip_ws();
+    if (consume('-')) return -unary();
+    if (consume('+')) return unary();
+    return atom();
+  }
+
+  double atom() {
+    skip_ws();
+    if (consume('(')) {
+      const double v = expr();
+      skip_ws();
+      ATLAS_CHECK(consume(')'), "missing ')' in expression '" << text_ << "'");
+      return v;
+    }
+    if (pos_ < text_.size() && (std::isalpha(text_[pos_]) != 0)) {
+      std::string ident;
+      while (pos_ < text_.size() && std::isalpha(text_[pos_]) != 0)
+        ident += text_[pos_++];
+      ATLAS_CHECK(ident == "pi", "unknown identifier '" << ident
+                                                        << "' in expression");
+      return std::numbers::pi;
+    }
+    std::size_t used = 0;
+    const std::string rest = text_.substr(pos_);
+    double v = 0;
+    try {
+      v = std::stod(rest, &used);
+    } catch (const std::exception&) {
+      throw Error("bad numeric literal in expression '" + text_ + "'");
+    }
+    pos_ += used;
+    return v;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() && std::isspace(text_[pos_]) != 0) ++pos_;
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+double eval_expr(const std::string& text) { return ExprParser(text).parse(); }
+
+struct Statement {
+  std::string name;
+  std::vector<double> params;
+  std::vector<int> qubits;  // in source order
+};
+
+/// Splits "name(p1,p2) q[0], q[3];" into its parts. Returns false for
+/// statements that declare nothing to execute (barrier/measure/creg...).
+class LineParser {
+ public:
+  LineParser(const std::string& line, int line_no, const std::string& qreg)
+      : line_(line), line_no_(line_no), qreg_(qreg) {}
+
+  Statement parse() {
+    Statement st;
+    st.name = ident();
+    skip_ws();
+    if (peek() == '(') st.params = param_list();
+    st.qubits = qubit_list();
+    return st;
+  }
+
+ private:
+  std::string ident() {
+    skip_ws();
+    std::string s;
+    while (pos_ < line_.size() &&
+           (std::isalnum(line_[pos_]) != 0 || line_[pos_] == '_'))
+      s += line_[pos_++];
+    ATLAS_CHECK(!s.empty(), "line " << line_no_ << ": expected identifier");
+    return s;
+  }
+
+  std::vector<double> param_list() {
+    expect('(');
+    std::vector<double> params;
+    std::string current;
+    int depth = 1;
+    while (pos_ < line_.size() && depth > 0) {
+      const char c = line_[pos_++];
+      if (c == '(') {
+        ++depth;
+        current += c;
+      } else if (c == ')') {
+        --depth;
+        if (depth > 0) current += c;
+      } else if (c == ',' && depth == 1) {
+        params.push_back(eval_expr(current));
+        current.clear();
+      } else {
+        current += c;
+      }
+    }
+    ATLAS_CHECK(depth == 0, "line " << line_no_ << ": unbalanced parens");
+    params.push_back(eval_expr(current));
+    return params;
+  }
+
+  std::vector<int> qubit_list() {
+    std::vector<int> qubits;
+    for (;;) {
+      skip_ws();
+      const std::string reg = ident();
+      ATLAS_CHECK(reg == qreg_, "line " << line_no_ << ": unknown register '"
+                                        << reg << "'");
+      expect('[');
+      qubits.push_back(number());
+      expect(']');
+      skip_ws();
+      if (pos_ < line_.size() && line_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      break;
+    }
+    return qubits;
+  }
+
+  int number() {
+    skip_ws();
+    std::string s;
+    while (pos_ < line_.size() && std::isdigit(line_[pos_]) != 0)
+      s += line_[pos_++];
+    ATLAS_CHECK(!s.empty(), "line " << line_no_ << ": expected number");
+    return std::stoi(s);
+  }
+
+  void expect(char c) {
+    skip_ws();
+    ATLAS_CHECK(pos_ < line_.size() && line_[pos_] == c,
+                "line " << line_no_ << ": expected '" << c << "'");
+    ++pos_;
+  }
+
+  char peek() const { return pos_ < line_.size() ? line_[pos_] : '\0'; }
+
+  void skip_ws() {
+    while (pos_ < line_.size() && std::isspace(line_[pos_]) != 0) ++pos_;
+  }
+
+  const std::string& line_;
+  std::size_t pos_ = 0;
+  int line_no_;
+  const std::string& qreg_;
+};
+
+Gate make_gate(const Statement& st, int line_no) {
+  const auto& q = st.qubits;
+  const auto& p = st.params;
+  auto need = [&](std::size_t nq, std::size_t np) {
+    ATLAS_CHECK(q.size() == nq && p.size() == np,
+                "line " << line_no << ": gate '" << st.name
+                        << "' expects " << nq << " qubits / " << np
+                        << " params, got " << q.size() << "/" << p.size());
+  };
+  const std::string& n = st.name;
+  if (n == "h") { need(1, 0); return Gate::h(q[0]); }
+  if (n == "x") { need(1, 0); return Gate::x(q[0]); }
+  if (n == "y") { need(1, 0); return Gate::y(q[0]); }
+  if (n == "z") { need(1, 0); return Gate::z(q[0]); }
+  if (n == "s") { need(1, 0); return Gate::s(q[0]); }
+  if (n == "sdg") { need(1, 0); return Gate::sdg(q[0]); }
+  if (n == "t") { need(1, 0); return Gate::t(q[0]); }
+  if (n == "tdg") { need(1, 0); return Gate::tdg(q[0]); }
+  if (n == "sx") { need(1, 0); return Gate::sx(q[0]); }
+  if (n == "rx") { need(1, 1); return Gate::rx(q[0], p[0]); }
+  if (n == "ry") { need(1, 1); return Gate::ry(q[0], p[0]); }
+  if (n == "rz") { need(1, 1); return Gate::rz(q[0], p[0]); }
+  if (n == "p" || n == "u1") { need(1, 1); return Gate::p(q[0], p[0]); }
+  if (n == "u2") { need(1, 2); return Gate::u2(q[0], p[0], p[1]); }
+  if (n == "u3" || n == "u") { need(1, 3); return Gate::u3(q[0], p[0], p[1], p[2]); }
+  if (n == "cx" || n == "CX") { need(2, 0); return Gate::cx(q[0], q[1]); }
+  if (n == "cy") { need(2, 0); return Gate::cy(q[0], q[1]); }
+  if (n == "cz") { need(2, 0); return Gate::cz(q[0], q[1]); }
+  if (n == "ch") { need(2, 0); return Gate::ch(q[0], q[1]); }
+  if (n == "cp" || n == "cu1") { need(2, 1); return Gate::cp(q[0], q[1], p[0]); }
+  if (n == "crx") { need(2, 1); return Gate::crx(q[0], q[1], p[0]); }
+  if (n == "cry") { need(2, 1); return Gate::cry(q[0], q[1], p[0]); }
+  if (n == "crz") { need(2, 1); return Gate::crz(q[0], q[1], p[0]); }
+  if (n == "swap") { need(2, 0); return Gate::swap(q[0], q[1]); }
+  if (n == "rzz") { need(2, 1); return Gate::rzz(q[0], q[1], p[0]); }
+  if (n == "rxx") { need(2, 1); return Gate::rxx(q[0], q[1], p[0]); }
+  if (n == "ccx") { need(3, 0); return Gate::ccx(q[0], q[1], q[2]); }
+  if (n == "ccz") { need(3, 0); return Gate::ccz(q[0], q[1], q[2]); }
+  if (n == "cswap") { need(3, 0); return Gate::cswap(q[0], q[1], q[2]); }
+  throw Error("line " + std::to_string(line_no) + ": unsupported gate '" + n +
+              "'");
+}
+
+}  // namespace
+
+Circuit parse(const std::string& source) {
+  std::string qreg_name;
+  int num_qubits = -1;
+  std::vector<Statement> statements;
+
+  // Split on ';', tracking line numbers for diagnostics.
+  int line_no = 1;
+  std::string stmt;
+  std::vector<std::pair<std::string, int>> raw;
+  bool in_comment = false;
+  for (std::size_t i = 0; i < source.size(); ++i) {
+    const char c = source[i];
+    if (c == '\n') {
+      ++line_no;
+      in_comment = false;
+      continue;
+    }
+    if (in_comment) continue;
+    if (c == '/' && i + 1 < source.size() && source[i + 1] == '/') {
+      in_comment = true;
+      ++i;
+      continue;
+    }
+    if (c == ';') {
+      raw.emplace_back(stmt, line_no);
+      stmt.clear();
+    } else {
+      stmt += c;
+    }
+  }
+  {
+    // Anything after the last ';' must be whitespace.
+    for (char c : stmt)
+      ATLAS_CHECK(std::isspace(c) != 0, "line " << line_no
+                                                << ": unterminated statement");
+  }
+
+  Circuit circuit;
+  bool have_circuit = false;
+  for (auto& [text, ln] : raw) {
+    // Trim.
+    std::size_t b = text.find_first_not_of(" \t\r");
+    if (b == std::string::npos) continue;
+    std::size_t e = text.find_last_not_of(" \t\r");
+    std::string s = text.substr(b, e - b + 1);
+    if (s.rfind("OPENQASM", 0) == 0) continue;
+    if (s.rfind("include", 0) == 0) continue;
+    if (s.rfind("creg", 0) == 0) continue;
+    if (s.rfind("barrier", 0) == 0) continue;
+    if (s.rfind("measure", 0) == 0) continue;
+    if (s.rfind("qreg", 0) == 0) {
+      ATLAS_CHECK(num_qubits < 0, "line " << ln << ": multiple qreg");
+      const std::size_t lb = s.find('[');
+      const std::size_t rb = s.find(']');
+      ATLAS_CHECK(lb != std::string::npos && rb != std::string::npos && rb > lb,
+                  "line " << ln << ": malformed qreg");
+      std::string name = s.substr(4, lb - 4);
+      name.erase(0, name.find_first_not_of(" \t"));
+      name.erase(name.find_last_not_of(" \t") + 1);
+      qreg_name = name;
+      num_qubits = std::stoi(s.substr(lb + 1, rb - lb - 1));
+      circuit = Circuit(num_qubits);
+      have_circuit = true;
+      continue;
+    }
+    ATLAS_CHECK(have_circuit, "line " << ln << ": gate before qreg");
+    const Statement st = LineParser(s, ln, qreg_name).parse();
+    circuit.add(make_gate(st, ln));
+  }
+  ATLAS_CHECK(have_circuit, "no qreg declaration found");
+  return circuit;
+}
+
+Circuit parse_file(const std::string& path) {
+  std::ifstream in(path);
+  ATLAS_CHECK(in.good(), "cannot open " << path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  Circuit c = parse(os.str());
+  c.set_name(path);
+  return c;
+}
+
+std::string to_qasm(const Circuit& circuit) {
+  std::ostringstream os;
+  os << "OPENQASM 2.0;\n";
+  os << "include \"qelib1.inc\";\n";
+  os << "qreg q[" << circuit.num_qubits() << "];\n";
+  os.precision(17);
+  for (const Gate& g : circuit.gates()) {
+    ATLAS_CHECK(g.kind() != GateKind::Unitary,
+                "cannot serialize opaque unitary gates to QASM 2");
+    os << gate_kind_name(g.kind());
+    if (!g.params().empty()) {
+      os << "(";
+      for (std::size_t i = 0; i < g.params().size(); ++i) {
+        if (i) os << ",";
+        os << g.params()[i];
+      }
+      os << ")";
+    }
+    os << " ";
+    bool first = true;
+    // QASM argument order matches the factory order: controls first.
+    for (Qubit q : g.controls()) {
+      if (!first) os << ",";
+      os << "q[" << q << "]";
+      first = false;
+    }
+    for (Qubit q : g.targets()) {
+      if (!first) os << ",";
+      os << "q[" << q << "]";
+      first = false;
+    }
+    os << ";\n";
+  }
+  return os.str();
+}
+
+}  // namespace atlas::qasm

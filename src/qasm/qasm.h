@@ -1,0 +1,31 @@
+#pragma once
+
+/// \file qasm.h
+/// OpenQASM 2.0 subset reader/writer. Atlas (like the original system)
+/// consumes MQT-Bench-style QASM files; this module parses the gate set
+/// emitted by those generators and can round-trip circuits produced by
+/// atlas::circuits.
+///
+/// Supported statements: OPENQASM/include headers, qreg/creg
+/// declarations, the qelib1 gates implemented in ir/gate.h, `barrier`
+/// and `measure` (both ignored for state-vector simulation), and
+/// parameter expressions over +,-,*,/, unary minus, parentheses, `pi`,
+/// and decimal literals.
+
+#include <string>
+
+#include "ir/circuit.h"
+
+namespace atlas::qasm {
+
+/// Parses QASM source text into a circuit. Throws atlas::Error with a
+/// line number on malformed input.
+Circuit parse(const std::string& source);
+
+/// Reads and parses a .qasm file.
+Circuit parse_file(const std::string& path);
+
+/// Serializes a circuit as OpenQASM 2.0.
+std::string to_qasm(const Circuit& circuit);
+
+}  // namespace atlas::qasm

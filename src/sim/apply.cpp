@@ -1,0 +1,130 @@
+#include "sim/apply.h"
+
+#include <algorithm>
+
+#include "common/bits.h"
+#include "common/error.h"
+
+namespace atlas {
+namespace {
+
+/// Specialized 1-qubit path: the dominant case in practice.
+void apply_1q(Amp* data, Index size, int q, const Matrix& m) {
+  const Amp u00 = m(0, 0), u01 = m(0, 1), u10 = m(1, 0), u11 = m(1, 1);
+  const Index stride = bit(q);
+  const Index groups = size >> 1;
+  for (Index g = 0; g < groups; ++g) {
+    const Index i0 = insert_zero_bit(g, q);
+    const Index i1 = i0 | stride;
+    const Amp a0 = data[i0], a1 = data[i1];
+    data[i0] = u00 * a0 + u01 * a1;
+    data[i1] = u10 * a0 + u11 * a1;
+  }
+}
+
+/// Controlled 1-qubit path (e.g. CX, CP with one control).
+void apply_1q_1c(Amp* data, Index size, int t, int c, const Matrix& m) {
+  const Amp u00 = m(0, 0), u01 = m(0, 1), u10 = m(1, 0), u11 = m(1, 1);
+  const Index tbit = bit(t), cbit = bit(c);
+  const int lo = std::min(t, c), hi = std::max(t, c);
+  const Index groups = size >> 2;
+  for (Index g = 0; g < groups; ++g) {
+    const Index base = insert_zero_bit(insert_zero_bit(g, lo), hi) | cbit;
+    const Index i0 = base, i1 = base | tbit;
+    const Amp a0 = data[i0], a1 = data[i1];
+    data[i0] = u00 * a0 + u01 * a1;
+    data[i1] = u10 * a0 + u11 * a1;
+  }
+}
+
+}  // namespace
+
+void apply_matrix(Amp* data, Index size, const std::vector<int>& targets,
+                  const Matrix& m) {
+  const int k = static_cast<int>(targets.size());
+  ATLAS_DCHECK(m.rows() == (1 << k), "matrix size mismatch");
+  if (k == 1) {
+    apply_1q(data, size, targets[0], m);
+    return;
+  }
+  std::vector<int> sorted = targets;
+  std::sort(sorted.begin(), sorted.end());
+  const Index dim = Index{1} << k;
+  const Index groups = size >> k;
+  // Precompute the buffer offset of each matrix index.
+  std::vector<Index> offset(dim);
+  for (Index v = 0; v < dim; ++v) offset[v] = spread_bits(v, targets);
+  std::vector<Amp> in(dim), out(dim);
+  for (Index g = 0; g < groups; ++g) {
+    const Index base = insert_zero_bits(g, sorted);
+    for (Index v = 0; v < dim; ++v) in[v] = data[base | offset[v]];
+    for (Index r = 0; r < dim; ++r) {
+      Amp acc{};
+      for (Index c = 0; c < dim; ++c) {
+        acc += m(static_cast<int>(r), static_cast<int>(c)) * in[c];
+      }
+      out[r] = acc;
+    }
+    for (Index v = 0; v < dim; ++v) data[base | offset[v]] = out[v];
+  }
+}
+
+void apply_controlled_matrix(Amp* data, Index size,
+                             const std::vector<int>& targets,
+                             const std::vector<int>& controls,
+                             const Matrix& m) {
+  if (controls.empty()) {
+    apply_matrix(data, size, targets, m);
+    return;
+  }
+  if (targets.size() == 1 && controls.size() == 1) {
+    apply_1q_1c(data, size, targets[0], controls[0], m);
+    return;
+  }
+  const int k = static_cast<int>(targets.size());
+  const int c = static_cast<int>(controls.size());
+  std::vector<int> all = targets;
+  all.insert(all.end(), controls.begin(), controls.end());
+  std::sort(all.begin(), all.end());
+  Index ctrl_mask = 0;
+  for (int cq : controls) ctrl_mask |= bit(cq);
+  const Index dim = Index{1} << k;
+  const Index groups = size >> (k + c);
+  std::vector<Index> offset(dim);
+  for (Index v = 0; v < dim; ++v) offset[v] = spread_bits(v, targets);
+  std::vector<Amp> in(dim), out(dim);
+  for (Index g = 0; g < groups; ++g) {
+    const Index base = insert_zero_bits(g, all) | ctrl_mask;
+    for (Index v = 0; v < dim; ++v) in[v] = data[base | offset[v]];
+    for (Index r = 0; r < dim; ++r) {
+      Amp acc{};
+      for (Index col = 0; col < dim; ++col) {
+        acc += m(static_cast<int>(r), static_cast<int>(col)) * in[col];
+      }
+      out[r] = acc;
+    }
+    for (Index v = 0; v < dim; ++v) data[base | offset[v]] = out[v];
+  }
+}
+
+void apply_gate_mapped(Amp* data, Index size, const Gate& gate,
+                       const std::vector<int>& bit_of_qubit) {
+  std::vector<int> targets, controls;
+  targets.reserve(gate.num_targets());
+  for (Qubit q : gate.targets()) targets.push_back(bit_of_qubit[q]);
+  for (Qubit q : gate.controls()) controls.push_back(bit_of_qubit[q]);
+  apply_controlled_matrix(data, size, targets, controls,
+                          gate.target_matrix());
+}
+
+void apply_gate(StateVector& sv, const Gate& gate) {
+  std::vector<int> identity(sv.num_qubits());
+  for (int i = 0; i < sv.num_qubits(); ++i) identity[i] = i;
+  apply_gate_mapped(sv.data(), sv.size(), gate, identity);
+}
+
+void scale_buffer(Amp* data, Index size, Amp factor) {
+  for (Index i = 0; i < size; ++i) data[i] *= factor;
+}
+
+}  // namespace atlas

@@ -1,0 +1,49 @@
+#pragma once
+
+/// \file apply.h
+/// Gate application to amplitude buffers. These functions are the
+/// "device kernels" of the simulated GPU: they apply a (possibly
+/// controlled) k-qubit unitary to every amplitude group of a buffer in
+/// a data-parallel fashion, using exactly the strided index arithmetic
+/// of the paper's Eq. (1) generalized to k qubits.
+///
+/// All functions take *bit positions within the buffer*; callers that
+/// work with logical qubits map them through their layout first.
+
+#include <vector>
+
+#include "common/types.h"
+#include "ir/gate.h"
+#include "ir/matrix.h"
+#include "sim/state_vector.h"
+
+namespace atlas {
+
+/// Applies the 2^k x 2^k matrix `m` to target bit positions `targets`
+/// of the buffer (`size` must be a power of two, all positions <
+/// log2(size), matrix row/col bit i corresponds to targets[i]).
+void apply_matrix(Amp* data, Index size, const std::vector<int>& targets,
+                  const Matrix& m);
+
+/// As apply_matrix, but only on amplitude groups where every bit in
+/// `controls` is 1.
+void apply_controlled_matrix(Amp* data, Index size,
+                             const std::vector<int>& targets,
+                             const std::vector<int>& controls,
+                             const Matrix& m);
+
+/// Applies `gate` to the buffer with qubit q living at bit position
+/// `bit_of_qubit[q]`. Entries for untouched qubits are ignored.
+void apply_gate_mapped(Amp* data, Index size, const Gate& gate,
+                       const std::vector<int>& bit_of_qubit);
+
+/// Applies `gate` to a full state vector (identity layout: qubit q at
+/// bit q).
+void apply_gate(StateVector& sv, const Gate& gate);
+
+/// Multiplies every amplitude by `factor` (used when a diagonal or
+/// anti-diagonal gate acts on a non-local qubit whose value is fixed
+/// for the shard).
+void scale_buffer(Amp* data, Index size, Amp factor);
+
+}  // namespace atlas

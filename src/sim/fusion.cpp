@@ -1,0 +1,63 @@
+#include "sim/fusion.h"
+
+#include <algorithm>
+
+#include "common/bits.h"
+#include "common/error.h"
+
+namespace atlas {
+
+Matrix expand_to_qubits(const Gate& gate, const std::vector<Qubit>& qubits) {
+  const int nq = static_cast<int>(qubits.size());
+  ATLAS_CHECK(nq <= 16, "refusing to expand onto " << nq << " qubits");
+  // Position of each gate qubit within `qubits`.
+  std::vector<int> pos;
+  pos.reserve(gate.num_qubits());
+  for (Qubit q : gate.qubits()) {
+    const auto it = std::find(qubits.begin(), qubits.end(), q);
+    ATLAS_CHECK(it != qubits.end(), "gate qubit " << q << " not in span");
+    pos.push_back(static_cast<int>(it - qubits.begin()));
+  }
+  const Matrix g = gate.full_matrix();
+  const Index dim = Index{1} << nq;
+  Index gate_mask = 0;
+  for (int p : pos) gate_mask |= bit(p);
+  Matrix out(static_cast<int>(dim), static_cast<int>(dim));
+  for (Index r = 0; r < dim; ++r) {
+    const Index rest = r & ~gate_mask;
+    const Index gr = gather_bits(r, pos);
+    for (Index gc = 0; gc < (Index{1} << gate.num_qubits()); ++gc) {
+      const Amp v = g(static_cast<int>(gr), static_cast<int>(gc));
+      if (v == Amp{}) continue;
+      const Index c = rest | spread_bits(gc, pos);
+      out(static_cast<int>(r), static_cast<int>(c)) = v;
+    }
+  }
+  return out;
+}
+
+Matrix fuse_gates(const std::vector<Gate>& gates,
+                  const std::vector<Qubit>& qubits) {
+  const Index dim = Index{1} << qubits.size();
+  Matrix m = Matrix::identity(static_cast<int>(dim));
+  for (const Gate& g : gates) m = expand_to_qubits(g, qubits) * m;
+  return m;
+}
+
+std::vector<Qubit> qubit_union(const std::vector<Gate>& gates) {
+  std::vector<Qubit> qs;
+  for (const Gate& g : gates)
+    qs.insert(qs.end(), g.qubits().begin(), g.qubits().end());
+  std::sort(qs.begin(), qs.end());
+  qs.erase(std::unique(qs.begin(), qs.end()), qs.end());
+  return qs;
+}
+
+Gate fuse_to_gate(const std::vector<Gate>& gates) {
+  ATLAS_CHECK(!gates.empty(), "cannot fuse an empty gate list");
+  std::vector<Qubit> qs = qubit_union(gates);
+  Matrix m = fuse_gates(gates, qs);
+  return Gate::unitary(std::move(qs), std::move(m));
+}
+
+}  // namespace atlas

@@ -1,0 +1,33 @@
+#pragma once
+
+/// \file fusion.h
+/// Gate fusion: pre-compute the product of several gate matrices over
+/// the union of their qubits, so a whole kernel can be applied as one
+/// dense matrix (the paper's "fusion kernel" execution mode, which the
+/// original system delegates to cuQuantum).
+
+#include <vector>
+
+#include "ir/gate.h"
+#include "ir/matrix.h"
+
+namespace atlas {
+
+/// Expands `gate`'s full (controlled) matrix onto the qubit space
+/// `qubits` (ascending bit order: qubits[i] = bit i of the result).
+/// Every qubit of the gate must appear in `qubits`.
+Matrix expand_to_qubits(const Gate& gate, const std::vector<Qubit>& qubits);
+
+/// The fused unitary of `gates` (applied left-to-right: gates[0] first)
+/// over `qubits`. Result is 2^|qubits| square.
+Matrix fuse_gates(const std::vector<Gate>& gates,
+                  const std::vector<Qubit>& qubits);
+
+/// Union of the qubits of `gates`, ascending.
+std::vector<Qubit> qubit_union(const std::vector<Gate>& gates);
+
+/// Builds a single Unitary gate equivalent to applying `gates` in
+/// order. The result's targets are the ascending qubit union.
+Gate fuse_to_gate(const std::vector<Gate>& gates);
+
+}  // namespace atlas

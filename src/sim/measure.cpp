@@ -1,0 +1,71 @@
+#include "sim/measure.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/bits.h"
+#include "common/error.h"
+
+namespace atlas {
+
+double probability(const StateVector& sv, Index basis_state) {
+  ATLAS_CHECK(basis_state < sv.size(), "basis state out of range");
+  return std::norm(sv[basis_state]);
+}
+
+std::vector<double> marginal_distribution(const StateVector& sv,
+                                          const std::vector<Qubit>& qubits) {
+  for (Qubit q : qubits)
+    ATLAS_CHECK(q >= 0 && q < sv.num_qubits(), "qubit out of range");
+  std::vector<double> dist(Index{1} << qubits.size(), 0.0);
+  std::vector<int> positions(qubits.begin(), qubits.end());
+  for (Index i = 0; i < sv.size(); ++i) {
+    const double p = std::norm(sv[i]);
+    if (p == 0.0) continue;
+    dist[gather_bits(i, positions)] += p;
+  }
+  return dist;
+}
+
+std::vector<Index> sample(const StateVector& sv, int shots, Rng& rng) {
+  // Inverse-CDF sampling over sorted uniform draws: one pass over the
+  // state vector regardless of the shot count.
+  std::vector<double> draws(shots);
+  for (auto& d : draws) d = rng.uniform();
+  std::sort(draws.begin(), draws.end());
+  std::vector<Index> out(shots);
+  double cum = 0.0;
+  Index state = 0;
+  std::size_t k = 0;
+  for (Index i = 0; i < sv.size() && k < draws.size(); ++i) {
+    cum += std::norm(sv[i]);
+    state = i;
+    while (k < draws.size() && draws[k] < cum) out[k++] = i;
+  }
+  // Numerical slack: any residual draws map to the last visited state.
+  while (k < draws.size()) out[k++] = state;
+  // Restore a random order (draws were sorted).
+  std::shuffle(out.begin(), out.end(), rng.engine());
+  return out;
+}
+
+double expectation_z(const StateVector& sv, Qubit q) {
+  ATLAS_CHECK(q >= 0 && q < sv.num_qubits(), "qubit out of range");
+  double e = 0.0;
+  for (Index i = 0; i < sv.size(); ++i)
+    e += (test_bit(i, q) ? -1.0 : 1.0) * std::norm(sv[i]);
+  return e;
+}
+
+double expectation_zz(const StateVector& sv, Qubit a, Qubit b) {
+  ATLAS_CHECK(a >= 0 && a < sv.num_qubits(), "qubit out of range");
+  ATLAS_CHECK(b >= 0 && b < sv.num_qubits(), "qubit out of range");
+  double e = 0.0;
+  for (Index i = 0; i < sv.size(); ++i) {
+    const int sign = (test_bit(i, a) == test_bit(i, b)) ? 1 : -1;
+    e += sign * std::norm(sv[i]);
+  }
+  return e;
+}
+
+}  // namespace atlas

@@ -1,0 +1,36 @@
+#pragma once
+
+/// \file measure.h
+/// Measurement and observable utilities on state vectors: basis-state
+/// probabilities, marginal distributions over qubit subsets, sampling,
+/// and Pauli-Z expectation values. These operate on full state vectors
+/// (use exec::queries for distributed states).
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "sim/state_vector.h"
+
+namespace atlas {
+
+/// |amplitude|^2 of one basis state.
+double probability(const StateVector& sv, Index basis_state);
+
+/// Marginal probability distribution over `qubits` (ascending order of
+/// the packed outcome bits: outcome bit i = qubits[i]). Result has
+/// 2^|qubits| entries summing to ~1.
+std::vector<double> marginal_distribution(const StateVector& sv,
+                                          const std::vector<Qubit>& qubits);
+
+/// Draws `shots` basis-state samples from the measurement distribution.
+std::vector<Index> sample(const StateVector& sv, int shots, Rng& rng);
+
+/// <Z_q>: expectation of Pauli-Z on qubit q (in [-1, 1]).
+double expectation_z(const StateVector& sv, Qubit q);
+
+/// <Z_a Z_b>: two-point correlator.
+double expectation_zz(const StateVector& sv, Qubit a, Qubit b);
+
+}  // namespace atlas

@@ -1,0 +1,25 @@
+#include "sim/reference.h"
+
+#include "common/error.h"
+#include "sim/apply.h"
+
+namespace atlas {
+
+StateVector simulate_reference(const Circuit& circuit) {
+  StateVector sv(circuit.num_qubits());
+  for (const Gate& g : circuit.gates()) apply_gate(sv, g);
+  return sv;
+}
+
+StateVector simulate_reference(const Circuit& circuit,
+                               const StateVector& initial) {
+  ATLAS_CHECK(initial.num_qubits() == circuit.num_qubits(),
+              "initial state has " << initial.num_qubits()
+                                   << " qubits, circuit needs "
+                                   << circuit.num_qubits());
+  StateVector sv = initial;
+  for (const Gate& g : circuit.gates()) apply_gate(sv, g);
+  return sv;
+}
+
+}  // namespace atlas

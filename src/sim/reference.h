@@ -1,0 +1,20 @@
+#pragma once
+
+/// \file reference.h
+/// The trusted oracle simulator: applies each gate of a circuit to a
+/// full state vector, one at a time, with no partitioning or fusion.
+/// Every other execution path in Atlas is validated against it.
+
+#include "ir/circuit.h"
+#include "sim/state_vector.h"
+
+namespace atlas {
+
+/// Simulates `circuit` starting from |0...0>.
+StateVector simulate_reference(const Circuit& circuit);
+
+/// Simulates `circuit` starting from `initial` (copied).
+StateVector simulate_reference(const Circuit& circuit,
+                               const StateVector& initial);
+
+}  // namespace atlas

@@ -1,0 +1,57 @@
+#include "sim/shm_executor.h"
+
+#include <algorithm>
+
+#include "common/bits.h"
+#include "common/error.h"
+#include "sim/apply.h"
+
+namespace atlas {
+
+std::vector<int> active_bits(const std::vector<Gate>& gates,
+                             const std::vector<int>& bit_of_qubit) {
+  std::vector<int> bits = {0, 1, 2};
+  for (const Gate& g : gates)
+    for (Qubit q : g.qubits()) bits.push_back(bit_of_qubit[q]);
+  std::sort(bits.begin(), bits.end());
+  bits.erase(std::unique(bits.begin(), bits.end()), bits.end());
+  ATLAS_CHECK(static_cast<int>(bits.size()) <= kShmQubits,
+              "shared-memory kernel with " << bits.size()
+                                           << " active qubits exceeds "
+                                           << kShmQubits);
+  return bits;
+}
+
+Index run_shared_memory_kernel(Amp* data, Index size,
+                               const std::vector<Gate>& gates,
+                               const std::vector<int>& bit_of_qubit) {
+  const std::vector<int> active = active_bits(gates, bit_of_qubit);
+  const int a = static_cast<int>(active.size());
+  const Index batch = Index{1} << a;
+  const Index num_batches = size >> a;
+
+  // Bit position of each qubit *inside the scratch buffer*.
+  std::vector<int> shm_bit_of_qubit(bit_of_qubit.size(), -1);
+  for (std::size_t q = 0; q < bit_of_qubit.size(); ++q) {
+    const auto it =
+        std::find(active.begin(), active.end(), bit_of_qubit[q]);
+    if (it != active.end())
+      shm_bit_of_qubit[q] = static_cast<int>(it - active.begin());
+  }
+
+  // Buffer offset of each scratch index (the gather/scatter map).
+  std::vector<Index> offset(batch);
+  for (Index v = 0; v < batch; ++v) offset[v] = spread_bits(v, active);
+
+  std::vector<Amp> shm(batch);
+  for (Index b = 0; b < num_batches; ++b) {
+    const Index base = insert_zero_bits(b, active);
+    for (Index v = 0; v < batch; ++v) shm[v] = data[base | offset[v]];
+    for (const Gate& g : gates)
+      apply_gate_mapped(shm.data(), batch, g, shm_bit_of_qubit);
+    for (Index v = 0; v < batch; ++v) data[base | offset[v]] = shm[v];
+  }
+  return num_batches;
+}
+
+}  // namespace atlas

@@ -1,0 +1,42 @@
+#pragma once
+
+/// \file shm_executor.h
+/// Shared-memory kernel execution (the paper's second kernel type,
+/// mirroring HyQuas' SHM-GROUPING): amplitudes are loaded into a small
+/// scratch buffer ("GPU shared memory") in micro-batches indexed by the
+/// kernel's *active qubits*, every gate of the kernel is applied inside
+/// the scratch buffer, and the batch is stored back. Per the paper
+/// (footnote 3), the three least significant buffer bits are always
+/// active so each load moves at least 2^3 contiguous amplitudes.
+
+#include <vector>
+
+#include "common/types.h"
+#include "ir/gate.h"
+
+namespace atlas {
+
+/// Number of amplitudes the emulated shared memory holds (2^10 complex
+/// doubles = 16 KiB, matching an A100 SM's usable shared memory
+/// budget per block at double precision).
+inline constexpr int kShmQubits = 10;
+
+/// Executes `gates` on `data` via micro-batched shared-memory passes.
+///
+/// \param bit_of_qubit  maps each logical qubit to its buffer bit
+///                      position; gates must only touch qubits whose
+///                      bit position is < log2(size).
+/// \returns the number of micro-batches processed (used by cost-model
+///          calibration).
+Index run_shared_memory_kernel(Amp* data, Index size,
+                               const std::vector<Gate>& gates,
+                               const std::vector<int>& bit_of_qubit);
+
+/// The active bit positions a shared-memory kernel would use for
+/// `gates` under the given layout: the union of the gates' bit
+/// positions plus bits {0,1,2}, ascending. Throws if more than
+/// kShmQubits bits would be active.
+std::vector<int> active_bits(const std::vector<Gate>& gates,
+                             const std::vector<int>& bit_of_qubit);
+
+}  // namespace atlas

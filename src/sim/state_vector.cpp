@@ -1,0 +1,56 @@
+#include "sim/state_vector.h"
+
+#include <cmath>
+
+#include "common/bits.h"
+#include "common/error.h"
+
+namespace atlas {
+
+StateVector::StateVector(int num_qubits) : num_qubits_(num_qubits) {
+  ATLAS_CHECK(num_qubits >= 0 && num_qubits < 48,
+              "unreasonable qubit count " << num_qubits);
+  amps_.assign(Index{1} << num_qubits, Amp{});
+  amps_[0] = Amp(1.0, 0.0);
+}
+
+StateVector::StateVector(std::vector<Amp> amps) : amps_(std::move(amps)) {
+  ATLAS_CHECK(is_pow2(amps_.size()), "buffer size must be a power of two");
+  num_qubits_ = floor_log2(amps_.size());
+}
+
+double StateVector::norm_sq() const {
+  double s = 0;
+  for (const Amp& a : amps_) s += std::norm(a);
+  return s;
+}
+
+double StateVector::fidelity(const StateVector& other) const {
+  ATLAS_CHECK(size() == other.size(), "state size mismatch");
+  Amp dot{};
+  for (Index i = 0; i < size(); ++i) dot += std::conj(amps_[i]) * other[i];
+  return std::abs(dot);
+}
+
+double StateVector::max_abs_diff(const StateVector& other) const {
+  ATLAS_CHECK(size() == other.size(), "state size mismatch");
+  double m = 0;
+  for (Index i = 0; i < size(); ++i)
+    m = std::max(m, std::abs(amps_[i] - other[i]));
+  return m;
+}
+
+StateVector StateVector::random(int num_qubits, std::uint64_t seed) {
+  StateVector sv(num_qubits);
+  Rng rng(seed);
+  double norm = 0;
+  for (Index i = 0; i < sv.size(); ++i) {
+    sv[i] = rng.amp();
+    norm += std::norm(sv[i]);
+  }
+  const double inv = 1.0 / std::sqrt(norm);
+  for (Index i = 0; i < sv.size(); ++i) sv[i] *= inv;
+  return sv;
+}
+
+}  // namespace atlas

@@ -1,0 +1,55 @@
+#pragma once
+
+/// \file state_vector.h
+/// Dense Schrödinger state vector: 2^n complex amplitudes. Used both as
+/// the reference single-device representation and as the per-shard
+/// buffer type in the distributed executor.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace atlas {
+
+class StateVector {
+ public:
+  StateVector() = default;
+
+  /// |0...0> on n qubits.
+  explicit StateVector(int num_qubits);
+
+  /// Adopts an existing amplitude buffer (size must be a power of two).
+  explicit StateVector(std::vector<Amp> amps);
+
+  int num_qubits() const { return num_qubits_; }
+  Index size() const { return static_cast<Index>(amps_.size()); }
+
+  Amp& operator[](Index i) { return amps_[i]; }
+  const Amp& operator[](Index i) const { return amps_[i]; }
+
+  Amp* data() { return amps_.data(); }
+  const Amp* data() const { return amps_.data(); }
+
+  std::vector<Amp>& amplitudes() { return amps_; }
+  const std::vector<Amp>& amplitudes() const { return amps_; }
+
+  /// Sum of |a_i|^2 (should be 1 for a normalized state).
+  double norm_sq() const;
+
+  /// |<this|other>|: 1 for identical states up to global phase.
+  double fidelity(const StateVector& other) const;
+
+  /// Max |a_i - b_i| across amplitudes.
+  double max_abs_diff(const StateVector& other) const;
+
+  /// Haar-ish random normalized state (Gaussian amplitudes, normalized).
+  static StateVector random(int num_qubits, std::uint64_t seed);
+
+ private:
+  int num_qubits_ = 0;
+  std::vector<Amp> amps_;
+};
+
+}  // namespace atlas

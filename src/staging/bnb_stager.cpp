@@ -1,0 +1,426 @@
+#include "staging/bnb_stager.h"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_set>
+
+#include "common/bits.h"
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace atlas::staging {
+namespace {
+
+using Mask = std::uint64_t;
+
+/// Dynamic bitset over reduced-gate indices.
+struct DoneSet {
+  std::vector<std::uint64_t> words;
+
+  explicit DoneSet(int n) : words((n + 63) / 64, 0) {}
+  bool test(int i) const { return (words[i >> 6] >> (i & 63)) & 1; }
+  void set(int i) { words[i >> 6] |= std::uint64_t{1} << (i & 63); }
+  bool operator==(const DoneSet& o) const { return words == o.words; }
+
+  std::size_t hash() const {
+    std::size_t h = 1469598103934665603ull;
+    for (auto w : words) {
+      h ^= w;
+      h *= 1099511628211ull;
+    }
+    return h;
+  }
+};
+
+class BnbSearch {
+ public:
+  BnbSearch(const ReducedCircuit& rc, int num_local,
+            const BnbStagerOptions& options)
+      : rc_(rc), L_(num_local), options_(options) {
+    const int ng = static_cast<int>(rc_.gates.size());
+    succs_.resize(ng);
+    for (int g = 0; g < ng; ++g)
+      for (int p : rc_.gates[g].preds) succs_[p].push_back(g);
+    // Remaining-use count per qubit (for the reuse-priority variant).
+    qubit_uses_.assign(rc_.num_qubits, 0);
+    for (const auto& g : rc_.gates)
+      for (int q = 0; q < rc_.num_qubits; ++q)
+        if (test_bit(g.ni_mask, q)) ++qubit_uses_[q];
+  }
+
+  /// Finds a minimum-stage staging; returns the demand mask of each
+  /// stage. Falls back to pure greedy when the node budget runs out.
+  std::vector<std::vector<Mask>> solve() {
+    const int ng = static_cast<int>(rc_.gates.size());
+    if (ng == 0) return {{0}};
+    DoneSet empty(ng);
+    const int lb = std::max(1, lower_bound(empty));
+    for (int s = lb; s <= options_.max_stages; ++s) {
+      solutions_.clear();
+      failed_.clear();
+      nodes_ = 0;
+      std::vector<Mask> prefix;
+      dfs(empty, s, /*prev_local=*/0, prefix);
+      if (!solutions_.empty()) return solutions_;
+      if (nodes_ >= options_.node_budget) break;
+    }
+    // Budget exhausted: greedy (always makes progress each stage).
+    return {greedy()};
+  }
+
+ private:
+  /// ceil(|union of remaining non-insular qubits| / L): every stage
+  /// contributes at most L distinct local qubits.
+  int lower_bound(const DoneSet& done) const {
+    Mask u = 0;
+    for (std::size_t g = 0; g < rc_.gates.size(); ++g)
+      if (!done.test(static_cast<int>(g))) u |= rc_.gates[g].ni_mask;
+    return (popcount(u) + L_ - 1) / L_;
+  }
+
+  /// Executes every ready gate whose demand fits in `local`; returns
+  /// the executed-gate demand union (0 if no progress).
+  Mask closure(DoneSet& done, Mask local) const {
+    const int ng = static_cast<int>(rc_.gates.size());
+    std::vector<int> indeg(ng, 0);
+    std::vector<int> ready;
+    for (int g = 0; g < ng; ++g) {
+      if (done.test(g)) continue;
+      for (int p : rc_.gates[g].preds)
+        if (!done.test(p)) ++indeg[g];
+      if (indeg[g] == 0) ready.push_back(g);
+    }
+    Mask demand = 0;
+    while (!ready.empty()) {
+      const int g = ready.back();
+      ready.pop_back();
+      if ((rc_.gates[g].ni_mask & ~local) != 0) continue;  // blocked
+      done.set(g);
+      demand |= rc_.gates[g].ni_mask;
+      for (int s : succs_[g]) {
+        if (done.test(s)) continue;
+        if (--indeg[s] == 0) ready.push_back(s);
+      }
+    }
+    return demand;
+  }
+
+  /// Greedily builds one local set by scanning ready gates in the
+  /// given priority order and admitting qubits while they fit.
+  Mask build_candidate(const DoneSet& done, Mask prev_local, int variant,
+                       Rng& rng) const {
+    const int ng = static_cast<int>(rc_.gates.size());
+    std::vector<int> indeg(ng, 0);
+    std::vector<int> ready;
+    for (int g = 0; g < ng; ++g) {
+      if (done.test(g)) continue;
+      for (int p : rc_.gates[g].preds)
+        if (!done.test(p)) ++indeg[g];
+      if (indeg[g] == 0) ready.push_back(g);
+    }
+    DoneSet sim = done;
+    Mask cand = 0;
+    auto score = [&](int g) -> double {
+      const Mask missing = rc_.gates[g].ni_mask & ~cand;
+      switch (variant) {
+        case 0:  // original order
+          return g;
+        case 1:  // fewest new qubits
+          return popcount(missing) * 1e6 + g;
+        case 2: {  // prefer qubits that were local last stage
+          const int outside = popcount(missing & ~prev_local);
+          return outside * 1e6 + g;
+        }
+        case 3: {  // prefer high-reuse qubits (admit hubs early)
+          double reuse = 0;
+          for (int q = 0; q < rc_.num_qubits; ++q)
+            if (test_bit(missing, q)) reuse += qubit_uses_[q];
+          return -reuse * 1e3 + g;
+        }
+        default:  // randomized tie-break
+          return static_cast<double>(rng.index(1 << 20));
+      }
+    };
+    for (;;) {
+      // Execute everything that already fits.
+      bool progressed = true;
+      while (progressed) {
+        progressed = false;
+        for (std::size_t i = 0; i < ready.size(); ++i) {
+          const int g = ready[i];
+          if ((rc_.gates[g].ni_mask & ~cand) != 0) continue;
+          sim.set(g);
+          ready[i] = ready.back();
+          ready.pop_back();
+          --i;
+          for (int s : succs_[g])
+            if (!sim.test(s) && --indeg[s] == 0) ready.push_back(s);
+          progressed = true;
+        }
+      }
+      // Admit the qubits of the best-scoring ready gate that fits.
+      int best = -1;
+      double best_score = std::numeric_limits<double>::infinity();
+      for (int g : ready) {
+        const Mask grown = cand | rc_.gates[g].ni_mask;
+        if (popcount(grown) > L_) continue;
+        const double sc = score(g);
+        if (sc < best_score) {
+          best_score = sc;
+          best = g;
+        }
+      }
+      if (best < 0) return cand;
+      cand |= rc_.gates[best].ni_mask;
+    }
+  }
+
+  void dfs(const DoneSet& done, int stages_left, Mask prev_local,
+           std::vector<Mask>& prefix) {
+    if (static_cast<int>(solutions_.size()) >= options_.max_solutions) return;
+    if (nodes_++ >= options_.node_budget) return;
+    if (lower_bound(done) > stages_left) return;
+    const auto key = std::make_pair(done.hash(), stages_left);
+    if (failed_.count(key)) return;
+
+    // Generate and deduplicate candidate local sets.
+    Rng rng(done.hash() * 1315423911ull + stages_left);
+    std::vector<Mask> cands;
+    for (int v = 0; v < options_.beam_width; ++v) {
+      const Mask c = build_candidate(done, prev_local, v, rng);
+      if (c == 0) continue;
+      if (std::find(cands.begin(), cands.end(), c) == cands.end())
+        cands.push_back(c);
+    }
+    // Order candidates by transition cost (new local qubits first).
+    std::sort(cands.begin(), cands.end(), [&](Mask a, Mask b) {
+      return popcount(a & ~prev_local) < popcount(b & ~prev_local);
+    });
+
+    const std::size_t solutions_before = solutions_.size();
+    for (Mask c : cands) {
+      DoneSet next = done;
+      const Mask demand = closure(next, c);
+      if (demand == 0) continue;
+      prefix.push_back(demand);
+      bool complete = true;
+      for (std::size_t g = 0; g < rc_.gates.size(); ++g)
+        if (!next.test(static_cast<int>(g))) {
+          complete = false;
+          break;
+        }
+      if (complete) {
+        solutions_.push_back(prefix);
+      } else if (stages_left > 1) {
+        dfs(next, stages_left - 1, c, prefix);
+      }
+      prefix.pop_back();
+      if (static_cast<int>(solutions_.size()) >= options_.max_solutions)
+        return;
+    }
+    if (solutions_.size() == solutions_before) failed_.insert(key);
+  }
+
+  /// Pure greedy fallback: variant-0 candidates until everything runs.
+  std::vector<Mask> greedy() const {
+    const int ng = static_cast<int>(rc_.gates.size());
+    DoneSet done(ng);
+    Rng rng(1);
+    std::vector<Mask> demands;
+    Mask prev = 0;
+    for (;;) {
+      bool complete = true;
+      for (int g = 0; g < ng; ++g)
+        if (!done.test(g)) {
+          complete = false;
+          break;
+        }
+      if (complete) break;
+      const Mask cand = build_candidate(done, prev, 0, rng);
+      const Mask demand = closure(done, cand);
+      ATLAS_CHECK(demand != 0, "greedy staging failed to make progress");
+      demands.push_back(demand);
+      prev = cand;
+    }
+    return demands;
+  }
+
+  struct PairHash {
+    std::size_t operator()(const std::pair<std::size_t, int>& p) const {
+      return p.first * 31 + static_cast<std::size_t>(p.second);
+    }
+  };
+
+  const ReducedCircuit& rc_;
+  const int L_;
+  const BnbStagerOptions& options_;
+  std::vector<std::vector<int>> succs_;
+  std::vector<int> qubit_uses_;
+  std::vector<std::vector<Mask>> solutions_;
+  std::unordered_set<std::pair<std::size_t, int>, PairHash> failed_;
+  long nodes_ = 0;
+};
+
+/// Pads stage demand sets to full L/R/G partitions, minimizing Eq. (2):
+/// keep yesterday's locals local when possible, keep globals global,
+/// and park the latest-needed qubits in the global set (Belady).
+std::vector<QubitPartition> assign_partitions(
+    const std::vector<Mask>& demands, int n, const MachineShape& shape) {
+  const int s = static_cast<int>(demands.size());
+  // next_need[k][q]: first stage >= k whose demand contains q.
+  std::vector<std::vector<int>> next_need(
+      s + 1, std::vector<int>(n, std::numeric_limits<int>::max()));
+  for (int k = s - 1; k >= 0; --k)
+    for (int q = 0; q < n; ++q)
+      next_need[k][q] = test_bit(demands[k], q) ? k : next_need[k + 1][q];
+
+  std::vector<QubitPartition> parts(s);
+  Mask prev_local = 0, prev_global = 0;
+  for (int k = 0; k < s; ++k) {
+    // --- Local set: demand plus padding. ---
+    Mask local = demands[k];
+    ATLAS_CHECK(popcount(local) <= shape.num_local,
+                "stage demand exceeds local capacity");
+    // 1. Zero-cost padding: qubits local last stage, soonest-needed
+    //    first (sort by next use among prev locals).
+    {
+      std::vector<int> hold;
+      for (int q = 0; q < n; ++q)
+        if (test_bit(prev_local, q) && !test_bit(local, q)) hold.push_back(q);
+      std::sort(hold.begin(), hold.end(), [&](int a, int b) {
+        return next_need[k][a] < next_need[k][b];
+      });
+      for (int q : hold) {
+        if (popcount(local) >= shape.num_local) break;
+        local |= bit(q);
+      }
+    }
+    // 2. Cost-1 padding: prefer regional (non-global) qubits needed
+    //    soonest.
+    {
+      std::vector<int> rest;
+      for (int q = 0; q < n; ++q)
+        if (!test_bit(local, q)) rest.push_back(q);
+      std::sort(rest.begin(), rest.end(), [&](int a, int b) {
+        const bool ga = test_bit(prev_global, a), gb = test_bit(prev_global, b);
+        if (ga != gb) return !ga;  // keep global qubits global
+        return next_need[k][a] < next_need[k][b];
+      });
+      for (int q : rest) {
+        if (popcount(local) >= shape.num_local) break;
+        local |= bit(q);
+      }
+    }
+
+    // --- Global set from the complement: reuse old globals, then park
+    // the latest-needed qubits. ---
+    Mask global = 0;
+    {
+      std::vector<int> nonlocal;
+      for (int q = 0; q < n; ++q)
+        if (!test_bit(local, q)) nonlocal.push_back(q);
+      std::sort(nonlocal.begin(), nonlocal.end(), [&](int a, int b) {
+        const bool ga = test_bit(prev_global, a), gb = test_bit(prev_global, b);
+        if (ga != gb) return ga;  // old globals first (zero cost)
+        return next_need[k][a] > next_need[k][b];  // latest-needed next
+      });
+      for (int i = 0; i < shape.num_global; ++i) global |= bit(nonlocal[i]);
+    }
+
+    QubitPartition& p = parts[k];
+    for (int q = 0; q < n; ++q) {
+      if (test_bit(local, q)) p.local.push_back(q);
+      else if (test_bit(global, q)) p.global.push_back(q);
+      else p.regional.push_back(q);
+    }
+    prev_local = local;
+    prev_global = global;
+  }
+  return parts;
+}
+
+}  // namespace
+
+StagedCircuit stage_with_bnb(const Circuit& circuit,
+                             const MachineShape& shape,
+                             const BnbStagerOptions& options) {
+  ATLAS_CHECK(shape.total() == circuit.num_qubits(), "shape/circuit mismatch");
+  ATLAS_CHECK(circuit.num_qubits() < 64, "staging supports < 64 qubits");
+  const ReducedCircuit rc = reduce(circuit);
+  for (const auto& g : rc.gates)
+    ATLAS_CHECK(popcount(g.ni_mask) <= shape.num_local,
+                "a gate touches more non-insular qubits ("
+                    << popcount(g.ni_mask) << ") than local capacity ("
+                    << shape.num_local << "); no staging exists");
+
+  BnbSearch search(rc, shape.num_local, options);
+  const auto demand_solutions = search.solve();
+  ATLAS_CHECK(!demand_solutions.empty(), "stager produced no solution");
+
+  // Pick the sampled solution with the lowest Eq. (2) cost after
+  // partition assignment.
+  StagedCircuit best;
+  double best_cost = std::numeric_limits<double>::infinity();
+  for (const auto& demands : demand_solutions) {
+    const auto parts =
+        assign_partitions(demands, circuit.num_qubits(), shape);
+
+    // Recover gate placement by replaying the closure over local sets.
+    std::vector<int> stage_of_reduced(rc.gates.size(), -1);
+    {
+      const int ng = static_cast<int>(rc.gates.size());
+      std::vector<int> indeg(ng, 0);
+      std::vector<bool> done(ng, false);
+      std::vector<std::vector<int>> succs(ng);
+      for (int g = 0; g < ng; ++g)
+        for (int p : rc.gates[g].preds) {
+          ++indeg[g];
+          succs[p].push_back(g);
+        }
+      for (std::size_t k = 0; k < parts.size(); ++k) {
+        Mask local = 0;
+        for (Qubit q : parts[k].local) local |= bit(q);
+        std::vector<int> ready;
+        for (int g = 0; g < ng; ++g)
+          if (!done[g] && indeg[g] == 0) ready.push_back(g);
+        while (!ready.empty()) {
+          const int g = ready.back();
+          ready.pop_back();
+          if ((rc.gates[g].ni_mask & ~local) != 0) continue;
+          done[g] = true;
+          stage_of_reduced[g] = static_cast<int>(k);
+          for (int sg : succs[g])
+            if (!done[sg] && --indeg[sg] == 0) ready.push_back(sg);
+        }
+      }
+      for (int g = 0; g < ng; ++g)
+        ATLAS_CHECK(done[g], "replay failed to place gate " << g);
+    }
+
+    const auto stage_of_original =
+        assign_original_stages(circuit, rc, stage_of_reduced);
+    StagedCircuit staged;
+    staged.stages.resize(parts.size());
+    for (std::size_t k = 0; k < parts.size(); ++k)
+      staged.stages[k].partition = parts[k];
+    for (int g = 0; g < circuit.num_gates(); ++g)
+      staged.stages[stage_of_original[g]].gate_indices.push_back(g);
+    // Padding can let the replay pull gates forward, leaving empty
+    // stages; drop them (keeping at least one stage).
+    {
+      std::vector<Stage> kept;
+      for (auto& st : staged.stages)
+        if (!st.gate_indices.empty()) kept.push_back(std::move(st));
+      if (kept.empty()) kept.push_back(std::move(staged.stages.front()));
+      staged.stages = std::move(kept);
+    }
+    staged.comm_cost = communication_cost(staged.stages, shape.cost_factor);
+    if (staged.comm_cost < best_cost) {
+      best_cost = staged.comm_cost;
+      best = std::move(staged);
+    }
+  }
+  return best;
+}
+
+}  // namespace atlas::staging

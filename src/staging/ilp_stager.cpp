@@ -1,0 +1,145 @@
+#include "staging/ilp_stager.h"
+
+#include <algorithm>
+
+#include "common/bits.h"
+#include "common/error.h"
+#include "ilp/solver.h"
+
+namespace atlas::staging {
+namespace {
+
+struct ModelVars {
+  // Indexed [q][k] / [g][k].
+  std::vector<std::vector<int>> A, B, S, T, F;
+};
+
+/// Builds the Eq. (3)-(11) model for a fixed stage count s.
+ModelVars build_model(ilp::IlpModel& m, const ReducedCircuit& rc,
+                      const MachineShape& shape, int s) {
+  const int n = rc.num_qubits;
+  const int ng = static_cast<int>(rc.gates.size());
+  ModelVars v;
+  v.A.assign(n, std::vector<int>(s));
+  v.B.assign(n, std::vector<int>(s));
+  v.S.assign(n, std::vector<int>(std::max(0, s - 1)));
+  v.T.assign(n, std::vector<int>(std::max(0, s - 1)));
+  v.F.assign(ng, std::vector<int>(s));
+
+  for (int q = 0; q < n; ++q)
+    for (int k = 0; k < s; ++k) {
+      v.A[q][k] = m.add_binary(0, "A_" + std::to_string(q) + "_" + std::to_string(k));
+      v.B[q][k] = m.add_binary(0, "B_" + std::to_string(q) + "_" + std::to_string(k));
+    }
+  for (int q = 0; q < n; ++q)
+    for (int k = 0; k + 1 < s; ++k) {
+      // Objective (3): minimize sum of S + c*T.
+      v.S[q][k] = m.add_binary(1.0, "S_" + std::to_string(q) + "_" + std::to_string(k));
+      v.T[q][k] = m.add_binary(shape.cost_factor,
+                               "T_" + std::to_string(q) + "_" + std::to_string(k));
+    }
+  for (int g = 0; g < ng; ++g)
+    for (int k = 0; k < s; ++k)
+      v.F[g][k] = m.add_binary(0, "F_" + std::to_string(g) + "_" + std::to_string(k));
+
+  for (int q = 0; q < n; ++q) {
+    for (int k = 0; k + 1 < s; ++k) {
+      // (4): A_{q,k+1} <= A_{q,k} + S_{q,k}.
+      m.add_le_sum(v.A[q][k + 1], {v.A[q][k], v.S[q][k]});
+      // (5): B_{q,k+1} <= B_{q,k} + T_{q,k}.
+      m.add_le_sum(v.B[q][k + 1], {v.B[q][k], v.T[q][k]});
+    }
+    for (int k = 0; k < s; ++k) {
+      // (10): not local and global at once.
+      m.add_constraint({v.A[q][k], v.B[q][k]}, {1, 1}, lp::RowSense::LessEq, 1);
+    }
+  }
+  for (int k = 0; k < s; ++k) {
+    // (11): exactly L local and G global qubits per stage.
+    std::vector<int> avars, bvars;
+    for (int q = 0; q < n; ++q) {
+      avars.push_back(v.A[q][k]);
+      bvars.push_back(v.B[q][k]);
+    }
+    m.add_constraint(avars, std::vector<double>(n, 1.0), lp::RowSense::Eq,
+                     shape.num_local);
+    m.add_constraint(bvars, std::vector<double>(n, 1.0), lp::RowSense::Eq,
+                     shape.num_global);
+  }
+  for (int g = 0; g < ng; ++g) {
+    for (int k = 0; k + 1 < s; ++k) {
+      // (6): F monotone in k.
+      m.add_le_sum(v.F[g][k], {v.F[g][k + 1]});
+    }
+    // (7): locality — a gate finishes at stage k only if its
+    // non-insular qubits are local at k (or it already finished).
+    for (int q = 0; q < rc.num_qubits; ++q) {
+      if (!test_bit(rc.gates[g].ni_mask, q)) continue;
+      m.add_le_sum(v.F[g][0], {v.A[q][0]});
+      for (int k = 1; k < s; ++k)
+        m.add_le_sum(v.F[g][k], {v.F[g][k - 1], v.A[q][k]});
+    }
+    // (8): dependencies.
+    for (int p : rc.gates[g].preds)
+      for (int k = 0; k < s; ++k) m.add_le_sum(v.F[g][k], {v.F[p][k]});
+    // (9): all gates finish.
+    m.add_constraint({v.F[g][s - 1]}, {1}, lp::RowSense::GreaterEq, 1);
+  }
+  return v;
+}
+
+}  // namespace
+
+std::optional<StagedCircuit> stage_with_ilp(const Circuit& circuit,
+                                            const MachineShape& shape,
+                                            const IlpStagerOptions& options) {
+  ATLAS_CHECK(shape.total() == circuit.num_qubits(), "shape/circuit mismatch");
+  const ReducedCircuit rc = reduce(circuit);
+  for (const auto& g : rc.gates)
+    ATLAS_CHECK(popcount(g.ni_mask) <= shape.num_local,
+                "a gate touches more non-insular qubits than there are "
+                "local qubits; no staging exists");
+
+  for (int s = 1; s <= options.max_stages; ++s) {
+    ilp::IlpModel model;
+    const ModelVars vars = build_model(model, rc, shape, s);
+    const ilp::IlpSolution sol = model.solve(options.node_budget);
+    if (sol.status == ilp::IlpStatus::Infeasible) continue;
+    if (sol.status == ilp::IlpStatus::NodeLimit) return std::nullopt;
+
+    // Extract stages (Algorithm 2, line 5): gate g runs at
+    // min{k : F_{g,k} = 1}; qubit q is local iff A=1, global iff B=1.
+    const int ng = static_cast<int>(rc.gates.size());
+    std::vector<int> stage_of_reduced(ng, s - 1);
+    int used_stages = 1;
+    for (int g = 0; g < ng; ++g)
+      for (int k = 0; k < s; ++k)
+        if (sol.x[vars.F[g][k]]) {
+          stage_of_reduced[g] = k;
+          used_stages = std::max(used_stages, k + 1);
+          break;
+        }
+    if (ng == 0) used_stages = 1;
+
+    const std::vector<int> stage_of_original =
+        assign_original_stages(circuit, rc, stage_of_reduced);
+
+    StagedCircuit staged;
+    staged.stages.resize(used_stages);
+    for (int k = 0; k < used_stages; ++k) {
+      QubitPartition& p = staged.stages[k].partition;
+      for (int q = 0; q < circuit.num_qubits(); ++q) {
+        if (sol.x[vars.A[q][k]]) p.local.push_back(q);
+        else if (sol.x[vars.B[q][k]]) p.global.push_back(q);
+        else p.regional.push_back(q);
+      }
+    }
+    for (int g = 0; g < circuit.num_gates(); ++g)
+      staged.stages[stage_of_original[g]].gate_indices.push_back(g);
+    staged.comm_cost = communication_cost(staged.stages, shape.cost_factor);
+    return staged;
+  }
+  throw Error("no feasible staging within max_stages");
+}
+
+}  // namespace atlas::staging

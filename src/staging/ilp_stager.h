@@ -1,0 +1,36 @@
+#pragma once
+
+/// \file ilp_stager.h
+/// The paper-faithful ILP circuit staging path (Section IV): builds
+/// the binary program of Eq. (3)-(11) over the reduced model and
+/// solves it with the home-grown branch-and-bound MIP solver
+/// (ilp/solver.h), looping over the stage count s = 1, 2, ...
+/// (Algorithm 2) and returning the first feasible, cost-minimal
+/// staging.
+///
+/// The general MIP solver handles small and medium models; the
+/// production default for large circuits is the specialized
+/// branch-and-bound stager (bnb_stager.h), which solves the same
+/// optimization problem with a purpose-built search. Both paths are
+/// cross-validated in tests/test_staging.cpp.
+
+#include <optional>
+
+#include "staging/reduce.h"
+#include "staging/stage.h"
+
+namespace atlas::staging {
+
+struct IlpStagerOptions {
+  int max_stages = 16;
+  long node_budget = 20000;  // branch-and-bound nodes per ILP solve
+};
+
+/// Runs Algorithm 2 with the ILP engine. Returns std::nullopt when the
+/// node budget is exhausted before proving feasibility/optimality (the
+/// caller should fall back to the specialized stager).
+std::optional<StagedCircuit> stage_with_ilp(const Circuit& circuit,
+                                            const MachineShape& shape,
+                                            const IlpStagerOptions& options = {});
+
+}  // namespace atlas::staging

@@ -1,0 +1,105 @@
+#include "staging/reduce.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace atlas::staging {
+namespace {
+
+std::uint64_t ni_mask_of(const Gate& g) {
+  std::uint64_t m = 0;
+  for (Qubit q : g.non_insular_qubits()) {
+    ATLAS_CHECK(q < 64, "staging reduction supports < 64 qubits");
+    m |= std::uint64_t{1} << q;
+  }
+  return m;
+}
+
+void sort_unique(std::vector<int>& v) {
+  std::sort(v.begin(), v.end());
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+}
+
+}  // namespace
+
+ReducedCircuit reduce(const Circuit& circuit) {
+  const int ng = circuit.num_gates();
+  const auto preds = circuit.predecessors();
+
+  ReducedCircuit out;
+  out.num_qubits = circuit.num_qubits();
+  out.reduced_of_original.assign(ng, -1);
+
+  // For each original gate, its nearest non-contracted ancestors
+  // (expressed as *reduced* indices). Insular gates forward the union
+  // of their predecessors' ancestor sets.
+  std::vector<std::vector<int>> anc(ng);
+
+  for (int g = 0; g < ng; ++g) {
+    std::vector<int> a;
+    for (int p : preds[g]) {
+      if (out.reduced_of_original[p] >= 0) {
+        a.push_back(out.reduced_of_original[p]);
+      } else {
+        a.insert(a.end(), anc[p].begin(), anc[p].end());
+      }
+    }
+    sort_unique(a);
+
+    const std::uint64_t ni = ni_mask_of(circuit.gate(g));
+    if (ni == 0) {
+      // Fully insular: contract.
+      anc[g] = std::move(a);
+      continue;
+    }
+
+    // Subsumption merge: single reduced predecessor whose qubit demand
+    // covers ours.
+    if (a.size() == 1) {
+      ReducedGate& host = out.gates[a[0]];
+      if ((ni | host.ni_mask) == host.ni_mask) {
+        host.originals.push_back(g);
+        out.reduced_of_original[g] = a[0];
+        anc[g] = {a[0]};
+        continue;
+      }
+    }
+
+    ReducedGate rg;
+    rg.ni_mask = ni;
+    rg.preds = a;
+    rg.originals = {g};
+    out.reduced_of_original[g] = static_cast<int>(out.gates.size());
+    anc[g] = {out.reduced_of_original[g]};
+    out.gates.push_back(std::move(rg));
+  }
+  return out;
+}
+
+std::vector<int> assign_original_stages(
+    const Circuit& circuit, const ReducedCircuit& reduced,
+    const std::vector<int>& stage_of_reduced) {
+  ATLAS_CHECK(stage_of_reduced.size() == reduced.gates.size(),
+              "stage assignment size mismatch");
+  const int ng = circuit.num_gates();
+  const auto preds = circuit.predecessors();
+  std::vector<int> stage(ng, -1);
+  for (int g = 0; g < ng; ++g) {
+    const int r = reduced.reduced_of_original[g];
+    if (r >= 0) {
+      stage[g] = stage_of_reduced[r];
+    } else {
+      int s = 0;
+      for (int p : preds[g]) s = std::max(s, stage[p]);
+      stage[g] = s;
+    }
+    // Dependencies must already be satisfied by the reduced staging.
+    for (int p : preds[g])
+      ATLAS_CHECK(stage[p] <= stage[g],
+                  "reduced staging violates dependency " << p << "->" << g);
+  }
+  return stage;
+}
+
+}  // namespace atlas::staging

@@ -1,0 +1,54 @@
+#pragma once
+
+/// \file reduce.h
+/// Staging-model reduction. The ILP of Section IV has one F variable
+/// per gate per stage; real circuits contain many gates that cannot
+/// affect staging decisions. Two lossless reductions shrink the model:
+///
+/// 1. *Insular contraction* — a gate whose qubits are all insular
+///    (cz, cp, rz, x, ... per Definition 2) imposes no locality
+///    constraint; it is removed from the model and its dependency
+///    edges are contracted. After staging it is assigned to the
+///    earliest stage at which all its predecessors have executed.
+/// 2. *Subsumption merge* — a gate j whose only predecessor is i with
+///    NI(j) ⊆ NI(i) can always execute in i's stage (its qubit demand
+///    adds nothing and its dependencies are satisfied), so it is
+///    merged into i. Any staging of the merged model maps back to a
+///    staging of the original with identical cost.
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/circuit.h"
+
+namespace atlas::staging {
+
+/// A gate in the reduced staging model. `ni_mask` has bit q set for
+/// each non-insular qubit q (reduction requires <= 64 qubits, well
+/// above any simulable circuit).
+struct ReducedGate {
+  std::uint64_t ni_mask = 0;
+  std::vector<int> preds;     // indices of reduced gates (topo order)
+  std::vector<int> originals; // original gate indices represented
+};
+
+struct ReducedCircuit {
+  int num_qubits = 0;
+  std::vector<ReducedGate> gates;  // topological (original) order
+  /// reduced index of each original gate; -1 for contracted insular
+  /// gates (they are re-inserted by assign_original_stages).
+  std::vector<int> reduced_of_original;
+};
+
+/// Builds the reduced staging model of `circuit`.
+ReducedCircuit reduce(const Circuit& circuit);
+
+/// Maps a stage assignment of reduced gates back to all original
+/// gates: contracted insular gates run at the earliest stage at which
+/// all their predecessors are done. Returns stage index per original
+/// gate.
+std::vector<int> assign_original_stages(
+    const Circuit& circuit, const ReducedCircuit& reduced,
+    const std::vector<int>& stage_of_reduced);
+
+}  // namespace atlas::staging

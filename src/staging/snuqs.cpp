@@ -1,0 +1,132 @@
+#include "staging/snuqs.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/bits.h"
+#include "common/error.h"
+
+namespace atlas::staging {
+
+StagedCircuit stage_with_snuqs(const Circuit& circuit,
+                               const MachineShape& shape) {
+  ATLAS_CHECK(shape.total() == circuit.num_qubits(), "shape/circuit mismatch");
+  const int n = circuit.num_qubits();
+  const int ng = circuit.num_gates();
+  const auto preds = circuit.predecessors();
+  std::vector<std::vector<int>> succs(ng);
+  std::vector<int> indeg(ng, 0);
+  for (int g = 0; g < ng; ++g)
+    for (int p : preds[g]) {
+      succs[p].push_back(g);
+      ++indeg[g];
+    }
+  for (int g = 0; g < ng; ++g)
+    ATLAS_CHECK(static_cast<int>(circuit.gate(g).non_insular_qubits().size()) <=
+                    shape.num_local,
+                "gate exceeds local capacity; no staging exists");
+
+  std::vector<bool> done(ng, false);
+  int remaining = ng;
+  StagedCircuit out;
+
+  while (remaining > 0) {
+    // Score qubits over the remaining gates.
+    std::vector<int> ni_count(n, 0), total_count(n, 0);
+    for (int g = 0; g < ng; ++g) {
+      if (done[g]) continue;
+      for (Qubit q : circuit.gate(g).non_insular_qubits()) ++ni_count[q];
+      for (Qubit q : circuit.gate(g).qubits()) ++total_count[q];
+    }
+    std::vector<int> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+      if (ni_count[a] != ni_count[b]) return ni_count[a] > ni_count[b];
+      return total_count[a] > total_count[b];
+    });
+    std::vector<bool> is_local(n, false);
+    for (int i = 0; i < shape.num_local; ++i) is_local[order[i]] = true;
+
+    // Execute the down-closed closure under this local set.
+    std::vector<int> ready;
+    for (int g = 0; g < ng; ++g)
+      if (!done[g] && indeg[g] == 0) ready.push_back(g);
+    Stage stage;
+    auto try_run = [&](int g) {
+      for (Qubit q : circuit.gate(g).non_insular_qubits())
+        if (!is_local[q]) return false;
+      return true;
+    };
+    std::vector<int> blocked;
+    while (!ready.empty()) {
+      const int g = ready.back();
+      ready.pop_back();
+      if (!try_run(g)) {
+        blocked.push_back(g);
+        continue;
+      }
+      done[g] = true;
+      --remaining;
+      stage.gate_indices.push_back(g);
+      for (int s : succs[g])
+        if (!done[s] && --indeg[s] == 0) ready.push_back(s);
+    }
+    // The greedy qubit choice can stall (no ready gate fits). Force
+    // progress by making the first blocked gate's qubits local in
+    // place of the lowest-scoring locals, then retry next round.
+    if (stage.gate_indices.empty()) {
+      ATLAS_CHECK(!blocked.empty(), "no ready gates but work remains");
+      const int g = blocked.front();
+      int replace_at = shape.num_local - 1;
+      for (Qubit q : circuit.gate(g).non_insular_qubits()) {
+        if (is_local[q]) continue;
+        while (replace_at >= 0) {
+          const Qubit victim = order[replace_at--];
+          if (!circuit.gate(g).acts_on(victim) && is_local[victim]) {
+            is_local[victim] = false;
+            is_local[q] = true;
+            break;
+          }
+        }
+      }
+      // Re-run the closure with the adjusted set.
+      ready = blocked;
+      blocked.clear();
+      // Also re-add gates unblocked earlier this round: recompute ready.
+      ready.clear();
+      for (int g2 = 0; g2 < ng; ++g2)
+        if (!done[g2] && indeg[g2] == 0) ready.push_back(g2);
+      while (!ready.empty()) {
+        const int g2 = ready.back();
+        ready.pop_back();
+        if (!try_run(g2)) continue;
+        done[g2] = true;
+        --remaining;
+        stage.gate_indices.push_back(g2);
+        for (int s : succs[g2])
+          if (!done[s] && --indeg[s] == 0) ready.push_back(s);
+      }
+      ATLAS_CHECK(!stage.gate_indices.empty(),
+                  "snuqs stager cannot make progress");
+    }
+    // Preserve original gate order within the stage.
+    std::sort(stage.gate_indices.begin(), stage.gate_indices.end());
+
+    // Partition: locals from the greedy choice; the heuristic does not
+    // optimize the regional/global split, so assign the remainder in
+    // qubit order (regional first).
+    for (int q = 0; q < n; ++q) {
+      if (is_local[q]) stage.partition.local.push_back(q);
+      else if (static_cast<int>(stage.partition.regional.size()) <
+               shape.num_regional)
+        stage.partition.regional.push_back(q);
+      else
+        stage.partition.global.push_back(q);
+    }
+    out.stages.push_back(std::move(stage));
+  }
+  out.comm_cost = communication_cost(out.stages, shape.cost_factor);
+  return out;
+}
+
+}  // namespace atlas::staging

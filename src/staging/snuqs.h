@@ -1,0 +1,17 @@
+#pragma once
+
+/// \file snuqs.h
+/// The SnuQS-style heuristic staging baseline used in the paper's
+/// Figure 9/12 comparison (Section VII-D): each stage greedily selects
+/// as local the qubits with the most remaining gates operating on them
+/// non-insularly, breaking ties by the total number of gates touching
+/// the qubit.
+
+#include "staging/stage.h"
+
+namespace atlas::staging {
+
+StagedCircuit stage_with_snuqs(const Circuit& circuit,
+                               const MachineShape& shape);
+
+}  // namespace atlas::staging

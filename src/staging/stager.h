@@ -1,0 +1,31 @@
+#pragma once
+
+/// \file stager.h
+/// Public facade for circuit staging (the paper's STAGE algorithm).
+
+#include "staging/bnb_stager.h"
+#include "staging/ilp_stager.h"
+#include "staging/stage.h"
+
+namespace atlas::staging {
+
+enum class StagerEngine {
+  Auto,  // ILP for small reduced models, specialized B&B otherwise
+  Ilp,   // paper-faithful ILP (Eq. 3-11) via the home-grown MIP solver
+  Bnb,   // specialized branch-and-bound (scales to large circuits)
+  SnuQS, // heuristic baseline (Fig. 9/12)
+};
+
+struct StagingOptions {
+  StagerEngine engine = StagerEngine::Auto;
+  IlpStagerOptions ilp;
+  BnbStagerOptions bnb;
+};
+
+/// Stages `circuit` for `shape`; the result always passes
+/// validate_staging(). Throws atlas::Error when no staging exists
+/// (a gate with more non-insular qubits than local capacity).
+StagedCircuit stage_circuit(const Circuit& circuit, const MachineShape& shape,
+                            const StagingOptions& options = {});
+
+}  // namespace atlas::staging

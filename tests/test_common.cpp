@@ -1,0 +1,113 @@
+// Unit tests for the common substrate: bit manipulation and the thread
+// pool that powers per-shard parallelism.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "common/bits.h"
+#include "common/error.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+
+namespace atlas {
+namespace {
+
+TEST(Bits, InsertZeroBitShiftsHighBits) {
+  // Inserting a zero at position 1 of 0b111 gives 0b1101.
+  EXPECT_EQ(insert_zero_bit(0b111, 1), 0b1101u);
+  EXPECT_EQ(insert_zero_bit(0b111, 0), 0b1110u);
+  EXPECT_EQ(insert_zero_bit(0b111, 3), 0b0111u);
+  EXPECT_EQ(insert_zero_bit(0, 5), 0u);
+}
+
+TEST(Bits, InsertZeroBitEnumeratesClearedPositions) {
+  // Iterating g over [0, 8) and inserting a zero at position 1 must
+  // enumerate exactly the 3-bit-plus values with bit 1 clear.
+  std::vector<Index> seen;
+  for (Index g = 0; g < 8; ++g) seen.push_back(insert_zero_bit(g, 1));
+  for (Index v : seen) EXPECT_FALSE(test_bit(v, 1));
+  std::sort(seen.begin(), seen.end());
+  EXPECT_EQ(std::unique(seen.begin(), seen.end()), seen.end());
+}
+
+TEST(Bits, SpreadGatherRoundTrip) {
+  const std::vector<int> qs = {0, 3, 5};
+  for (Index v = 0; v < 8; ++v) {
+    const Index spread = spread_bits(v, qs);
+    EXPECT_EQ(gather_bits(spread, qs), v);
+  }
+}
+
+TEST(Bits, SpreadBitsPlacesBitsAtPositions) {
+  EXPECT_EQ(spread_bits(0b101, {1, 2, 4}), (bit(1) | bit(4)));
+}
+
+TEST(Bits, InsertZeroBitsMultiple) {
+  // Positions must be ascending; inserting zeros at {1,3} of 0b11
+  // gives bits at 0 and 2 -> 0b101.
+  EXPECT_EQ(insert_zero_bits(0b11, {1, 3}), 0b101u);
+}
+
+TEST(Bits, FloorLog2) {
+  EXPECT_EQ(floor_log2(1), 0);
+  EXPECT_EQ(floor_log2(2), 1);
+  EXPECT_EQ(floor_log2(3), 1);
+  EXPECT_EQ(floor_log2(1024), 10);
+}
+
+TEST(Bits, IsPow2) {
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(64));
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_FALSE(is_pow2(6));
+}
+
+TEST(Error, CheckThrowsWithMessage) {
+  try {
+    ATLAS_CHECK(false, "context " << 42);
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("context 42"), std::string::npos);
+  }
+}
+
+TEST(ThreadPool, ParallelForCoversAllIndices) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(1000, [&](std::size_t i) { hits[i]++; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForPropagatesExceptions) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(
+                   10,
+                   [](std::size_t i) {
+                     if (i == 7) throw Error("boom");
+                   }),
+               Error);
+}
+
+TEST(ThreadPool, SubmitAndWaitIdle) {
+  ThreadPool pool(3);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 50; ++i) pool.submit([&] { count++; });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.uniform(), b.uniform());
+}
+
+TEST(Rng, IndexInRange) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.index(7), 7u);
+}
+
+}  // namespace
+}  // namespace atlas

@@ -1,0 +1,156 @@
+// Unit tests for the IR: gate matrices, insularity classification
+// (paper Definition 2), circuit dependency structure.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "ir/circuit.h"
+#include "ir/gate.h"
+#include "ir/matrix.h"
+
+namespace atlas {
+namespace {
+
+using std::numbers::pi;
+
+TEST(Matrix, IdentityAndMultiply) {
+  const Matrix i2 = Matrix::identity(2);
+  const Matrix h = Gate::h(0).target_matrix();
+  EXPECT_LT(Matrix::max_abs_diff(h * i2, h), 1e-12);
+  // H * H = I.
+  EXPECT_LT(Matrix::max_abs_diff(h * h, i2), 1e-12);
+}
+
+TEST(Matrix, KronDimensions) {
+  const Matrix x = Gate::x(0).target_matrix();
+  const Matrix k = x.kron(Matrix::identity(2));
+  EXPECT_EQ(k.rows(), 4);
+  // x ⊗ I with rhs in low bits: entry (0b10, 0b00) = X(1,0)*I(0,0) = 1.
+  EXPECT_EQ(k(2, 0), Amp(1, 0));
+}
+
+TEST(Matrix, DiagonalAndAntidiagonalDetection) {
+  EXPECT_TRUE(Gate::z(0).target_matrix().is_diagonal());
+  EXPECT_TRUE(Gate::t(0).target_matrix().is_diagonal());
+  EXPECT_FALSE(Gate::h(0).target_matrix().is_diagonal());
+  EXPECT_TRUE(Gate::x(0).target_matrix().is_antidiagonal());
+  EXPECT_TRUE(Gate::y(0).target_matrix().is_antidiagonal());
+  EXPECT_FALSE(Gate::h(0).target_matrix().is_antidiagonal());
+}
+
+class AllGatesUnitaryTest : public ::testing::TestWithParam<Gate> {};
+
+TEST_P(AllGatesUnitaryTest, FullMatrixIsUnitary) {
+  EXPECT_TRUE(GetParam().full_matrix().is_unitary())
+      << GetParam().to_string();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    GateLibrary, AllGatesUnitaryTest,
+    ::testing::Values(
+        Gate::h(0), Gate::x(0), Gate::y(0), Gate::z(0), Gate::s(0),
+        Gate::sdg(0), Gate::t(0), Gate::tdg(0), Gate::sx(0),
+        Gate::rx(0, 0.3), Gate::ry(0, 0.7), Gate::rz(0, 1.1),
+        Gate::p(0, 0.9), Gate::u2(0, 0.1, 0.2), Gate::u3(0, 0.3, 0.4, 0.5),
+        Gate::cx(0, 1), Gate::cy(0, 1), Gate::cz(0, 1), Gate::ch(0, 1),
+        Gate::cp(0, 1, 0.6), Gate::crx(0, 1, 0.5), Gate::cry(0, 1, 0.4),
+        Gate::crz(0, 1, 0.3), Gate::swap(0, 1), Gate::rzz(0, 1, 0.8),
+        Gate::rxx(0, 1, 0.2), Gate::ccx(0, 1, 2), Gate::ccz(0, 1, 2),
+        Gate::cswap(0, 1, 2)));
+
+TEST(Gate, CxMatrixFlipsTargetWhenControlSet) {
+  // qubits = [target, control]; control = bit 1.
+  const Matrix m = Gate::cx(5, 3).full_matrix();
+  // |control=0, target=0> -> itself.
+  EXPECT_EQ(m(0, 0), Amp(1, 0));
+  // |control=1, target=0> (idx 2) -> |control=1, target=1> (idx 3).
+  EXPECT_EQ(m(3, 2), Amp(1, 0));
+  EXPECT_EQ(m(2, 2), Amp(0, 0));
+}
+
+TEST(Gate, InsularityOfDiagonalGates) {
+  // Diagonal 1-qubit gates: insular.
+  EXPECT_TRUE(Gate::z(0).qubit_insular(0));
+  EXPECT_TRUE(Gate::rz(0, 0.5).qubit_insular(0));
+  EXPECT_TRUE(Gate::t(0).qubit_insular(0));
+  // Anti-diagonal: insular.
+  EXPECT_TRUE(Gate::x(0).qubit_insular(0));
+  EXPECT_TRUE(Gate::y(0).qubit_insular(0));
+  // Non-diagonal 1-qubit gates: not insular.
+  EXPECT_FALSE(Gate::h(0).qubit_insular(0));
+  EXPECT_FALSE(Gate::rx(0, 0.5).qubit_insular(0));
+}
+
+TEST(Gate, InsularityOfControlledGates) {
+  // CX: target (pos 0) non-insular, control (pos 1) insular.
+  const Gate cx = Gate::cx(1, 0);
+  EXPECT_FALSE(cx.qubit_insular(0));
+  EXPECT_TRUE(cx.qubit_insular(1));
+  EXPECT_EQ(cx.non_insular_qubits(), std::vector<Qubit>{0});
+  // CZ / CP / CCZ / RZZ are fully diagonal: all qubits insular
+  // (footnote 2: any qubit can be the control).
+  for (const Gate& g : {Gate::cz(0, 1), Gate::cp(0, 1, 0.4),
+                        Gate::rzz(0, 1, 0.3), Gate::ccz(0, 1, 2),
+                        Gate::crz(0, 1, 0.2)}) {
+    EXPECT_TRUE(g.non_insular_qubits().empty()) << g.to_string();
+  }
+  // CCX: both controls insular, target not.
+  const Gate ccx = Gate::ccx(2, 1, 0);
+  EXPECT_EQ(ccx.non_insular_qubits(), std::vector<Qubit>{0});
+}
+
+TEST(Gate, SwapIsNotInsular) {
+  EXPECT_EQ(Gate::swap(0, 1).non_insular_qubits().size(), 2u);
+}
+
+TEST(Gate, DuplicateQubitRejected) {
+  EXPECT_THROW(Gate::cx(3, 3), Error);
+}
+
+TEST(Circuit, AddValidatesQubitRange) {
+  Circuit c(2);
+  EXPECT_THROW(c.add(Gate::h(5)), Error);
+}
+
+TEST(Circuit, DependencyEdges) {
+  Circuit c(3);
+  c.add(Gate::h(0));        // 0
+  c.add(Gate::cx(0, 1));    // 1 depends on 0
+  c.add(Gate::h(2));        // 2 independent
+  c.add(Gate::cx(1, 2));    // 3 depends on 1 (q1) and 2 (q2)
+  const auto edges = c.dependency_edges();
+  const std::vector<std::pair<int, int>> expected = {{0, 1}, {1, 3}, {2, 3}};
+  EXPECT_EQ(edges, expected);
+}
+
+TEST(Circuit, DependencyEdgesDeduplicated) {
+  Circuit c(2);
+  c.add(Gate::cz(0, 1));
+  c.add(Gate::cz(0, 1));  // shares both qubits: one edge, not two
+  EXPECT_EQ(c.dependency_edges().size(), 1u);
+}
+
+TEST(Circuit, NonInsularUnion) {
+  Circuit c(4);
+  c.add(Gate::h(0));
+  c.add(Gate::cz(1, 2));  // fully insular
+  c.add(Gate::cx(3, 1));  // target q1 non-insular
+  const auto u = c.non_insular_qubit_union();
+  EXPECT_EQ(u, (std::vector<Qubit>{0, 1}));
+}
+
+TEST(Circuit, Subcircuit) {
+  Circuit c(2);
+  c.add(Gate::h(0));
+  c.add(Gate::x(1));
+  c.add(Gate::cx(0, 1));
+  const Circuit sub = c.subcircuit({2, 0});
+  ASSERT_EQ(sub.num_gates(), 2);
+  EXPECT_EQ(sub.gate(0).kind(), GateKind::CX);
+  EXPECT_EQ(sub.gate(1).kind(), GateKind::H);
+}
+
+}  // namespace
+}  // namespace atlas

@@ -1,0 +1,224 @@
+// Tests for the LP simplex and the 0/1 branch-and-bound ILP solver on
+// instances with known optima (these are the substrate underneath the
+// paper's ILP-based circuit staging).
+
+#include <gtest/gtest.h>
+
+#include "ilp/solver.h"
+#include "lp/simplex.h"
+
+namespace atlas {
+namespace {
+
+TEST(Simplex, SimpleMaximizationViaNegatedObjective) {
+  // max 3x + 2y s.t. x + y <= 4, x + 3y <= 6, x,y >= 0 -> (4, 0), obj 12.
+  lp::LpProblem p;
+  const int x = p.add_var(-3.0, 1e18);
+  const int y = p.add_var(-2.0, 1e18);
+  p.add_row({{x, y}, {1, 1}, lp::RowSense::LessEq, 4});
+  p.add_row({{x, y}, {1, 3}, lp::RowSense::LessEq, 6});
+  const auto s = lp::solve(p);
+  ASSERT_EQ(s.status, lp::LpStatus::Optimal);
+  EXPECT_NEAR(s.objective, -12.0, 1e-7);
+  EXPECT_NEAR(s.x[x], 4.0, 1e-7);
+  EXPECT_NEAR(s.x[y], 0.0, 1e-7);
+}
+
+TEST(Simplex, EqualityAndGreaterConstraints) {
+  // min x + y s.t. x + y = 2, x >= 0.5 -> obj 2.
+  lp::LpProblem p;
+  const int x = p.add_var(1.0, 1e18);
+  const int y = p.add_var(1.0, 1e18);
+  p.add_row({{x, y}, {1, 1}, lp::RowSense::Eq, 2});
+  p.add_row({{x}, {1}, lp::RowSense::GreaterEq, 0.5});
+  const auto s = lp::solve(p);
+  ASSERT_EQ(s.status, lp::LpStatus::Optimal);
+  EXPECT_NEAR(s.objective, 2.0, 1e-7);
+  EXPECT_GE(s.x[x], 0.5 - 1e-7);
+}
+
+TEST(Simplex, DetectsInfeasible) {
+  lp::LpProblem p;
+  const int x = p.add_var(1.0, 1e18);
+  p.add_row({{x}, {1}, lp::RowSense::LessEq, 1});
+  p.add_row({{x}, {1}, lp::RowSense::GreaterEq, 2});
+  EXPECT_EQ(lp::solve(p).status, lp::LpStatus::Infeasible);
+}
+
+TEST(Simplex, DetectsUnbounded) {
+  lp::LpProblem p;
+  const int x = p.add_var(-1.0, 1e18);  // min -x with x free upward
+  p.add_row({{x}, {1}, lp::RowSense::GreaterEq, 0});
+  EXPECT_EQ(lp::solve(p).status, lp::LpStatus::Unbounded);
+}
+
+TEST(Simplex, RespectsVariableUpperBounds) {
+  lp::LpProblem p;
+  const int x = p.add_var(-1.0, 3.0);  // min -x, x <= 3
+  (void)x;
+  const auto s = lp::solve(p);
+  ASSERT_EQ(s.status, lp::LpStatus::Optimal);
+  EXPECT_NEAR(s.objective, -3.0, 1e-7);
+}
+
+TEST(Simplex, NegativeRhsNormalization) {
+  // -x <= -2  <=>  x >= 2; min x -> 2.
+  lp::LpProblem p;
+  const int x = p.add_var(1.0, 1e18);
+  p.add_row({{x}, {-1}, lp::RowSense::LessEq, -2});
+  const auto s = lp::solve(p);
+  ASSERT_EQ(s.status, lp::LpStatus::Optimal);
+  EXPECT_NEAR(s.objective, 2.0, 1e-7);
+}
+
+TEST(Simplex, DegenerateProblemTerminates) {
+  // Several redundant constraints through the same vertex.
+  lp::LpProblem p;
+  const int x = p.add_var(-1.0, 1e18);
+  const int y = p.add_var(-1.0, 1e18);
+  p.add_row({{x, y}, {1, 1}, lp::RowSense::LessEq, 1});
+  p.add_row({{x, y}, {2, 2}, lp::RowSense::LessEq, 2});
+  p.add_row({{x, y}, {1, 2}, lp::RowSense::LessEq, 2});
+  p.add_row({{x}, {1}, lp::RowSense::LessEq, 1});
+  const auto s = lp::solve(p);
+  ASSERT_EQ(s.status, lp::LpStatus::Optimal);
+  EXPECT_NEAR(s.objective, -1.0, 1e-7);
+}
+
+TEST(Ilp, KnapsackOptimum) {
+  // max 10a + 13b + 7c s.t. 3a + 4b + 2c <= 6 -> {a,c} = 17? vs {b,c}=20.
+  // (weights: a=3,b=4,c=2; b+c = 6 fits, value 20.)
+  ilp::IlpModel m;
+  const int a = m.add_binary(-10, "a");
+  const int b = m.add_binary(-13, "b");
+  const int c = m.add_binary(-7, "c");
+  m.add_constraint({a, b, c}, {3, 4, 2}, lp::RowSense::LessEq, 6);
+  const auto s = m.solve();
+  ASSERT_EQ(s.status, ilp::IlpStatus::Optimal);
+  EXPECT_NEAR(s.objective, -20.0, 1e-6);
+  EXPECT_EQ(s.x[a], 0);
+  EXPECT_EQ(s.x[b], 1);
+  EXPECT_EQ(s.x[c], 1);
+}
+
+TEST(Ilp, SetCoverOptimum) {
+  // Universe {1..5}; sets A={1,2,3}, B={3,4}, C={4,5}, D={1,5}.
+  // Optimal cover = {A, C} (size 2).
+  ilp::IlpModel m;
+  const int A = m.add_binary(1, "A");
+  const int B = m.add_binary(1, "B");
+  const int C = m.add_binary(1, "C");
+  const int D = m.add_binary(1, "D");
+  m.add_constraint({A, D}, {1, 1}, lp::RowSense::GreaterEq, 1);     // 1
+  m.add_constraint({A}, {1}, lp::RowSense::GreaterEq, 1);           // 2
+  m.add_constraint({A, B}, {1, 1}, lp::RowSense::GreaterEq, 1);     // 3
+  m.add_constraint({B, C}, {1, 1}, lp::RowSense::GreaterEq, 1);     // 4
+  m.add_constraint({C, D}, {1, 1}, lp::RowSense::GreaterEq, 1);     // 5
+  const auto s = m.solve();
+  ASSERT_EQ(s.status, ilp::IlpStatus::Optimal);
+  EXPECT_NEAR(s.objective, 2.0, 1e-6);
+  EXPECT_EQ(s.x[A], 1);
+  EXPECT_EQ(s.x[C], 1);
+}
+
+TEST(Ilp, InfeasibleDetected) {
+  ilp::IlpModel m;
+  const int a = m.add_binary(1);
+  const int b = m.add_binary(1);
+  m.add_constraint({a, b}, {1, 1}, lp::RowSense::GreaterEq, 3);  // > 2 max
+  EXPECT_EQ(m.solve().status, ilp::IlpStatus::Infeasible);
+}
+
+TEST(Ilp, EqualityCardinality) {
+  // Choose exactly 2 of 4 items, minimize cost {5,1,3,2} -> items 1,3.
+  ilp::IlpModel m;
+  std::vector<int> v = {m.add_binary(5), m.add_binary(1), m.add_binary(3),
+                        m.add_binary(2)};
+  m.add_constraint(v, {1, 1, 1, 1}, lp::RowSense::Eq, 2);
+  const auto s = m.solve();
+  ASSERT_EQ(s.status, ilp::IlpStatus::Optimal);
+  EXPECT_NEAR(s.objective, 3.0, 1e-6);
+  EXPECT_EQ(s.x[1], 1);
+  EXPECT_EQ(s.x[3], 1);
+}
+
+TEST(Ilp, ImplicationChain) {
+  // x0 <= x1 <= x2, x0 >= 1 forces all; minimize -(x0+x1+x2)+10*x2
+  // forces the chain cost trade-off to still satisfy implications.
+  ilp::IlpModel m;
+  const int x0 = m.add_binary(-1);
+  const int x1 = m.add_binary(-1);
+  const int x2 = m.add_binary(10);
+  m.add_le_sum(x0, {x1});
+  m.add_le_sum(x1, {x2});
+  m.add_constraint({x0}, {1}, lp::RowSense::GreaterEq, 1);
+  const auto s = m.solve();
+  ASSERT_EQ(s.status, ilp::IlpStatus::Optimal);
+  EXPECT_EQ(s.x[x0], 1);
+  EXPECT_EQ(s.x[x1], 1);
+  EXPECT_EQ(s.x[x2], 1);
+  EXPECT_NEAR(s.objective, 8.0, 1e-6);
+}
+
+TEST(Ilp, FractionalLpRequiresBranching) {
+  // Classic: max x+y s.t. 2x+2y <= 3 over binaries -> LP gives 1.5,
+  // integer optimum is 1.
+  ilp::IlpModel m;
+  const int x = m.add_binary(-1);
+  const int y = m.add_binary(-1);
+  m.add_constraint({x, y}, {2, 2}, lp::RowSense::LessEq, 3);
+  const auto s = m.solve();
+  ASSERT_EQ(s.status, ilp::IlpStatus::Optimal);
+  EXPECT_NEAR(s.objective, -1.0, 1e-6);
+}
+
+TEST(Ilp, MediumAssignmentProblem) {
+  // 6x6 assignment: binary x_{ij}, each row/col exactly one, cost
+  // c_{ij} = (i*7 + j*3) % 10. Verify against brute force.
+  const int n = 6;
+  auto cost = [](int i, int j) { return (i * 7 + j * 3) % 10; };
+  ilp::IlpModel m;
+  std::vector<std::vector<int>> x(n, std::vector<int>(n));
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j) x[i][j] = m.add_binary(cost(i, j));
+  for (int i = 0; i < n; ++i) {
+    std::vector<int> row, col;
+    for (int j = 0; j < n; ++j) {
+      row.push_back(x[i][j]);
+      col.push_back(x[j][i]);
+    }
+    m.add_constraint(row, std::vector<double>(n, 1.0), lp::RowSense::Eq, 1);
+    m.add_constraint(col, std::vector<double>(n, 1.0), lp::RowSense::Eq, 1);
+  }
+  const auto s = m.solve();
+  ASSERT_EQ(s.status, ilp::IlpStatus::Optimal);
+
+  // Brute force over all permutations.
+  std::vector<int> perm(n);
+  for (int i = 0; i < n; ++i) perm[i] = i;
+  int best = 1 << 30;
+  do {
+    int c = 0;
+    for (int i = 0; i < n; ++i) c += cost(i, perm[i]);
+    best = std::min(best, c);
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  EXPECT_NEAR(s.objective, best, 1e-6);
+}
+
+TEST(Ilp, NodeBudgetReturnsGracefully) {
+  ilp::IlpModel m;
+  // A slightly awkward parity-flavored instance.
+  std::vector<int> v;
+  for (int i = 0; i < 14; ++i) v.push_back(m.add_binary(i % 3 == 0 ? -1 : 1));
+  for (int i = 0; i + 2 < 14; ++i)
+    m.add_constraint({v[i], v[i + 1], v[i + 2]}, {1, 1, 1},
+                     lp::RowSense::LessEq, 2);
+  const auto s = m.solve(/*max_nodes=*/3);
+  EXPECT_TRUE(s.status == ilp::IlpStatus::Feasible ||
+              s.status == ilp::IlpStatus::NodeLimit ||
+              s.status == ilp::IlpStatus::Optimal);
+  EXPECT_LE(s.nodes_explored, 3);
+}
+
+}  // namespace
+}  // namespace atlas

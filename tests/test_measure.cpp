@@ -1,0 +1,181 @@
+// Tests for measurement/observable utilities, on both full state
+// vectors (sim/measure) and distributed states (exec/queries), and for
+// the circuit transform toolbox (inverse, depth, statistics).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuits/families.h"
+#include "core/atlas.h"
+#include "exec/queries.h"
+#include "ir/transform.h"
+#include "sim/measure.h"
+#include "sim/reference.h"
+
+namespace atlas {
+namespace {
+
+TEST(Measure, GhzProbabilities) {
+  const StateVector sv = simulate_reference(circuits::ghz(5));
+  EXPECT_NEAR(probability(sv, 0), 0.5, 1e-12);
+  EXPECT_NEAR(probability(sv, 31), 0.5, 1e-12);
+  EXPECT_NEAR(probability(sv, 7), 0.0, 1e-12);
+}
+
+TEST(Measure, MarginalOfGhzSingleQubit) {
+  const StateVector sv = simulate_reference(circuits::ghz(6));
+  const auto dist = marginal_distribution(sv, {3});
+  ASSERT_EQ(dist.size(), 2u);
+  EXPECT_NEAR(dist[0], 0.5, 1e-12);
+  EXPECT_NEAR(dist[1], 0.5, 1e-12);
+}
+
+TEST(Measure, MarginalSumsToOne) {
+  const StateVector sv = StateVector::random(8, 3);
+  const auto dist = marginal_distribution(sv, {1, 4, 6});
+  double total = 0;
+  for (double p : dist) total += p;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(Measure, SamplingMatchesDistribution) {
+  // W state: each one-hot outcome with probability 1/n.
+  const int n = 4;
+  const StateVector sv = simulate_reference(circuits::wstate(n));
+  Rng rng(42);
+  const auto samples = sample(sv, 4000, rng);
+  std::vector<int> counts(1 << n, 0);
+  for (Index s : samples) counts[s]++;
+  for (int q = 0; q < n; ++q) {
+    const double freq = counts[1 << q] / 4000.0;
+    EXPECT_NEAR(freq, 0.25, 0.05) << "qubit " << q;
+  }
+}
+
+TEST(Measure, ExpectationZ) {
+  // |0>: <Z>=+1. X|0>=|1>: <Z>=-1. H|0>: <Z>=0.
+  StateVector a(1);
+  EXPECT_NEAR(expectation_z(a, 0), 1.0, 1e-12);
+  {
+    Circuit c(1);
+    c.add(Gate::x(0));
+    EXPECT_NEAR(expectation_z(simulate_reference(c), 0), -1.0, 1e-12);
+  }
+  {
+    Circuit c(1);
+    c.add(Gate::h(0));
+    EXPECT_NEAR(expectation_z(simulate_reference(c), 0), 0.0, 1e-12);
+  }
+}
+
+TEST(Measure, GhzZZCorrelation) {
+  const StateVector sv = simulate_reference(circuits::ghz(5));
+  // GHZ: perfectly correlated in Z.
+  EXPECT_NEAR(expectation_zz(sv, 0, 4), 1.0, 1e-12);
+  EXPECT_NEAR(expectation_z(sv, 2), 0.0, 1e-12);
+}
+
+// --------------------------------------------------------------------------
+// Distributed queries must agree with gathered-state measurements.
+
+TEST(DistQueries, AgreeWithGatheredState) {
+  const int n = 11;
+  const Circuit c = circuits::random_circuit(n, 60, 9);
+  SimulatorConfig cfg;
+  cfg.cluster.local_qubits = 7;
+  cfg.cluster.regional_qubits = 2;
+  cfg.cluster.global_qubits = 2;
+  cfg.cluster.gpus_per_node = 4;
+  const Simulator sim(cfg);
+  const auto result = sim.simulate(c);
+  const StateVector gathered = result.state.gather();
+
+  EXPECT_NEAR(exec::norm_sq(result.state), 1.0, 1e-9);
+  for (Index i : {Index{0}, Index{5}, Index{100}, Index{2047}}) {
+    EXPECT_LT(std::abs(exec::amplitude(result.state, i) - gathered[i]),
+              1e-12);
+  }
+  const auto d1 = exec::marginal_distribution(result.state, {0, 8, 10});
+  const auto d2 = marginal_distribution(gathered, {0, 8, 10});
+  for (std::size_t i = 0; i < d1.size(); ++i)
+    EXPECT_NEAR(d1[i], d2[i], 1e-9);
+  EXPECT_NEAR(exec::expectation_z(result.state, 9),
+              expectation_z(gathered, 9), 1e-9);
+}
+
+TEST(DistQueries, SamplingDistributedGhz) {
+  const int n = 10;
+  SimulatorConfig cfg;
+  cfg.cluster.local_qubits = 7;
+  cfg.cluster.regional_qubits = 2;
+  cfg.cluster.global_qubits = 1;
+  cfg.cluster.gpus_per_node = 4;
+  const Simulator sim(cfg);
+  const auto result = sim.simulate(circuits::ghz(n));
+  Rng rng(7);
+  const auto samples = exec::sample(result.state, 500, rng);
+  const Index all_ones = (Index{1} << n) - 1;
+  int zeros = 0, ones = 0;
+  for (Index s : samples) {
+    if (s == 0) ++zeros;
+    else if (s == all_ones) ++ones;
+    else FAIL() << "GHZ sample was " << s;
+  }
+  EXPECT_GT(zeros, 150);
+  EXPECT_GT(ones, 150);
+}
+
+// --------------------------------------------------------------------------
+// Circuit transforms.
+
+class InverseRoundTripTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(InverseRoundTripTest, CircuitTimesInverseIsIdentity) {
+  const Circuit c = circuits::make_family(GetParam(), 7);
+  const Circuit inv = inverse(c);
+  Circuit round(7);
+  for (const Gate& g : c.gates()) round.add(g);
+  for (const Gate& g : inv.gates()) round.add(g);
+  const StateVector initial = StateVector::random(7, 55);
+  const StateVector out = simulate_reference(round, initial);
+  EXPECT_LT(out.max_abs_diff(initial), 1e-9) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFamilies, InverseRoundTripTest,
+                         ::testing::ValuesIn(circuits::family_names()));
+
+TEST(Transform, InverseOfRandomCircuit) {
+  const Circuit c = circuits::random_circuit(6, 50, 77);
+  const Circuit inv = inverse(c);
+  Circuit round(6);
+  for (const Gate& g : c.gates()) round.add(g);
+  for (const Gate& g : inv.gates()) round.add(g);
+  const StateVector initial = StateVector::random(6, 4);
+  EXPECT_LT(simulate_reference(round, initial).max_abs_diff(initial), 1e-9);
+}
+
+TEST(Transform, Depth) {
+  Circuit c(3);
+  EXPECT_EQ(depth(c), 0);
+  c.add(Gate::h(0));
+  c.add(Gate::h(1));   // parallel with h(0)
+  EXPECT_EQ(depth(c), 1);
+  c.add(Gate::cx(0, 1));
+  EXPECT_EQ(depth(c), 2);
+  c.add(Gate::h(2));   // parallel with everything
+  EXPECT_EQ(depth(c), 2);
+}
+
+TEST(Transform, Statistics) {
+  const Circuit c = circuits::qft(6);
+  const CircuitStats s = statistics(c);
+  EXPECT_EQ(s.num_gates, 21);
+  EXPECT_EQ(s.gate_histogram.at("h"), 6);
+  EXPECT_EQ(s.gate_histogram.at("cp"), 15);
+  EXPECT_EQ(s.fully_insular_gates, 15);  // all cp gates
+  EXPECT_EQ(s.multi_qubit_gates, 15);
+}
+
+}  // namespace
+}  // namespace atlas

@@ -1,0 +1,103 @@
+// QASM parser/printer tests: parsing, expression evaluation, error
+// reporting, and semantic round-trips through simulation.
+
+#include <gtest/gtest.h>
+
+#include <numbers>
+
+#include "circuits/families.h"
+#include "qasm/qasm.h"
+#include "sim/reference.h"
+
+namespace atlas {
+namespace {
+
+TEST(Qasm, ParsesBasicProgram) {
+  const Circuit c = qasm::parse(R"(
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[3];
+creg c[3];
+h q[0];
+cx q[0], q[1];
+rz(pi/4) q[2];
+measure q[0] -> c[0];
+)");
+  EXPECT_EQ(c.num_qubits(), 3);
+  ASSERT_EQ(c.num_gates(), 3);
+  EXPECT_EQ(c.gate(0).kind(), GateKind::H);
+  EXPECT_EQ(c.gate(1).kind(), GateKind::CX);
+  EXPECT_EQ(c.gate(2).kind(), GateKind::RZ);
+  EXPECT_NEAR(c.gate(2).params()[0], std::numbers::pi / 4, 1e-12);
+}
+
+TEST(Qasm, ExpressionArithmetic) {
+  const Circuit c = qasm::parse(
+      "qreg q[1]; rz(-pi) q[0]; rz(2*pi/8) q[0]; rz((1+2)*0.5) q[0];"
+      "rz(pi*(1-0.5)) q[0];");
+  EXPECT_NEAR(c.gate(0).params()[0], -std::numbers::pi, 1e-12);
+  EXPECT_NEAR(c.gate(1).params()[0], std::numbers::pi / 4, 1e-12);
+  EXPECT_NEAR(c.gate(2).params()[0], 1.5, 1e-12);
+  EXPECT_NEAR(c.gate(3).params()[0], std::numbers::pi / 2, 1e-12);
+}
+
+TEST(Qasm, CommentsIgnored) {
+  const Circuit c = qasm::parse(
+      "// header comment\nqreg q[1];\n// another\nh q[0]; // trailing\n");
+  EXPECT_EQ(c.num_gates(), 1);
+}
+
+TEST(Qasm, MultiQubitGates) {
+  const Circuit c = qasm::parse(
+      "qreg q[4]; ccx q[0],q[1],q[2]; cswap q[3],q[0],q[1];"
+      "cp(0.25) q[2],q[3]; rzz(0.5) q[0],q[3];");
+  ASSERT_EQ(c.num_gates(), 4);
+  EXPECT_EQ(c.gate(0).num_controls(), 2);
+  EXPECT_EQ(c.gate(1).num_controls(), 1);
+}
+
+TEST(Qasm, ErrorsCarryLineNumbers) {
+  try {
+    qasm::parse("qreg q[2];\nfrobnicate q[0];");
+    FAIL() << "expected parse error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("frobnicate"), std::string::npos);
+  }
+}
+
+TEST(Qasm, RejectsGateBeforeQreg) {
+  EXPECT_THROW(qasm::parse("h q[0]; qreg q[2];"), Error);
+}
+
+TEST(Qasm, RejectsUnknownRegister) {
+  EXPECT_THROW(qasm::parse("qreg q[2]; h r[0];"), Error);
+}
+
+class QasmRoundTripTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(QasmRoundTripTest, SemanticRoundTrip) {
+  // Serialize a family circuit to QASM, parse it back, and check the
+  // two circuits produce the same state (stronger than text equality).
+  const Circuit original = circuits::make_family(GetParam(), 6);
+  const Circuit reparsed = qasm::parse(qasm::to_qasm(original));
+  EXPECT_EQ(reparsed.num_qubits(), original.num_qubits());
+  EXPECT_EQ(reparsed.num_gates(), original.num_gates());
+  const StateVector a = simulate_reference(original);
+  const StateVector b = simulate_reference(reparsed);
+  EXPECT_LT(a.max_abs_diff(b), 1e-10) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFamilies, QasmRoundTripTest,
+                         ::testing::ValuesIn(circuits::family_names()));
+
+TEST(Qasm, RandomCircuitRoundTrip) {
+  const Circuit original = circuits::random_circuit(5, 60, 31337);
+  const Circuit reparsed = qasm::parse(qasm::to_qasm(original));
+  const StateVector a = simulate_reference(original);
+  const StateVector b = simulate_reference(reparsed);
+  EXPECT_LT(a.max_abs_diff(b), 1e-10);
+}
+
+}  // namespace
+}  // namespace atlas

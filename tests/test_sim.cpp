@@ -1,0 +1,208 @@
+// Tests for the state-vector engine: analytic gate semantics, fusion,
+// shared-memory batch execution, and cross-validation between paths.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "circuits/families.h"
+#include "common/bits.h"
+#include "ir/gate.h"
+#include "sim/apply.h"
+#include "sim/fusion.h"
+#include "sim/reference.h"
+#include "sim/shm_executor.h"
+#include "sim/state_vector.h"
+
+namespace atlas {
+namespace {
+
+using std::numbers::pi;
+
+constexpr double kTol = 1e-10;
+
+TEST(StateVector, InitialState) {
+  StateVector sv(3);
+  EXPECT_EQ(sv.size(), 8u);
+  EXPECT_EQ(sv[0], Amp(1, 0));
+  EXPECT_NEAR(sv.norm_sq(), 1.0, kTol);
+}
+
+TEST(StateVector, RandomIsNormalized) {
+  const StateVector sv = StateVector::random(6, 99);
+  EXPECT_NEAR(sv.norm_sq(), 1.0, kTol);
+}
+
+TEST(Apply, HadamardCreatesUniformSuperposition) {
+  StateVector sv(1);
+  apply_gate(sv, Gate::h(0));
+  EXPECT_NEAR(std::abs(sv[0]), 1 / std::sqrt(2.0), kTol);
+  EXPECT_NEAR(std::abs(sv[1]), 1 / std::sqrt(2.0), kTol);
+}
+
+TEST(Apply, BellState) {
+  StateVector sv(2);
+  apply_gate(sv, Gate::h(0));
+  apply_gate(sv, Gate::cx(0, 1));
+  EXPECT_NEAR(std::abs(sv[0b00]), 1 / std::sqrt(2.0), kTol);
+  EXPECT_NEAR(std::abs(sv[0b11]), 1 / std::sqrt(2.0), kTol);
+  EXPECT_NEAR(std::abs(sv[0b01]), 0.0, kTol);
+  EXPECT_NEAR(std::abs(sv[0b10]), 0.0, kTol);
+}
+
+TEST(Apply, CxOnNonAdjacentQubits) {
+  StateVector sv(4);
+  apply_gate(sv, Gate::x(3));       // |1000>
+  apply_gate(sv, Gate::cx(3, 0));   // control q3 -> flips q0
+  EXPECT_NEAR(std::abs(sv[0b1001]), 1.0, kTol);
+}
+
+TEST(Apply, ControlZeroDoesNothing) {
+  StateVector sv(2);
+  apply_gate(sv, Gate::cx(1, 0));  // control q1 = |0>
+  EXPECT_NEAR(std::abs(sv[0]), 1.0, kTol);
+}
+
+TEST(Apply, SwapExchangesBits) {
+  StateVector sv(3);
+  apply_gate(sv, Gate::x(0));       // |001>
+  apply_gate(sv, Gate::swap(0, 2)); // -> |100>
+  EXPECT_NEAR(std::abs(sv[0b100]), 1.0, kTol);
+}
+
+TEST(Apply, ToffoliTruthTable) {
+  for (int in = 0; in < 8; ++in) {
+    StateVector sv(3);
+    for (int q = 0; q < 3; ++q)
+      if ((in >> q) & 1) apply_gate(sv, Gate::x(q));
+    apply_gate(sv, Gate::ccx(0, 1, 2));
+    const int expected = ((in & 3) == 3) ? (in ^ 4) : in;
+    EXPECT_NEAR(std::abs(sv[expected]), 1.0, kTol) << "input " << in;
+  }
+}
+
+TEST(Apply, PhaseGateOnlyAffectsOneBasisState) {
+  StateVector sv(1);
+  apply_gate(sv, Gate::h(0));
+  apply_gate(sv, Gate::p(0, pi / 3));
+  EXPECT_NEAR(std::arg(sv[1]) - std::arg(sv[0]), pi / 3, kTol);
+}
+
+TEST(Apply, RzzDiagonalPhases) {
+  // rzz(theta) |11> = e^{-i theta/2} |11>.
+  StateVector sv(2);
+  apply_gate(sv, Gate::x(0));
+  apply_gate(sv, Gate::x(1));
+  apply_gate(sv, Gate::rzz(0, 1, 0.8));
+  EXPECT_NEAR(std::arg(sv[3]), -0.4, kTol);
+}
+
+TEST(Apply, MatrixPathMatchesSpecializedPath) {
+  // Apply CX via the generic k-qubit matrix path and via the gate path;
+  // both must agree on a random state.
+  StateVector a = StateVector::random(5, 17);
+  StateVector b = a;
+  apply_gate(a, Gate::cx(2, 4));
+  apply_matrix(b.data(), b.size(), {4, 2}, Gate::cx(2, 4).full_matrix());
+  EXPECT_LT(a.max_abs_diff(b), kTol);
+}
+
+TEST(Apply, GateIsUnitaryOnRandomState) {
+  StateVector sv = StateVector::random(6, 3);
+  apply_gate(sv, Gate::u3(2, 0.3, 0.7, 1.9));
+  apply_gate(sv, Gate::ccx(1, 3, 5));
+  apply_gate(sv, Gate::rxx(0, 4, 0.4));
+  EXPECT_NEAR(sv.norm_sq(), 1.0, kTol);
+}
+
+TEST(Fusion, ExpandMatchesDirectApplication) {
+  const Gate g = Gate::cp(1, 3, 0.9);
+  const std::vector<Qubit> span = {0, 1, 3, 4};
+  const Matrix big = expand_to_qubits(g, span);
+  EXPECT_TRUE(big.is_unitary());
+  // Applying the expanded matrix on span bits == applying the gate.
+  StateVector a = StateVector::random(5, 5);
+  StateVector b = a;
+  apply_gate(a, g);
+  apply_matrix(b.data(), b.size(), {0, 1, 3, 4}, big);
+  EXPECT_LT(a.max_abs_diff(b), kTol);
+}
+
+TEST(Fusion, FusedGateEqualsSequentialApplication) {
+  const std::vector<Gate> gates = {Gate::h(0), Gate::cx(0, 2),
+                                   Gate::rz(2, 0.4), Gate::cx(1, 2)};
+  const Gate fused = fuse_to_gate(gates);
+  EXPECT_EQ(fused.num_qubits(), 3);
+  StateVector a = StateVector::random(4, 8);
+  StateVector b = a;
+  for (const Gate& g : gates) apply_gate(a, g);
+  apply_gate(b, fused);
+  EXPECT_LT(a.max_abs_diff(b), kTol);
+}
+
+TEST(Fusion, OrderMatters) {
+  // [H, X] vs [X, H] fuse to different unitaries.
+  const Matrix hx = fuse_gates({Gate::h(0), Gate::x(0)}, {0});
+  const Matrix xh = fuse_gates({Gate::x(0), Gate::h(0)}, {0});
+  EXPECT_GT(Matrix::max_abs_diff(hx, xh), 0.5);
+}
+
+TEST(Shm, KernelMatchesSequentialApplication) {
+  const std::vector<Gate> gates = {Gate::h(4), Gate::cx(4, 6),
+                                   Gate::t(6), Gate::cz(5, 6)};
+  StateVector a = StateVector::random(8, 21);
+  StateVector b = a;
+  for (const Gate& g : gates) apply_gate(a, g);
+  std::vector<int> identity(8);
+  for (int i = 0; i < 8; ++i) identity[i] = i;
+  const Index batches =
+      run_shared_memory_kernel(b.data(), b.size(), gates, identity);
+  EXPECT_LT(a.max_abs_diff(b), kTol);
+  // Active bits: {0,1,2} ∪ {4,5,6} -> 6 active, 2^8 / 2^6 = 4 batches.
+  EXPECT_EQ(batches, 4u);
+}
+
+TEST(Shm, RejectsOversizedKernels) {
+  std::vector<Gate> gates;
+  for (int q = 0; q < 12; ++q) gates.push_back(Gate::h(q));
+  std::vector<int> identity(12);
+  for (int i = 0; i < 12; ++i) identity[i] = i;
+  StateVector sv(12);
+  EXPECT_THROW(
+      run_shared_memory_kernel(sv.data(), sv.size(), gates, identity), Error);
+}
+
+TEST(Reference, GhzStateAmplitudes) {
+  const StateVector sv = simulate_reference(circuits::ghz(4));
+  EXPECT_NEAR(std::abs(sv[0b0000]), 1 / std::sqrt(2.0), kTol);
+  EXPECT_NEAR(std::abs(sv[0b1111]), 1 / std::sqrt(2.0), kTol);
+}
+
+TEST(Reference, QftMatchesAnalyticFourierAmplitudes) {
+  // QFT of |0...0> is the uniform superposition.
+  const StateVector sv = simulate_reference(circuits::qft(5));
+  for (Index i = 0; i < sv.size(); ++i)
+    EXPECT_NEAR(std::abs(sv[i]), 1.0 / std::sqrt(32.0), kTol);
+}
+
+TEST(Reference, WStateHasExactlyNOneHotAmplitudes) {
+  const int n = 5;
+  const StateVector sv = simulate_reference(circuits::wstate(n));
+  double onehot_mass = 0;
+  for (int q = 0; q < n; ++q) onehot_mass += std::norm(sv[bit(q)]);
+  EXPECT_NEAR(onehot_mass, 1.0, 1e-9);
+  for (int q = 0; q < n; ++q)
+    EXPECT_NEAR(std::abs(sv[bit(q)]), 1 / std::sqrt(double(n)), 1e-9);
+}
+
+TEST(Reference, NormPreservedOnAllFamilies) {
+  for (const auto& name : circuits::family_names()) {
+    const Circuit c = circuits::make_family(name, 6);
+    const StateVector sv = simulate_reference(c);
+    EXPECT_NEAR(sv.norm_sq(), 1.0, 1e-9) << name;
+  }
+}
+
+}  // namespace
+}  // namespace atlas

@@ -83,7 +83,7 @@ inline RunOutcome make_outcome(const exec::ExecutionReport& report,
 inline RunOutcome run_atlas(const Circuit& c, const SimulatorConfig& cfg) {
   Simulator sim(cfg);
   const SimulationResult r = sim.simulate(c);
-  return make_outcome(r.report, cfg, r.plan.stages.size());
+  return make_outcome(r.report, cfg, r.plan->stages.size());
 }
 
 inline RunOutcome run_base(baselines::BaselineKind kind, const Circuit& c,

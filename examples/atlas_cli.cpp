@@ -85,8 +85,8 @@ int main(int argc, char** argv) {
     Simulator sim(cfg);
     const SimulationResult r = sim.simulate(circuit);
     std::printf("plan: %zu stage(s), staging cost %.1f, kernel cost %.2f\n",
-                r.plan.stages.size(), r.plan.staging_comm_cost,
-                r.plan.kernel_cost_total);
+                r.plan->stages.size(), r.plan->staging_comm_cost,
+                r.plan->kernel_cost_total);
     std::printf("run: %.1f ms wall | inter-node %.2f MiB | "
                 "intra-node %.2f MiB | offload %.2f MiB\n",
                 r.report.wall_seconds * 1e3,

@@ -45,7 +45,7 @@ int main(int argc, char** argv) {
                 name, stages, r.totals.offload_bytes / 1048576.0,
                 r.modeled_seconds(comm, 1, 1), r.wall_seconds * 1e3);
   };
-  show("atlas", atlas_result.report, atlas_result.plan.stages.size());
+  show("atlas", atlas_result.report, atlas_result.plan->stages.size());
   show("qdao-like", qdao.report, qdao.plan.stages.size());
 
   std::printf("\natlas swaps each shard once per stage; the QDAO-style\n"

@@ -40,7 +40,7 @@ int main(int argc, char** argv) {
   const StateVector sv = result.state.gather();
   const double p0 = std::norm(sv[0]);
   std::printf("stages: %zu   wall: %.1f ms   inter-node: %.2f MiB\n",
-              result.plan.stages.size(), result.report.wall_seconds * 1e3,
+              result.plan->stages.size(), result.report.wall_seconds * 1e3,
               result.report.totals.inter_node_bytes / 1048576.0);
   std::printf("|<0|QFT^-1 QFT|0>|^2 = %.12f %s\n", p0,
               p0 > 0.999999 ? "(round trip verified)" : "(MISMATCH!)");

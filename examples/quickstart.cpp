@@ -1,7 +1,8 @@
-// Quickstart: build a circuit, simulate it on a simulated 2-node x
-// 4-GPU cluster, and inspect the result.
+// Quickstart: build circuits, submit them concurrently to a Session on
+// a simulated 2-node x 4-GPU cluster, and inspect the results — plus a
+// plan-cache hit on resubmission.
 //
-//   ./build/examples/quickstart
+//   ./build/quickstart
 
 #include <cstdio>
 
@@ -20,23 +21,32 @@ int main() {
   circuit.add(Gate::h(0));
 
   // Machine shape: 2^10 amplitudes per GPU, 4 GPUs per node (2
-  // regional qubits), 2 nodes (1 global qubit).
-  SimulatorConfig cfg;
+  // regional qubits), 2 nodes (1 global qubit). The Session validates
+  // this shape up front and resolves its backends ("auto"/"best"/
+  // "auto" by default) from the registries.
+  SessionConfig cfg;
   cfg.cluster.local_qubits = 10;
   cfg.cluster.regional_qubits = 2;
   cfg.cluster.global_qubits = 1;
   cfg.cluster.gpus_per_node = 4;
 
-  Simulator sim(cfg);
-  SimulationResult result = sim.simulate(circuit);
+  Session session(cfg);
+
+  // Asynchronous submission on the session's dispatch pool.
+  auto pending = session.submit(circuit);
+  SimulationResult result = pending.get();
+
+  // Plans are reusable (paper Section III): replanning the same
+  // circuit is served from the session's LRU cache.
+  session.plan(circuit);
 
   std::printf("quickstart: %d qubits, %d gates\n", circuit.num_qubits(),
               circuit.num_gates());
   std::printf("plan: %zu stage(s), staging comm cost %.1f, kernel cost %.2f\n",
-              result.plan.stages.size(), result.plan.staging_comm_cost,
-              result.plan.kernel_cost_total);
-  for (std::size_t s = 0; s < result.plan.stages.size(); ++s) {
-    const auto& st = result.plan.stages[s];
+              result.plan->stages.size(), result.plan->staging_comm_cost,
+              result.plan->kernel_cost_total);
+  for (std::size_t s = 0; s < result.plan->stages.size(); ++s) {
+    const auto& st = result.plan->stages[s];
     std::printf("  stage %zu: %d gates in %zu kernels\n", s,
                 st.subcircuit.num_gates(), st.kernels.kernels.size());
   }
@@ -44,6 +54,11 @@ int main() {
               result.report.wall_seconds * 1e3,
               100.0 * result.report.comm_seconds /
                   std::max(1e-12, result.report.wall_seconds));
+
+  const PlanCacheStats cache = session.plan_cache_stats();
+  std::printf("plan cache: %llu hit(s), %llu miss(es)\n",
+              static_cast<unsigned long long>(cache.hits),
+              static_cast<unsigned long long>(cache.misses));
 
   // Largest amplitudes of the final state.
   const StateVector sv = result.state.gather();

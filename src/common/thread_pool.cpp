@@ -50,7 +50,9 @@ void ThreadPool::parallel_for(std::size_t n,
   }
   std::atomic<std::size_t> next{0};
   std::exception_ptr first_error;
-  std::mutex err_mu;
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  std::size_t done = 0;
   const std::size_t num_tasks = std::min(n, workers_.size());
   for (std::size_t t = 0; t < num_tasks; ++t) {
     submit([&] {
@@ -60,13 +62,19 @@ void ThreadPool::parallel_for(std::size_t n,
         try {
           fn(i);
         } catch (...) {
-          std::lock_guard<std::mutex> lock(err_mu);
+          std::lock_guard<std::mutex> lock(done_mu);
           if (!first_error) first_error = std::current_exception();
         }
       }
+      std::lock_guard<std::mutex> lock(done_mu);
+      if (++done == num_tasks) done_cv.notify_all();
     });
   }
-  wait_idle();
+  // Wait on this call's own completion count, not pool-wide idleness:
+  // concurrent parallel_for calls (e.g. two Session jobs sharing the
+  // cluster pool) must not act as barriers for each other.
+  std::unique_lock<std::mutex> lock(done_mu);
+  done_cv.wait(lock, [&] { return done == num_tasks; });
   if (first_error) std::rethrow_exception(first_error);
 }
 

@@ -35,7 +35,9 @@ class ThreadPool {
 
   /// Runs fn(i) for i in [0, n), distributing across the pool and
   /// blocking until all iterations complete. Exceptions from tasks are
-  /// rethrown (the first one captured).
+  /// rethrown (the first one captured). Waits on this call's own
+  /// iterations — not pool-wide idleness — so concurrent callers do
+  /// not serialize each other.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
  private:

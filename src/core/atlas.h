@@ -8,65 +8,76 @@
 ///   EXECUTE   = reshard between stages + per-shard kernel launches
 ///   SIMULATE  = PARTITION then EXECUTE
 ///
-/// Quick start:
+/// Quick start — the Session engine API (core/session.h):
 ///
-///   atlas::SimulatorConfig cfg;
+///   atlas::SessionConfig cfg;
 ///   cfg.cluster.local_qubits = 20;    // 2^20 amplitudes per GPU
 ///   cfg.cluster.regional_qubits = 2;  // 4 GPUs per node
 ///   cfg.cluster.global_qubits = 1;    // 2 nodes
 ///   cfg.cluster.gpus_per_node = 4;
-///   atlas::Simulator sim(cfg);
-///   auto result = sim.simulate(atlas::circuits::qft(23));
+///   cfg.stager = "bnb";               // pick any registered backend
+///   atlas::Session session(cfg);      // validates cfg up front
+///
+///   // Asynchronous submission over the session's dispatch pool:
+///   auto f = session.submit(atlas::circuits::qft(23));
+///   atlas::SimulationResult result = f.get();
 ///   // result.state holds the final distributed state vector;
 ///   // result.report carries wall/modeled times and comm statistics.
+///
+///   // Plans are reusable: a second simulate()/submit() of an
+///   // identical circuit skips PARTITION via the LRU plan cache.
+///   session.simulate(atlas::circuits::qft(23));
+///   assert(session.plan_cache_stats().hits >= 1);
+///
+/// Backends live in string-keyed registries — staging::stager_registry()
+/// ("ilp", "bnb", "snuqs", "auto"), kernelize::kernelizer_registry()
+/// ("dp", "ordered", "greedy", "best"), exec::executor_registry()
+/// ("inmemory", "offload", "auto") — and new engines plug in without
+/// touching core headers:
+///
+///   staging::stager_registry().add("mine", [] { return
+///       std::make_shared<MyStager>(); });
+///   cfg.stager = "mine";
+///
+/// The synchronous single-circuit Simulator below is a thin
+/// compatibility shim over Session.
 
 #include <memory>
 
-#include "device/cluster.h"
-#include "exec/executor.h"
-#include "ir/circuit.h"
-#include "kernelize/dp_kernelizer.h"
-#include "staging/stager.h"
+#include "core/session.h"
 
 namespace atlas {
 
-struct SimulatorConfig {
-  device::ClusterConfig cluster;
-  staging::StagingOptions staging;
-  kernelize::CostModel cost_model = kernelize::CostModel::default_model();
-  kernelize::DpOptions kernelize;
-  /// Inter-node cost factor c of Eq. (2); the paper uses 3.
-  double stage_cost_factor = 3.0;
-  device::CommCostModel comm = device::CommCostModel::perlmutter_like();
-};
-
-struct SimulationResult {
-  exec::ExecutionPlan plan;
-  exec::ExecutionReport report;
-  exec::DistState state;
-};
-
+/// Legacy facade: synchronous, single-circuit, default backends. New
+/// code should hold a Session (async submission, plan cache, backend
+/// selection); this shim simply forwards to one.
 class Simulator {
  public:
-  explicit Simulator(SimulatorConfig config);
+  explicit Simulator(SimulatorConfig config)
+      : session_(SessionConfig(std::move(config))) {}
 
-  const SimulatorConfig& config() const { return config_; }
-  const device::Cluster& cluster() const { return cluster_; }
+  const SimulatorConfig& config() const { return session_.config(); }
+  const device::Cluster& cluster() const { return session_.cluster(); }
 
   /// PARTITION: stages the circuit and kernelizes each stage. The plan
   /// is state-independent and reusable across runs (Section III).
-  exec::ExecutionPlan plan(const Circuit& circuit) const;
+  exec::ExecutionPlan plan(const Circuit& circuit) const {
+    return *session_.plan(circuit);
+  }
 
   /// EXECUTE: runs a plan over an existing distributed state.
   exec::ExecutionReport execute(const exec::ExecutionPlan& plan,
-                                exec::DistState& state) const;
+                                exec::DistState& state) const {
+    return session_.execute(plan, state);
+  }
 
   /// SIMULATE: plan + execute from |0...0>.
-  SimulationResult simulate(const Circuit& circuit) const;
+  SimulationResult simulate(const Circuit& circuit) const {
+    return session_.simulate(circuit);
+  }
 
  private:
-  SimulatorConfig config_;
-  device::Cluster cluster_;
+  Session session_;
 };
 
 }  // namespace atlas

@@ -1,0 +1,249 @@
+#include "core/session.h"
+
+#include <algorithm>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+#include "common/error.h"
+#include "staging/stage.h"
+
+namespace atlas {
+namespace {
+
+staging::MachineShape shape_of(const SessionConfig& config) {
+  staging::MachineShape shape;
+  shape.num_local = config.cluster.local_qubits;
+  shape.num_regional = config.cluster.regional_qubits;
+  shape.num_global = config.cluster.global_qubits;
+  shape.cost_factor = config.stage_cost_factor;
+  return shape;
+}
+
+}  // namespace
+
+void validate_session_config(const SessionConfig& config) {
+  const auto& cc = config.cluster;
+  ATLAS_CHECK(cc.local_qubits >= 3 && cc.local_qubits < 40,
+              "cluster.local_qubits must be in [3, 40), got "
+                  << cc.local_qubits);
+  ATLAS_CHECK(cc.regional_qubits >= 0, "cluster.regional_qubits is negative: "
+                                           << cc.regional_qubits);
+  ATLAS_CHECK(cc.global_qubits >= 0,
+              "cluster.global_qubits is negative: " << cc.global_qubits);
+  ATLAS_CHECK(cc.regional_qubits + cc.global_qubits < 24,
+              "cluster has 2^" << (cc.regional_qubits + cc.global_qubits)
+                               << " shards; that cannot be simulated");
+  ATLAS_CHECK(cc.gpus_per_node >= 1,
+              "cluster.gpus_per_node must be >= 1, got " << cc.gpus_per_node);
+  ATLAS_CHECK(cc.gpus_per_node <= cc.shards_per_node(),
+              "cluster.gpus_per_node ("
+                  << cc.gpus_per_node << ") exceeds 2^regional_qubits ("
+                  << cc.shards_per_node()
+                  << "); shrink gpus_per_node or grow regional_qubits");
+  ATLAS_CHECK(cc.num_threads >= 0,
+              "cluster.num_threads is negative: " << cc.num_threads);
+  ATLAS_CHECK(config.dispatch_threads >= 0,
+              "dispatch_threads is negative: " << config.dispatch_threads);
+  ATLAS_CHECK(config.stage_cost_factor > 0,
+              "stage_cost_factor must be positive, got "
+                  << config.stage_cost_factor);
+  ATLAS_CHECK(config.staging.ilp.max_stages >= 1,
+              "staging.ilp.max_stages must be >= 1, got "
+                  << config.staging.ilp.max_stages);
+  ATLAS_CHECK(config.staging.ilp.node_budget >= 0,
+              "staging.ilp.node_budget is negative");
+  ATLAS_CHECK(config.staging.bnb.max_stages >= 1,
+              "staging.bnb.max_stages must be >= 1, got "
+                  << config.staging.bnb.max_stages);
+  ATLAS_CHECK(config.staging.bnb.beam_width >= 1,
+              "staging.bnb.beam_width must be >= 1, got "
+                  << config.staging.bnb.beam_width);
+  ATLAS_CHECK(config.staging.bnb.max_solutions >= 1,
+              "staging.bnb.max_solutions must be >= 1, got "
+                  << config.staging.bnb.max_solutions);
+  ATLAS_CHECK(config.staging.bnb.node_budget >= 0,
+              "staging.bnb.node_budget is negative");
+  ATLAS_CHECK(config.kernelize.prune_threshold >= 1,
+              "kernelize.prune_threshold must be >= 1, got "
+                  << config.kernelize.prune_threshold);
+  ATLAS_CHECK(!config.cost_model.fusion_cost.empty() &&
+                  config.cost_model.max_fusion_qubits + 1 ==
+                      static_cast<int>(config.cost_model.fusion_cost.size()),
+              "cost_model.fusion_cost does not match max_fusion_qubits");
+}
+
+/// LRU plan cache. Keyed by the circuit's structural fingerprint; the
+/// machine shape and backend choice are fixed per Session, so they
+/// need not enter the key. num_qubits/num_gates ride along as cheap
+/// collision guards for the 64-bit hash.
+class Session::PlanCache {
+ public:
+  explicit PlanCache(std::size_t capacity) : capacity_(capacity) {}
+
+  std::shared_ptr<const exec::ExecutionPlan> find(std::uint64_t key,
+                                                  const Circuit& circuit) {
+    if (capacity_ == 0) return nullptr;
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = index_.find(key);
+    if (it == index_.end() ||
+        it->second->num_qubits != circuit.num_qubits() ||
+        it->second->num_gates != circuit.num_gates()) {
+      ++misses_;
+      return nullptr;
+    }
+    entries_.splice(entries_.begin(), entries_, it->second);  // move to MRU
+    ++hits_;
+    return it->second->plan;
+  }
+
+  void insert(std::uint64_t key, const Circuit& circuit,
+              std::shared_ptr<const exec::ExecutionPlan> plan) {
+    if (capacity_ == 0) return;
+    std::lock_guard<std::mutex> lock(mu_);
+    if (index_.count(key)) return;  // a concurrent planner won the race
+    entries_.push_front(Entry{key, circuit.num_qubits(), circuit.num_gates(),
+                              std::move(plan)});
+    index_[key] = entries_.begin();
+    if (entries_.size() > capacity_) {
+      index_.erase(entries_.back().key);
+      entries_.pop_back();
+      ++evictions_;
+    }
+  }
+
+  PlanCacheStats stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    PlanCacheStats s;
+    s.hits = hits_;
+    s.misses = misses_;
+    s.evictions = evictions_;
+    s.size = entries_.size();
+    s.capacity = capacity_;
+    return s;
+  }
+
+  void clear() {
+    std::lock_guard<std::mutex> lock(mu_);
+    entries_.clear();
+    index_.clear();
+  }
+
+ private:
+  struct Entry {
+    std::uint64_t key;
+    int num_qubits;
+    int num_gates;
+    std::shared_ptr<const exec::ExecutionPlan> plan;
+  };
+
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::list<Entry> entries_;  // MRU at front
+  std::unordered_map<std::uint64_t, std::list<Entry>::iterator> index_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+Session::Session(SessionConfig config)
+    : config_((validate_session_config(config), std::move(config))),
+      cluster_(config_.cluster),
+      stager_(staging::stager_registry().create(config_.stager)),
+      kernelizer_(kernelize::kernelizer_registry().create(config_.kernelizer)),
+      executor_(exec::executor_registry().create(config_.executor)),
+      plan_cache_(std::make_unique<PlanCache>(config_.plan_cache_capacity)),
+      dispatch_pool_(std::make_unique<ThreadPool>(
+          config_.dispatch_threads > 0
+              ? static_cast<std::size_t>(config_.dispatch_threads)
+              : std::min<std::size_t>(
+                    4, std::max<std::size_t>(
+                           1, std::thread::hardware_concurrency())))) {
+  executor_->validate(config_.cluster);
+}
+
+Session::~Session() {
+  // Drain in-flight submit() jobs before any member goes away; the
+  // pool's destructor finishes queued tasks, and everything they touch
+  // (cluster, cache, backends) outlives it by member order.
+  dispatch_pool_.reset();
+}
+
+exec::ExecutionPlan Session::build_plan(const Circuit& circuit) const {
+  const auto& cc = config_.cluster;
+  ATLAS_CHECK(circuit.num_qubits() == cc.total_qubits(),
+              "circuit has " << circuit.num_qubits()
+                             << " qubits but the cluster shape totals "
+                             << cc.total_qubits());
+  const staging::MachineShape shape = shape_of(config_);
+  const staging::StagedCircuit staged =
+      stager_->stage(circuit, shape, config_.staging);
+  staging::validate_staging(circuit, staged, shape);
+
+  exec::ExecutionPlan plan;
+  plan.staging_comm_cost = staged.comm_cost;
+  for (const auto& stage : staged.stages) {
+    exec::PlannedStage ps;
+    ps.original_indices = stage.gate_indices;
+    ps.partition = stage.partition;
+    ps.subcircuit = circuit.subcircuit(stage.gate_indices);
+    ps.kernels = kernelizer_->kernelize(ps.subcircuit, config_.cost_model,
+                                        config_.kernelize);
+    kernelize::validate_kernelization(ps.subcircuit, ps.kernels,
+                                      config_.cost_model);
+    plan.kernel_cost_total += ps.kernels.total_cost;
+    plan.stages.push_back(std::move(ps));
+  }
+  return plan;
+}
+
+std::shared_ptr<const exec::ExecutionPlan> Session::plan(
+    const Circuit& circuit) const {
+  const std::uint64_t key = circuit.fingerprint();
+  if (auto cached = plan_cache_->find(key, circuit)) return cached;
+  auto built =
+      std::make_shared<const exec::ExecutionPlan>(build_plan(circuit));
+  plan_cache_->insert(key, circuit, built);
+  return built;
+}
+
+exec::ExecutionReport Session::execute(const exec::ExecutionPlan& plan,
+                                       exec::DistState& state) const {
+  return executor_->execute(plan, cluster_, state);
+}
+
+SimulationResult Session::simulate(const Circuit& circuit) const {
+  SimulationResult result;
+  result.plan = plan(circuit);
+  result.state = executor_->initial_state(*result.plan, cluster_);
+  result.report = executor_->execute(*result.plan, cluster_, result.state);
+  return result;
+}
+
+std::future<SimulationResult> Session::submit(Circuit circuit) const {
+  auto task = std::make_shared<std::packaged_task<SimulationResult()>>(
+      [this, circuit = std::move(circuit)] { return simulate(circuit); });
+  std::future<SimulationResult> future = task->get_future();
+  dispatch_pool_->submit([task] { (*task)(); });
+  return future;
+}
+
+std::vector<SimulationResult> Session::simulate_batch(
+    std::vector<Circuit> circuits) const {
+  std::vector<std::future<SimulationResult>> futures;
+  futures.reserve(circuits.size());
+  for (Circuit& c : circuits) futures.push_back(submit(std::move(c)));
+  std::vector<SimulationResult> results;
+  results.reserve(futures.size());
+  for (auto& f : futures) results.push_back(f.get());
+  return results;
+}
+
+PlanCacheStats Session::plan_cache_stats() const {
+  return plan_cache_->stats();
+}
+
+void Session::clear_plan_cache() const { plan_cache_->clear(); }
+
+}  // namespace atlas

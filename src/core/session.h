@@ -1,0 +1,161 @@
+#pragma once
+
+/// \file session.h
+/// The Atlas engine API: a long-lived Session owning the simulated
+/// cluster, the backend engines (resolved by name from the pluggable
+/// registries), an LRU plan cache, and an async dispatch pool.
+///
+///   atlas::SessionConfig cfg;
+///   cfg.cluster.local_qubits = 20;
+///   cfg.cluster.regional_qubits = 2;
+///   cfg.cluster.global_qubits = 1;
+///   cfg.cluster.gpus_per_node = 4;
+///   cfg.stager = "bnb";                 // any registered staging engine
+///   atlas::Session session(cfg);        // validates cfg, resolves backends
+///
+///   auto f1 = session.submit(atlas::circuits::qft(23));   // async
+///   auto f2 = session.submit(atlas::circuits::ghz(23));
+///   atlas::SimulationResult r1 = f1.get(), r2 = f2.get();
+///
+/// Plans are state-independent and reusable across runs (paper Section
+/// III); the Session exploits that with an LRU cache keyed by the
+/// circuit's structural fingerprint, so repeated workloads skip
+/// PARTITION entirely. plan_cache_stats() exposes hit/miss counters.
+
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "device/cluster.h"
+#include "exec/backend.h"
+#include "ir/circuit.h"
+#include "kernelize/kernelizer.h"
+#include "staging/registry.h"
+
+namespace atlas {
+
+struct SimulatorConfig {
+  device::ClusterConfig cluster;
+  staging::StagingOptions staging;
+  kernelize::CostModel cost_model = kernelize::CostModel::default_model();
+  kernelize::DpOptions kernelize;
+  /// Inter-node cost factor c of Eq. (2); the paper uses 3.
+  double stage_cost_factor = 3.0;
+  device::CommCostModel comm = device::CommCostModel::perlmutter_like();
+};
+
+/// Session construction knobs: everything the legacy SimulatorConfig
+/// carried, plus backend selection by registry name and the plan-cache
+/// and dispatch shapes.
+struct SessionConfig : SimulatorConfig {
+  SessionConfig() = default;
+  SessionConfig(SimulatorConfig base) : SimulatorConfig(std::move(base)) {}
+
+  /// Staging engine (staging::stager_registry() key).
+  std::string stager = "auto";
+  /// Kernelization engine (kernelize::kernelizer_registry() key).
+  std::string kernelizer = "best";
+  /// Execution backend (exec::executor_registry() key).
+  std::string executor = "auto";
+  /// Plans retained in the LRU cache; 0 disables caching.
+  std::size_t plan_cache_capacity = 64;
+  /// Worker threads dispatching submit()/simulate_batch() jobs
+  /// (0 = min(hardware, 4)). Distinct from cluster.num_threads, which
+  /// sizes the per-shard compute pool.
+  int dispatch_threads = 0;
+};
+
+struct SimulationResult {
+  /// The immutable plan this run executed — shared with the session's
+  /// plan cache rather than deep-copied, so cache hits stay cheap.
+  std::shared_ptr<const exec::ExecutionPlan> plan;
+  exec::ExecutionReport report;
+  exec::DistState state;
+};
+
+struct PlanCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::size_t size = 0;
+  std::size_t capacity = 0;
+};
+
+/// A long-lived simulation engine. Thread-safe: plan(), simulate(),
+/// submit(), and simulate_batch() may be called concurrently; results
+/// are bit-identical to sequential execution because every job owns
+/// its state and plans are immutable once built.
+class Session {
+ public:
+  /// Validates `config` (throws atlas::Error naming the offending
+  /// field) and resolves the three backends from their registries
+  /// (throws atlas::Error listing registered names on an unknown one).
+  explicit Session(SessionConfig config);
+  ~Session();
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  const SessionConfig& config() const { return config_; }
+  const device::Cluster& cluster() const { return cluster_; }
+
+  const staging::Stager& stager() const { return *stager_; }
+  const kernelize::Kernelizer& kernelizer() const { return *kernelizer_; }
+  const exec::ExecutorBackend& executor() const { return *executor_; }
+
+  /// PARTITION with memoization: returns the cached plan when an
+  /// identical circuit (by structural fingerprint) was planned before,
+  /// else stages + kernelizes and caches the result. The returned plan
+  /// is immutable and safe to share across threads.
+  std::shared_ptr<const exec::ExecutionPlan> plan(const Circuit& circuit) const;
+
+  /// EXECUTE: runs a plan over an existing distributed state via the
+  /// configured execution backend.
+  exec::ExecutionReport execute(const exec::ExecutionPlan& plan,
+                                exec::DistState& state) const;
+
+  /// SIMULATE: plan (cached) + execute from |0...0>.
+  SimulationResult simulate(const Circuit& circuit) const;
+
+  /// Asynchronous SIMULATE on the session's dispatch pool. Exceptions
+  /// surface from Future::get(). Jobs submitted concurrently share the
+  /// plan cache and the cluster's compute pool.
+  std::future<SimulationResult> submit(Circuit circuit) const;
+
+  /// Simulates a batch concurrently; results are positionally aligned
+  /// with `circuits`.
+  std::vector<SimulationResult> simulate_batch(
+      std::vector<Circuit> circuits) const;
+
+  PlanCacheStats plan_cache_stats() const;
+  void clear_plan_cache() const;
+
+ private:
+  class PlanCache;
+
+  exec::ExecutionPlan build_plan(const Circuit& circuit) const;
+
+  SessionConfig config_;
+  device::Cluster cluster_;
+  std::shared_ptr<const staging::Stager> stager_;
+  std::shared_ptr<const kernelize::Kernelizer> kernelizer_;
+  std::shared_ptr<const exec::ExecutorBackend> executor_;
+  std::unique_ptr<PlanCache> plan_cache_;
+  /// Runs submit() jobs; must be distinct from the cluster pool (whose
+  /// wait_idle() a job calls transitively via execute_plan) and must be
+  /// the first member destroyed so in-flight jobs finish while the rest
+  /// of the session is still alive.
+  std::unique_ptr<ThreadPool> dispatch_pool_;
+};
+
+/// Validates a SessionConfig without constructing a Session: cluster
+/// shape (negative dimensions, gpus_per_node vs. 2^regional_qubits
+/// mismatch, thread counts), staging/kernelize option ranges, and the
+/// cost factor. Throws atlas::Error naming the offending field.
+/// Backend names are checked against the registries at Session
+/// construction, not here, so the check stays side-effect free.
+void validate_session_config(const SessionConfig& config);
+
+}  // namespace atlas

@@ -1,0 +1,63 @@
+#include "exec/backend.h"
+
+#include "common/error.h"
+
+namespace atlas::exec {
+namespace {
+
+class InMemoryBackend final : public ExecutorBackend {
+ public:
+  std::string name() const override { return "inmemory"; }
+  void validate(const device::ClusterConfig& cfg) const override {
+    ATLAS_CHECK(!cfg.offloading(),
+                "the inmemory executor needs one GPU per shard: "
+                    << cfg.shards_per_node() << " shards/node but only "
+                    << cfg.gpus_per_node
+                    << " gpus/node; use the 'offload' executor");
+  }
+  ExecutionReport execute(const ExecutionPlan& plan,
+                          const device::Cluster& cluster,
+                          DistState& state) const override {
+    validate(cluster.config());  // guards direct registry users too
+    return execute_plan(plan, cluster, state);
+  }
+};
+
+class OffloadBackend final : public ExecutorBackend {
+ public:
+  std::string name() const override { return "offload"; }
+  ExecutionReport execute(const ExecutionPlan& plan,
+                          const device::Cluster& cluster,
+                          DistState& state) const override {
+    // execute_plan meters the per-stage swap traffic whenever the
+    // cluster holds more shards than GPUs (Section VII-C).
+    return execute_plan(plan, cluster, state);
+  }
+};
+
+class AutoBackend final : public ExecutorBackend {
+ public:
+  std::string name() const override { return "auto"; }
+  ExecutionReport execute(const ExecutionPlan& plan,
+                          const device::Cluster& cluster,
+                          DistState& state) const override {
+    const char* chosen =
+        cluster.config().offloading() ? "offload" : "inmemory";
+    return executor_registry().create(chosen)->execute(plan, cluster, state);
+  }
+};
+
+}  // namespace
+
+ExecutorRegistry& executor_registry() {
+  static ExecutorRegistry* registry = [] {
+    auto* r = new ExecutorRegistry("executor");
+    r->add("inmemory", [] { return std::make_shared<InMemoryBackend>(); });
+    r->add("offload", [] { return std::make_shared<OffloadBackend>(); });
+    r->add("auto", [] { return std::make_shared<AutoBackend>(); });
+    return r;
+  }();
+  return *registry;
+}
+
+}  // namespace atlas::exec

@@ -1,0 +1,58 @@
+#pragma once
+
+/// \file backend.h
+/// The pluggable execution seam: a polymorphic ExecutorBackend over
+/// EXECUTE plus a string-keyed registry so external runtimes can plug
+/// in without touching core headers. Built-ins:
+///
+///  * "inmemory" — every shard GPU-resident; refuses clusters
+///    configured for DRAM offloading (typed atlas::Error) so capacity
+///    mistakes surface at session construction, not mid-run.
+///  * "offload"  — offload-aware: shards may outnumber GPUs and swap
+///    through them, with the staging traffic metered (Section VII-C).
+///  * "auto"     — picks by ClusterConfig::offloading().
+
+#include <memory>
+#include <string>
+
+#include "common/registry.h"
+#include "exec/executor.h"
+
+namespace atlas::exec {
+
+/// An execution runtime. Implementations run a plan over a distributed
+/// state, mutating the state in place and returning timing/traffic.
+class ExecutorBackend {
+ public:
+  virtual ~ExecutorBackend() = default;
+
+  /// The registry key this backend was built for ("inmemory", ...).
+  virtual std::string name() const = 0;
+
+  /// Called at Session construction with the cluster shape; throws
+  /// atlas::Error when this backend cannot serve it, so capacity
+  /// mistakes surface before any state is allocated.
+  virtual void validate(const device::ClusterConfig&) const {}
+
+  /// Builds the initial |0...0> state for `plan` (stage 0's partition
+  /// as the initial layout). Overridable for backends with bespoke
+  /// placement.
+  virtual DistState initial_state(const ExecutionPlan& plan,
+                                  const device::Cluster& cluster) const {
+    return exec::initial_state(plan, cluster);
+  }
+
+  /// Runs `plan` over `state` on `cluster`.
+  virtual ExecutionReport execute(const ExecutionPlan& plan,
+                                  const device::Cluster& cluster,
+                                  DistState& state) const = 0;
+};
+
+using ExecutorRegistry = Registry<ExecutorBackend>;
+
+/// The process-wide executor registry. Built-ins ("inmemory",
+/// "offload", "auto") are registered on first access; user backends
+/// may be added any time with executor_registry().add(name, factory).
+ExecutorRegistry& executor_registry();
+
+}  // namespace atlas::exec

@@ -1,6 +1,7 @@
 #include "ir/circuit.h"
 
 #include <algorithm>
+#include <cstring>
 
 #include "common/error.h"
 
@@ -57,6 +58,38 @@ int Circuit::num_multi_qubit_gates() const {
   for (const Gate& g : gates_)
     if (g.num_qubits() >= 2) ++n;
   return n;
+}
+
+std::uint64_t Circuit::fingerprint() const {
+  // FNV-1a, 64-bit.
+  std::uint64_t h = 1469598103934665603ull;
+  const auto mix = [&h](std::uint64_t v) {
+    for (int byte = 0; byte < 8; ++byte) {
+      h ^= (v >> (8 * byte)) & 0xffu;
+      h *= 1099511628211ull;
+    }
+  };
+  const auto mix_double = [&](double d) {
+    std::uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(d));
+    std::memcpy(&bits, &d, sizeof(bits));
+    mix(bits);
+  };
+  mix(static_cast<std::uint64_t>(num_qubits_));
+  for (const Gate& g : gates_) {
+    mix(static_cast<std::uint64_t>(g.kind()));
+    mix(static_cast<std::uint64_t>(g.num_controls()));
+    for (Qubit q : g.qubits()) mix(static_cast<std::uint64_t>(q));
+    for (double p : g.params()) mix_double(p);
+    if (g.kind() == GateKind::Unitary) {
+      const Matrix m = g.target_matrix();
+      for (const Amp& a : m.data()) {
+        mix_double(a.real());
+        mix_double(a.imag());
+      }
+    }
+  }
+  return h;
 }
 
 Circuit Circuit::subcircuit(const std::vector<int>& gate_indices) const {

@@ -6,6 +6,7 @@
 /// representation; the dependency DAG (adjacent gate pairs sharing a
 /// qubit) is the `E` of the paper's ILP constraint 8.
 
+#include <cstdint>
 #include <string>
 #include <utility>
 #include <vector>
@@ -50,6 +51,13 @@ class Circuit {
   /// A sub-circuit containing the given gate indices, in the given
   /// order, over the same qubit count.
   Circuit subcircuit(const std::vector<int>& gate_indices) const;
+
+  /// Structural FNV-1a hash over qubit count, gate kinds, qubit lists,
+  /// parameter bit patterns, and explicit unitary matrices. Two
+  /// circuits with equal fingerprints execute identically regardless of
+  /// their names, so the fingerprint (plus the machine shape) keys the
+  /// session plan cache.
+  std::uint64_t fingerprint() const;
 
  private:
   int num_qubits_ = 0;

@@ -29,6 +29,11 @@ namespace atlas::kernelize {
 struct DpOptions {
   /// Pruning threshold T (Appendix B-f); the paper uses 500.
   int prune_threshold = 500;
+  /// kernelize_best() only: also run ORDEREDKERNELIZE and keep the
+  /// cheaper result. The ordered pass costs O(|C|^2) and beats the DP
+  /// only in rare shallow-circuit corner cases (Appendix B-d); turn it
+  /// off to skip that work on hot planning paths.
+  bool also_try_ordered = true;
 };
 
 /// Kernelizes `circuit` (typically one stage's subcircuit) minimizing

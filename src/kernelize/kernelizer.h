@@ -1,29 +1,61 @@
 #pragma once
 
 /// \file kernelizer.h
-/// Production kernelization facade: runs KERNELIZE (the DP of
-/// Algorithm 3) and, because ORDEREDKERNELIZE costs O(|C|^2) which is
-/// negligible next to the DP, also the ordered variant, returning the
-/// cheaper result. The DP's single-qubit *attachment* preprocessing
-/// (Appendix B-d) is a heuristic that can very occasionally cede a
-/// fraction of a percent to the ordered DP on shallow circuits; taking
-/// the min restores Theorem 6 unconditionally for the planner.
+/// The pluggable kernelization seam: a polymorphic Kernelizer
+/// interface over the KERNELIZE engines plus a string-keyed registry
+/// so external engines can plug in without touching core headers.
+/// Built-ins:
+///
+///  * "dp"      — the KERNELIZE DP (Algorithm 3)
+///  * "ordered" — ORDEREDKERNELIZE (Algorithm 5, O(|C|^2))
+///  * "greedy"  — the greedy fusion baseline (Section VII-E)
+///  * "best"    — kernelize_best(), the production default
+///
+/// kernelize_best runs the DP and, when DpOptions::also_try_ordered is
+/// set (the default), also the ordered variant, returning the cheaper
+/// result. The DP's single-qubit *attachment* preprocessing (Appendix
+/// B-d) is a heuristic that can very occasionally cede a fraction of a
+/// percent to the ordered DP on shallow circuits; taking the min
+/// restores Theorem 6 unconditionally for the planner.
 
+#include <memory>
+#include <string>
+
+#include "common/registry.h"
 #include "ir/circuit.h"
 #include "kernelize/cost_model.h"
 #include "kernelize/dp_kernelizer.h"
 #include "kernelize/kernel.h"
-#include "kernelize/ordered.h"
 
 namespace atlas::kernelize {
 
-inline Kernelization kernelize_best(const Circuit& circuit,
-                                    const CostModel& model,
-                                    const DpOptions& options = {}) {
-  Kernelization dp = kernelize_dp(circuit, model, options);
-  Kernelization ordered = kernelize_ordered(circuit, model);
-  return dp.total_cost <= ordered.total_cost ? std::move(dp)
-                                             : std::move(ordered);
-}
+/// A kernelization engine. Implementations must return a result that
+/// passes validate_kernelization() under `model`.
+class Kernelizer {
+ public:
+  virtual ~Kernelizer() = default;
+
+  /// The registry key this engine was built for ("dp", ...).
+  virtual std::string name() const = 0;
+
+  /// Kernelizes `circuit` (typically one stage's subcircuit) under
+  /// `model`. Engines read the DpOptions knobs they understand and
+  /// ignore the rest.
+  virtual Kernelization kernelize(const Circuit& circuit,
+                                  const CostModel& model,
+                                  const DpOptions& options) const = 0;
+};
+
+using KernelizerRegistry = Registry<Kernelizer>;
+
+/// The process-wide kernelizer registry. Built-ins ("dp", "ordered",
+/// "greedy", "best") are registered on first access; user engines may
+/// be added any time with kernelizer_registry().add(name, factory).
+KernelizerRegistry& kernelizer_registry();
+
+/// Production default: the DP, plus the ordered pass when
+/// `options.also_try_ordered` — see the file comment.
+Kernelization kernelize_best(const Circuit& circuit, const CostModel& model,
+                             const DpOptions& options = {});
 
 }  // namespace atlas::kernelize

@@ -1,0 +1,47 @@
+#pragma once
+
+/// \file registry.h
+/// The pluggable staging seam: a polymorphic Stager interface over the
+/// STAGE engines (ilp, bnb, snuqs, auto) plus a string-keyed registry
+/// so external engines can plug in without touching core headers.
+/// SessionConfig::stager selects by name; stage_circuit() keeps the
+/// legacy enum path routed through the same registry.
+
+#include <memory>
+#include <string>
+
+#include "common/registry.h"
+#include "staging/stager.h"
+
+namespace atlas::staging {
+
+/// A staging engine. Implementations must return a staging that passes
+/// validate_staging() for the given shape, and throw atlas::Error when
+/// none exists (e.g. a gate with more non-insular qubits than local
+/// capacity).
+class Stager {
+ public:
+  virtual ~Stager() = default;
+
+  /// The registry key this engine was built for ("bnb", ...).
+  virtual std::string name() const = 0;
+
+  /// Stages `circuit` for `shape`. `options` carries the per-engine
+  /// tuning knobs; engines read their own sub-struct and ignore the
+  /// rest.
+  virtual StagedCircuit stage(const Circuit& circuit,
+                              const MachineShape& shape,
+                              const StagingOptions& options) const = 0;
+};
+
+using StagerRegistry = Registry<Stager>;
+
+/// The process-wide stager registry. Built-ins ("ilp", "bnb", "snuqs",
+/// "auto") are registered on first access; user engines may be added
+/// any time with stager_registry().add(name, factory).
+StagerRegistry& stager_registry();
+
+/// The registry key for a legacy StagerEngine enum value.
+const char* stager_engine_name(StagerEngine engine);
+
+}  // namespace atlas::staging

@@ -1,36 +1,16 @@
 #include "staging/stager.h"
 
-#include "common/error.h"
-#include "staging/snuqs.h"
+#include "staging/registry.h"
 
 namespace atlas::staging {
 
 StagedCircuit stage_circuit(const Circuit& circuit, const MachineShape& shape,
                             const StagingOptions& options) {
-  switch (options.engine) {
-    case StagerEngine::Ilp: {
-      auto staged = stage_with_ilp(circuit, shape, options.ilp);
-      ATLAS_CHECK(staged.has_value(),
-                  "ILP stager exhausted its node budget; use the Bnb engine");
-      return *std::move(staged);
-    }
-    case StagerEngine::Bnb:
-      return stage_with_bnb(circuit, shape, options.bnb);
-    case StagerEngine::SnuQS:
-      return stage_with_snuqs(circuit, shape);
-    case StagerEngine::Auto: {
-      // The general MIP solver is exact but dense; reserve it for
-      // small models and use the specialized search otherwise.
-      const ReducedCircuit rc = reduce(circuit);
-      if (static_cast<int>(rc.gates.size()) <= 12 &&
-          circuit.num_qubits() <= 9) {
-        auto staged = stage_with_ilp(circuit, shape, options.ilp);
-        if (staged.has_value()) return *std::move(staged);
-      }
-      return stage_with_bnb(circuit, shape, options.bnb);
-    }
-  }
-  throw Error("unknown stager engine");
+  // The legacy enum path and the Session's by-name path share one
+  // implementation: resolve the engine from the registry.
+  return stager_registry()
+      .create(stager_engine_name(options.engine))
+      ->stage(circuit, shape, options);
 }
 
 }  // namespace atlas::staging

@@ -216,11 +216,11 @@ TEST(EndToEnd, ReportAccounting) {
   const Circuit c = circuits::su2random(n);
   const Simulator sim(small_config(n, 8, 2, 1, 4));
   const SimulationResult r = sim.simulate(c);
-  EXPECT_EQ(r.report.stages.size(), r.plan.stages.size());
+  EXPECT_EQ(r.report.stages.size(), r.plan->stages.size());
   EXPECT_GT(r.report.wall_seconds, 0.0);
   EXPECT_GT(r.report.totals.kernel_bytes, 0u);
   // Multi-stage plans must have moved data between devices.
-  if (r.plan.stages.size() > 1)
+  if (r.plan->stages.size() > 1)
     EXPECT_GT(r.report.totals.intra_node_bytes +
                   r.report.totals.inter_node_bytes,
               0u);

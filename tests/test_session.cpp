@@ -1,0 +1,364 @@
+// Session API tests: backend registries (built-ins, custom engines,
+// unknown names), construction-time config validation, plan-cache
+// behavior (hits, eviction, disabling), legacy-Simulator equivalence,
+// and concurrent submit() determinism.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "circuits/families.h"
+#include "core/atlas.h"
+#include "kernelize/ordered.h"
+#include "staging/snuqs.h"
+
+namespace atlas {
+namespace {
+
+SessionConfig small_config(int local = 5, int regional = 1, int global = 1) {
+  SessionConfig cfg;
+  cfg.cluster.local_qubits = local;
+  cfg.cluster.regional_qubits = regional;
+  cfg.cluster.global_qubits = global;
+  cfg.cluster.gpus_per_node = 1 << regional;
+  cfg.cluster.num_threads = 2;
+  return cfg;
+}
+
+std::vector<Amp> amplitudes(const SimulationResult& r) {
+  const StateVector sv = r.state.gather();
+  std::vector<Amp> out(sv.size());
+  for (Index i = 0; i < sv.size(); ++i) out[i] = sv[i];
+  return out;
+}
+
+// --- registries ---------------------------------------------------------
+
+TEST(Registry, BuiltinsRegistered) {
+  for (const char* name : {"ilp", "bnb", "snuqs", "auto"})
+    EXPECT_TRUE(staging::stager_registry().contains(name)) << name;
+  for (const char* name : {"dp", "ordered", "greedy", "best"})
+    EXPECT_TRUE(kernelize::kernelizer_registry().contains(name)) << name;
+  for (const char* name : {"inmemory", "offload", "auto"})
+    EXPECT_TRUE(exec::executor_registry().contains(name)) << name;
+}
+
+TEST(Registry, UnknownNameThrowsListingRegistered) {
+  try {
+    staging::stager_registry().create("no-such-engine");
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("no-such-engine"), std::string::npos);
+    EXPECT_NE(what.find("bnb"), std::string::npos);  // lists known names
+  }
+}
+
+TEST(Registry, SessionRejectsUnknownBackendNames) {
+  SessionConfig cfg = small_config();
+  cfg.stager = "no-such-stager";
+  EXPECT_THROW(Session{cfg}, Error);
+  cfg = small_config();
+  cfg.kernelizer = "no-such-kernelizer";
+  EXPECT_THROW(Session{cfg}, Error);
+  cfg = small_config();
+  cfg.executor = "no-such-executor";
+  EXPECT_THROW(Session{cfg}, Error);
+}
+
+TEST(Registry, DuplicateRegistrationThrows) {
+  EXPECT_THROW(
+      staging::stager_registry().add("bnb", [] {
+        return std::shared_ptr<staging::Stager>();
+      }),
+      Error);
+}
+
+std::atomic<int> counting_stager_calls{0};
+std::atomic<int> counting_kernelizer_calls{0};
+
+class CountingStager final : public staging::Stager {
+ public:
+  std::string name() const override { return "test-counting"; }
+  staging::StagedCircuit stage(const Circuit& circuit,
+                               const staging::MachineShape& shape,
+                               const staging::StagingOptions&) const override {
+    ++counting_stager_calls;
+    return staging::stage_with_snuqs(circuit, shape);
+  }
+};
+
+class CountingKernelizer final : public kernelize::Kernelizer {
+ public:
+  std::string name() const override { return "test-counting"; }
+  kernelize::Kernelization kernelize(
+      const Circuit& circuit, const kernelize::CostModel& model,
+      const kernelize::DpOptions&) const override {
+    ++counting_kernelizer_calls;
+    return kernelize::kernelize_ordered(circuit, model);
+  }
+};
+
+TEST(Registry, CustomBackendsDriveASession) {
+  staging::stager_registry().add(
+      "test-counting", [] { return std::make_shared<CountingStager>(); });
+  kernelize::kernelizer_registry().add(
+      "test-counting", [] { return std::make_shared<CountingKernelizer>(); });
+
+  SessionConfig cfg = small_config();
+  cfg.stager = "test-counting";
+  cfg.kernelizer = "test-counting";
+  Session session(cfg);
+  EXPECT_EQ(session.stager().name(), "test-counting");
+
+  const Circuit c = circuits::qft(7);
+  const SimulationResult custom = session.simulate(c);
+  EXPECT_GT(counting_stager_calls.load(), 0);
+  EXPECT_GT(counting_kernelizer_calls.load(), 0);
+
+  // A different planning pipeline must still produce the same state.
+  const Session reference(small_config());
+  EXPECT_EQ(amplitudes(custom), amplitudes(reference.simulate(c)));
+}
+
+// --- config validation --------------------------------------------------
+
+TEST(SessionConfigValidation, RejectsBadClusterShapes) {
+  SessionConfig cfg = small_config();
+  cfg.cluster.regional_qubits = -1;
+  EXPECT_THROW(Session{cfg}, Error);
+
+  cfg = small_config();
+  cfg.cluster.local_qubits = -3;
+  EXPECT_THROW(Session{cfg}, Error);
+
+  cfg = small_config();
+  cfg.cluster.gpus_per_node = 4;  // > 2^regional_qubits = 2
+  try {
+    Session session(cfg);
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("gpus_per_node"), std::string::npos);
+  }
+
+  // Negative thread counts must fail fast instead of wrapping around to
+  // a huge unsigned pool size.
+  cfg = small_config();
+  cfg.cluster.num_threads = -2;
+  EXPECT_THROW(Session{cfg}, Error);
+
+  cfg = small_config();
+  cfg.dispatch_threads = -1;
+  EXPECT_THROW(Session{cfg}, Error);
+}
+
+TEST(SessionConfigValidation, RejectsBadOptionRanges) {
+  SessionConfig cfg = small_config();
+  cfg.kernelize.prune_threshold = 0;
+  EXPECT_THROW(Session{cfg}, Error);
+
+  cfg = small_config();
+  cfg.staging.bnb.beam_width = 0;
+  EXPECT_THROW(Session{cfg}, Error);
+
+  cfg = small_config();
+  cfg.stage_cost_factor = -1;
+  EXPECT_THROW(Session{cfg}, Error);
+}
+
+// --- plan cache ---------------------------------------------------------
+
+TEST(PlanCache, SecondPlanOfIdenticalCircuitHits) {
+  const Session session(small_config());
+  const Circuit c = circuits::qft(7);
+  const auto p1 = session.plan(c);
+  const auto p2 = session.plan(c);
+  EXPECT_EQ(p1.get(), p2.get());  // literally the same plan object
+
+  const PlanCacheStats stats = session.plan_cache_stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.size, 1u);
+
+  // A structurally identical rebuild (different name) also hits.
+  Circuit c2 = circuits::qft(7);
+  c2.set_name("renamed");
+  session.plan(c2);
+  EXPECT_EQ(session.plan_cache_stats().hits, 2u);
+}
+
+TEST(PlanCache, DistinctCircuitsMissAndLruEvicts) {
+  SessionConfig cfg = small_config();
+  cfg.plan_cache_capacity = 1;
+  const Session session(cfg);
+  session.plan(circuits::qft(7));
+  session.plan(circuits::ghz(7));      // evicts the qft plan
+  session.plan(circuits::qft(7));      // cold again
+  const PlanCacheStats stats = session.plan_cache_stats();
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.misses, 3u);
+  EXPECT_EQ(stats.evictions, 2u);
+  EXPECT_EQ(stats.size, 1u);
+}
+
+TEST(PlanCache, ZeroCapacityDisablesCaching) {
+  SessionConfig cfg = small_config();
+  cfg.plan_cache_capacity = 0;
+  const Session session(cfg);
+  const Circuit c = circuits::ising(7);
+  const auto p1 = session.plan(c);
+  const auto p2 = session.plan(c);
+  EXPECT_NE(p1.get(), p2.get());
+  EXPECT_EQ(session.plan_cache_stats().hits, 0u);
+}
+
+TEST(PlanCache, ClearResetsEntries) {
+  const Session session(small_config());
+  const Circuit c = circuits::qft(7);
+  session.plan(c);
+  session.clear_plan_cache();
+  EXPECT_EQ(session.plan_cache_stats().size, 0u);
+  session.plan(c);
+  EXPECT_EQ(session.plan_cache_stats().misses, 2u);
+}
+
+TEST(Fingerprint, StructuralNotNominal) {
+  Circuit a = circuits::qft(7);
+  Circuit b = circuits::qft(7);
+  b.set_name("other");
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+  EXPECT_NE(a.fingerprint(), circuits::qft(6).fingerprint());
+
+  Circuit p1(2), p2(2);
+  p1.add(Gate::rz(0, 0.25));
+  p2.add(Gate::rz(0, 0.50));
+  EXPECT_NE(p1.fingerprint(), p2.fingerprint());
+}
+
+// --- equivalence and concurrency ----------------------------------------
+
+TEST(Session, MatchesLegacySimulatorOnThreeFamilies) {
+  const SessionConfig cfg = small_config();
+  const Session session(cfg);
+  const Simulator simulator{SimulatorConfig(cfg)};
+  for (const Circuit& c :
+       {circuits::qft(7), circuits::ghz(7), circuits::ising(7)}) {
+    EXPECT_EQ(amplitudes(session.simulate(c)),
+              amplitudes(simulator.simulate(c)))
+        << c.name();
+  }
+}
+
+TEST(Session, SubmitMatchesSynchronousSimulate) {
+  const Session session(small_config());
+  const Circuit c = circuits::wstate(7);
+  auto future = session.submit(c);
+  EXPECT_EQ(amplitudes(future.get()), amplitudes(session.simulate(c)));
+}
+
+TEST(Session, SubmitPropagatesErrors) {
+  const Session session(small_config());
+  auto future = session.submit(circuits::qft(9));  // wrong qubit count
+  EXPECT_THROW(future.get(), Error);
+}
+
+TEST(Session, ConcurrentSubmitFromManyThreadsIsBitIdentical) {
+  SessionConfig cfg = small_config();
+  cfg.dispatch_threads = 4;
+  const Session session(cfg);
+
+  const std::vector<Circuit> jobs = {
+      circuits::qft(7),   circuits::ghz(7),    circuits::ising(7),
+      circuits::dj(7),    circuits::wstate(7), circuits::qft(7),
+      circuits::qsvm(7),  circuits::ghz(7)};
+
+  // Sequential ground truth through the legacy shim.
+  const Simulator simulator{SimulatorConfig(cfg)};
+  std::vector<std::vector<Amp>> expected;
+  for (const Circuit& c : jobs) expected.push_back(amplitudes(simulator.simulate(c)));
+
+  // Four caller threads race submissions into the session.
+  std::vector<std::future<SimulationResult>> futures(jobs.size());
+  {
+    std::vector<std::thread> callers;
+    std::atomic<std::size_t> next{0};
+    for (int t = 0; t < 4; ++t) {
+      callers.emplace_back([&] {
+        for (;;) {
+          const std::size_t i = next.fetch_add(1);
+          if (i >= jobs.size()) break;
+          futures[i] = session.submit(jobs[i]);
+        }
+      });
+    }
+    for (auto& th : callers) th.join();
+  }
+  for (std::size_t i = 0; i < jobs.size(); ++i)
+    EXPECT_EQ(amplitudes(futures[i].get()), expected[i]) << jobs[i].name();
+
+  // Racing duplicates may each build cold, but once the dust settles
+  // every one of the four distinct structures is cached: re-planning
+  // the full job list must be all hits.
+  const std::uint64_t hits_before = session.plan_cache_stats().hits;
+  for (const Circuit& c : jobs) session.plan(c);
+  EXPECT_EQ(session.plan_cache_stats().hits, hits_before + jobs.size());
+}
+
+TEST(Session, SimulateBatchAlignsResults) {
+  const Session session(small_config());
+  std::vector<Circuit> batch = {circuits::qft(7), circuits::ghz(7)};
+  const auto results = session.simulate_batch(batch);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(amplitudes(results[0]),
+            amplitudes(session.simulate(circuits::qft(7))));
+  EXPECT_EQ(amplitudes(results[1]),
+            amplitudes(session.simulate(circuits::ghz(7))));
+}
+
+// --- executor backends --------------------------------------------------
+
+TEST(ExecutorBackend, InMemoryRefusesOffloadClusters) {
+  SessionConfig cfg = small_config();
+  cfg.cluster.gpus_per_node = 1;  // 2 shards/node -> offloading
+  cfg.executor = "inmemory";
+  // Refused at construction, before any state is allocated.
+  try {
+    Session session(cfg);
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("inmemory"), std::string::npos);
+  }
+
+  cfg.executor = "offload";
+  const Session offload_session(cfg);
+  const auto r = offload_session.simulate(circuits::qft(7));
+  EXPECT_GT(r.report.totals.offload_bytes, 0u);
+
+  // "auto" must route offload clusters to the offload backend.
+  cfg.executor = "auto";
+  const Session auto_session(cfg);
+  EXPECT_EQ(amplitudes(auto_session.simulate(circuits::qft(7))),
+            amplitudes(offload_session.simulate(circuits::qft(7))));
+}
+
+// --- kernelize_best toggle ----------------------------------------------
+
+TEST(KernelizeBest, AlsoTryOrderedToggleKeepsValidity) {
+  const Circuit c = circuits::qft(7);
+  const auto model = kernelize::CostModel::default_model();
+  kernelize::DpOptions opts;
+  opts.also_try_ordered = false;
+  const auto dp_only = kernelize::kernelize_best(c, model, opts);
+  kernelize::validate_kernelization(c, dp_only, model);
+  opts.also_try_ordered = true;
+  const auto both = kernelize::kernelize_best(c, model, opts);
+  // Taking the min over an extra candidate can only help.
+  EXPECT_LE(both.total_cost, dp_only.total_cost);
+}
+
+}  // namespace
+}  // namespace atlas

@@ -1,0 +1,164 @@
+// bench_param_sweep — the compile-once / bind-many payoff on a
+// variational workload: a 64-point parameter sweep of an RZZ/RX ansatz
+// (QAOA-style: per-layer entangler angle gamma_l and mixer angle
+// theta_l), three ways:
+//
+//   cold-replan : plan cache disabled — every point pays staging +
+//                 kernelization, which is what the pre-structural-cache
+//                 engine did for distinct parameter values;
+//   naive loop  : sequential simulate() per point — the structural
+//                 cache plans once, but each point still rebuilds and
+//                 re-hashes the circuit and runs alone;
+//   sweep()     : one compile(), bindings fanned across the dispatch
+//                 pool against the shared plan.
+//
+// Prints per-mode wall time, plan-cache miss counts, and speedups, and
+// verifies the three modes produce bit-identical states. `--smoke`
+// shrinks the sweep for CI.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/timer.h"
+#include "util.h"
+
+namespace atlas::bench {
+namespace {
+
+Circuit make_ansatz(int n, int layers) {
+  Circuit c(n, "param_sweep_ansatz");
+  for (Qubit q = 0; q < n; ++q) c.add(Gate::h(q));
+  for (int l = 0; l < layers; ++l) {
+    const Param gamma = Param::symbol("gamma" + std::to_string(l));
+    const Param theta = Param::symbol("theta" + std::to_string(l));
+    for (Qubit q = 0; q < n; ++q) c.add(Gate::rzz(q, (q + 1) % n, gamma));
+    for (Qubit q = 0; q < n; ++q) c.add(Gate::rx(q, theta));
+  }
+  return c;
+}
+
+std::vector<ParamBinding> make_bindings(int points, int layers) {
+  std::vector<ParamBinding> bindings;
+  bindings.reserve(points);
+  for (int i = 0; i < points; ++i) {
+    ParamBinding b;
+    for (int l = 0; l < layers; ++l) {
+      b.set("gamma" + std::to_string(l), 0.11 * (i + 1) + 0.37 * l);
+      b.set("theta" + std::to_string(l), 0.07 * (i + 1) - 0.23 * l);
+    }
+    bindings.push_back(std::move(b));
+  }
+  return bindings;
+}
+
+std::vector<Amp> amplitudes(const SimulationResult& r) {
+  const StateVector sv = r.state.gather();
+  return sv.amplitudes();
+}
+
+int run(bool smoke) {
+  const int local = smoke ? 6 : 10;
+  const int nonlocal = 2;
+  const int layers = 2;
+  const int points = smoke ? 8 : 64;
+  const int n = local + nonlocal;
+
+  print_header("Parameter sweep: naive simulate() loop vs compile()+sweep()",
+               "1000-point VQE/QAOA sweeps re-staging every point",
+               (std::to_string(points) + "-point sweep, " +
+                std::to_string(n) + "-qubit 2-layer RZZ/RX ansatz")
+                   .c_str());
+
+  SessionConfig cfg{scaled_config(local, nonlocal, /*threads=*/2)};
+  cfg.dispatch_threads = 4;
+  const Circuit ansatz = make_ansatz(n, layers);
+  const std::vector<ParamBinding> bindings = make_bindings(points, layers);
+
+  // --- cold-replan: every point stages + kernelizes from scratch.
+  SessionConfig cold_cfg = cfg;
+  cold_cfg.plan_cache_capacity = 0;
+  const Session cold_session(cold_cfg);
+  Timer cold_timer;
+  std::vector<Amp> cold_last;
+  for (const ParamBinding& b : bindings)
+    cold_last = amplitudes(cold_session.simulate(ansatz.bind(b)));
+  const double cold_seconds = cold_timer.seconds();
+  const auto cold_stats = cold_session.plan_cache_stats();
+
+  // --- naive loop: structural cache plans once, runs sequentially.
+  const Session naive_session(cfg);
+  Timer naive_timer;
+  std::vector<Amp> naive_last;
+  for (const ParamBinding& b : bindings)
+    naive_last = amplitudes(naive_session.simulate(ansatz.bind(b)));
+  const double naive_seconds = naive_timer.seconds();
+  const auto naive_stats = naive_session.plan_cache_stats();
+
+  // --- compile + sweep: one plan, bindings fanned across the pool.
+  const Session sweep_session(cfg);
+  Timer sweep_timer;
+  const CompiledCircuit compiled = sweep_session.compile(ansatz);
+  const std::vector<SimulationResult> results =
+      sweep_session.sweep(compiled, bindings);
+  const double sweep_seconds = sweep_timer.seconds();
+  const auto sweep_stats = sweep_session.plan_cache_stats();
+
+  std::printf("\n%-12s %12s %14s %12s\n", "mode", "wall [s]", "plan misses",
+              "plan hits");
+  std::printf("%-12s %12.4f %14llu %12llu\n", "cold-replan", cold_seconds,
+              static_cast<unsigned long long>(cold_stats.misses),
+              static_cast<unsigned long long>(cold_stats.hits));
+  std::printf("%-12s %12.4f %14llu %12llu\n", "naive loop", naive_seconds,
+              static_cast<unsigned long long>(naive_stats.misses),
+              static_cast<unsigned long long>(naive_stats.hits));
+  std::printf("%-12s %12.4f %14llu %12llu\n", "sweep()", sweep_seconds,
+              static_cast<unsigned long long>(sweep_stats.misses),
+              static_cast<unsigned long long>(sweep_stats.hits));
+  std::printf("\nspeedup sweep() vs cold-replan : %6.2fx\n",
+              cold_seconds / sweep_seconds);
+  // Informational: the naive loop already shares the structural plan
+  // cache, and per-run execution parallelizes across shards, so on a
+  // loaded host the dispatch fan-out can land near 1x here. The
+  // architectural win this bench gates on is skipping the per-point
+  // staging+kernelization above.
+  std::printf("speedup sweep() vs naive loop  : %6.2fx (informational)\n",
+              naive_seconds / sweep_seconds);
+
+  // Correctness gate: the three modes must agree bit for bit on the
+  // final sweep point (they execute identical kernels on identical
+  // matrices; any drift means the slot binding is broken).
+  const std::vector<Amp> sweep_last = amplitudes(results.back());
+  if (sweep_last != naive_last || sweep_last != cold_last) {
+    std::printf("FAIL: sweep() state differs from per-binding simulate()\n");
+    return 1;
+  }
+  if (sweep_stats.misses != 1) {
+    std::printf("FAIL: expected exactly 1 plan-cache miss for the sweep, "
+                "got %llu\n",
+                static_cast<unsigned long long>(sweep_stats.misses));
+    return 1;
+  }
+  // Perf gate (full mode only — smoke runs on noisy CI workers): the
+  // sweep must clearly beat paying staging+kernelization per point.
+  if (!smoke && cold_seconds < 1.2 * sweep_seconds) {
+    std::printf("FAIL: sweep() not measurably faster than cold replanning "
+                "(%.4fs vs %.4fs)\n",
+                sweep_seconds, cold_seconds);
+    return 1;
+  }
+  std::printf("check: all modes bit-identical, sweep planned once — %s\n",
+              smoke ? "SMOKE PASS" : "PASS");
+  return 0;
+}
+
+}  // namespace
+}  // namespace atlas::bench
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  return atlas::bench::run(smoke);
+}

@@ -6,8 +6,7 @@
 //   atlas_cli <family|file.qasm> [--qubits n] [--local L] [--regional R]
 //             [--global G] [--gpus-per-node g] [--shots k] [--seed s]
 //
-//   e.g. ./build/examples/atlas_cli ghz --qubits 18 --local 14 \
-//            --regional 2 --global 2 --shots 8
+//   e.g. ./build/atlas_cli ghz --qubits 18 --local 14 --regional 2 --global 2 --shots 8
 
 #include <cstdio>
 #include <cstdlib>

@@ -21,13 +21,23 @@
 ///   // Asynchronous submission over the session's dispatch pool:
 ///   auto f = session.submit(atlas::circuits::qft(23));
 ///   atlas::SimulationResult result = f.get();
-///   // result.state holds the final distributed state vector;
-///   // result.report carries wall/modeled times and comm statistics.
+///   // result carries the report (wall/modeled times, comm stats) and
+///   // answers observable queries through its typed facade:
+///   //   result.probability(i), result.expectation_z(q),
+///   //   result.marginal({0,1}), result.sample(1024, rng)
 ///
-///   // Plans are reusable: a second simulate()/submit() of an
-///   // identical circuit skips PARTITION via the LRU plan cache.
+///   // Plans are reusable: a second simulate()/submit() of a
+///   // structurally identical circuit skips PARTITION via the LRU
+///   // plan cache (keys are value-independent).
 ///   session.simulate(atlas::circuits::qft(23));
 ///   assert(session.plan_cache_stats().hits >= 1);
+///
+/// Variational workloads compile once and bind many (core/compiled.h):
+///
+///   atlas::Circuit ansatz = ...;             // Gate::rx(q, Param::symbol("theta"))
+///   atlas::CompiledCircuit cc = session.compile(ansatz);  // 1 plan
+///   session.run(cc, {{"theta", 0.3}});                    // bind + execute
+///   session.sweep(cc, bindings);             // fan bindings across the pool
 ///
 /// Backends live in string-keyed registries — staging::stager_registry()
 /// ("ilp", "bnb", "snuqs", "auto"), kernelize::kernelizer_registry()

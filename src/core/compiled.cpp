@@ -1,0 +1,26 @@
+#include "core/compiled.h"
+
+#include <string>
+
+#include "common/error.h"
+
+namespace atlas {
+
+std::string slot_symbol_name(int index) {
+  // Built by append (not "$" + ...) to dodge GCC 12's -Wrestrict false
+  // positive on literal + rvalue-string concatenation.
+  std::string name = "$";
+  name += std::to_string(index);
+  return name;
+}
+
+ParamBinding CompiledCircuit::bind_slots(const ParamBinding& binding) const {
+  ATLAS_CHECK(valid(), "bind_slots() on an invalid CompiledCircuit; use "
+                       "Session::compile()");
+  ParamBinding slots;
+  for (const Slot& s : slots_)
+    slots.set(slot_symbol_name(s.index), s.expr.evaluate(binding));
+  return slots;
+}
+
+}  // namespace atlas

@@ -1,0 +1,97 @@
+#pragma once
+
+/// \file compiled.h
+/// The compile-once / bind-many handle. Session::compile() canonicalizes
+/// every rotation-family parameter of a circuit into a slot symbol
+/// ("$0", "$1", ...) and stages + kernelizes the canonical circuit
+/// exactly once; the resulting CompiledCircuit is an immutable handle
+/// over that shared ExecutionPlan plus the slot table mapping each slot
+/// back to the caller's parameter expression (a concrete value, a
+/// symbol, or an affine combination). Session::run()/submit()/sweep()
+/// evaluate the slot table against a ParamBinding and execute the plan
+/// — staging and kernelization never repeat across bindings, which is
+/// sound because plans depend only on gate structure (insularity and
+/// diagonality are per-kind properties; paper Section III).
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "exec/executor.h"
+#include "ir/circuit.h"
+#include "ir/param.h"
+
+namespace atlas {
+
+class Session;
+
+class CompiledCircuit {
+ public:
+  /// One canonicalized parameter: slot `index` (symbol "$index" in the
+  /// plan's gates) holds the value of `expr` at bind time. `gate` and
+  /// `param` locate the originating parameter in the source circuit.
+  struct Slot {
+    int index = 0;
+    int gate = 0;
+    int param = 0;
+    Param expr;
+  };
+
+  CompiledCircuit() = default;
+
+  /// False for a default-constructed handle.
+  bool valid() const { return plan_ != nullptr; }
+
+  /// The source circuit as handed to compile() (original parameters).
+  /// Throws atlas::Error on an invalid (default-constructed) handle.
+  const Circuit& circuit() const {
+    ATLAS_CHECK(circuit_ != nullptr,
+                "invalid CompiledCircuit; use Session::compile()");
+    return *circuit_;
+  }
+
+  /// The shared, immutable execution plan (canonical slot symbols).
+  const std::shared_ptr<const exec::ExecutionPlan>& plan() const {
+    return plan_;
+  }
+
+  int num_qubits() const { return circuit().num_qubits(); }
+
+  /// The user-facing free symbols a run() binding must supply,
+  /// ascending. Empty for fully concrete circuits.
+  const std::vector<std::string>& symbols() const { return symbols_; }
+  bool is_parameterized() const { return !symbols_.empty(); }
+
+  /// The parameter slot table, in slot order.
+  const std::vector<Slot>& param_slots() const { return slots_; }
+
+  /// The structural plan-cache key this handle was compiled under
+  /// (structural fingerprint mixed with the cluster shape).
+  std::uint64_t plan_key() const { return plan_key_; }
+
+  /// Evaluates the slot table against `binding`, producing the
+  /// slot-symbol binding the execution layer consumes. Throws
+  /// atlas::Error naming the first missing symbol.
+  ParamBinding bind_slots(const ParamBinding& binding) const;
+
+ private:
+  friend class Session;
+
+  std::shared_ptr<const Circuit> circuit_;
+  std::shared_ptr<const exec::ExecutionPlan> plan_;
+  std::vector<std::string> symbols_;
+  std::vector<Slot> slots_;
+  std::uint64_t plan_key_ = 0;
+  std::uint64_t shape_salt_ = 0;  // guards cross-session handle misuse
+};
+
+/// The canonical name of parameter slot `index` ("$3"). The "$" prefix
+/// is reserved for the engine: QASM identifiers cannot produce it (and
+/// export refuses it), and even a hand-minted Param::symbol("$k") never
+/// meets a plan slot — user expressions are evaluated by bind_slots()
+/// before the slot binding reaches the execution layer.
+std::string slot_symbol_name(int index);
+
+}  // namespace atlas

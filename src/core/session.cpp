@@ -7,6 +7,8 @@
 #include <utility>
 
 #include "common/error.h"
+#include "common/fnv.h"
+#include "exec/queries.h"
 #include "staging/stage.h"
 
 namespace atlas {
@@ -21,7 +23,53 @@ staging::MachineShape shape_of(const SessionConfig& config) {
   return shape;
 }
 
+/// FNV-1a folding of `v` into `h` (same mixing as Circuit::fingerprint).
+std::uint64_t fnv_mix(std::uint64_t h, std::uint64_t v) {
+  Fnv f(h);
+  f.mix(v);
+  return f.value();
+}
+
+/// Hash of everything about the machine shape a plan depends on. Mixed
+/// into every plan-cache key so two sessions with different shapes can
+/// never alias, even if their caches were ever shared or a
+/// CompiledCircuit handle migrated between sessions.
+std::uint64_t shape_salt_of(const SessionConfig& config) {
+  Fnv f(0xcbf29ce484222325ull);
+  f.mix(static_cast<std::uint64_t>(config.cluster.local_qubits));
+  f.mix(static_cast<std::uint64_t>(config.cluster.regional_qubits));
+  f.mix(static_cast<std::uint64_t>(config.cluster.global_qubits));
+  f.mix(static_cast<std::uint64_t>(config.cluster.gpus_per_node));
+  f.mix_double(config.stage_cost_factor);
+  return f.value();
+}
+
 }  // namespace
+
+// --- SimulationResult query facade ---------------------------------------
+
+Amp SimulationResult::amplitude(Index index) const {
+  return exec::amplitude(state, index);
+}
+
+double SimulationResult::probability(Index index) const {
+  return exec::probability(state, index);
+}
+
+double SimulationResult::norm_sq() const { return exec::norm_sq(state); }
+
+std::vector<double> SimulationResult::marginal(
+    const std::vector<Qubit>& qubits) const {
+  return exec::marginal_distribution(state, qubits);
+}
+
+double SimulationResult::expectation_z(Qubit q) const {
+  return exec::expectation_z(state, q);
+}
+
+std::vector<Index> SimulationResult::sample(int shots, Rng& rng) const {
+  return exec::sample(state, shots, rng);
+}
 
 void validate_session_config(const SessionConfig& config) {
   const auto& cc = config.cluster;
@@ -74,18 +122,27 @@ void validate_session_config(const SessionConfig& config) {
               "cost_model.fusion_cost does not match max_fusion_qubits");
 }
 
-/// LRU plan cache. Keyed by the circuit's structural fingerprint; the
-/// machine shape and backend choice are fixed per Session, so they
-/// need not enter the key. num_qubits/num_gates ride along as cheap
-/// collision guards for the 64-bit hash.
+/// LRU plan cache. One map holds two disjoint key spaces (distinct FNV
+/// bases): value-sensitive fingerprint() keys from plan(), which map to
+/// concrete plans, and structural_fingerprint() keys from compile()/
+/// simulate(), which map to canonicalized slot plans. Every key is
+/// additionally salted with the session's cluster shape so entries can
+/// never alias across shapes (plans embed shape-dependent partitions).
+/// num_qubits/num_gates ride along as cheap collision guards for the
+/// 64-bit hash.
 class Session::PlanCache {
  public:
   explicit PlanCache(std::size_t capacity) : capacity_(capacity) {}
 
   std::shared_ptr<const exec::ExecutionPlan> find(std::uint64_t key,
                                                   const Circuit& circuit) {
-    if (capacity_ == 0) return nullptr;
     std::lock_guard<std::mutex> lock(mu_);
+    if (capacity_ == 0) {
+      // Disabled caches still count misses: the counter is the
+      // replanning canary benches and tests read.
+      ++misses_;
+      return nullptr;
+    }
     auto it = index_.find(key);
     if (it == index_.end() ||
         it->second->num_qubits != circuit.num_qubits() ||
@@ -150,6 +207,7 @@ class Session::PlanCache {
 Session::Session(SessionConfig config)
     : config_((validate_session_config(config), std::move(config))),
       cluster_(config_.cluster),
+      shape_salt_(shape_salt_of(config_)),
       stager_(staging::stager_registry().create(config_.stager)),
       kernelizer_(kernelize::kernelizer_registry().create(config_.kernelizer)),
       executor_(exec::executor_registry().create(config_.executor)),
@@ -198,9 +256,8 @@ exec::ExecutionPlan Session::build_plan(const Circuit& circuit) const {
   return plan;
 }
 
-std::shared_ptr<const exec::ExecutionPlan> Session::plan(
-    const Circuit& circuit) const {
-  const std::uint64_t key = circuit.fingerprint();
+std::shared_ptr<const exec::ExecutionPlan> Session::plan_memoized(
+    std::uint64_t key, const Circuit& circuit) const {
   if (auto cached = plan_cache_->find(key, circuit)) return cached;
   auto built =
       std::make_shared<const exec::ExecutionPlan>(build_plan(circuit));
@@ -208,17 +265,128 @@ std::shared_ptr<const exec::ExecutionPlan> Session::plan(
   return built;
 }
 
+std::shared_ptr<const exec::ExecutionPlan> Session::plan(
+    const Circuit& circuit) const {
+  return plan_memoized(fnv_mix(shape_salt_, circuit.fingerprint()), circuit);
+}
+
+std::uint64_t Session::plan_key(const Circuit& circuit) const {
+  return fnv_mix(shape_salt_, circuit.structural_fingerprint());
+}
+
+CompiledCircuit Session::compile(const Circuit& circuit) const {
+  CompiledCircuit cc;
+  cc.circuit_ = std::make_shared<const Circuit>(circuit);
+  cc.symbols_ = circuit.symbols();
+  cc.plan_key_ = plan_key(circuit);
+  cc.shape_salt_ = shape_salt_;
+
+  // Canonicalize: every rotation-family parameter — concrete or
+  // symbolic — becomes a slot symbol, so the cached plan is valid for
+  // any binding and two structurally equal circuits build the exact
+  // same canonical circuit.
+  Circuit canonical(circuit.num_qubits(), circuit.name());
+  for (int gi = 0; gi < circuit.num_gates(); ++gi) {
+    const Gate& g = circuit.gate(gi);
+    if (g.params().empty()) {
+      canonical.add(g);
+      continue;
+    }
+    std::vector<Param> slot_params;
+    slot_params.reserve(g.params().size());
+    for (int pi = 0; pi < static_cast<int>(g.params().size()); ++pi) {
+      const int index = static_cast<int>(cc.slots_.size());
+      cc.slots_.push_back(CompiledCircuit::Slot{index, gi, pi, g.param(pi)});
+      slot_params.push_back(Param::symbol(slot_symbol_name(index)));
+    }
+    canonical.add(g.with_params(std::move(slot_params)));
+  }
+  cc.plan_ = plan_memoized(cc.plan_key_, canonical);
+  return cc;
+}
+
+SimulationResult Session::run(const CompiledCircuit& compiled,
+                              const ParamBinding& binding) const {
+  ATLAS_CHECK(compiled.valid(),
+              "run() on an invalid CompiledCircuit; use Session::compile()");
+  ATLAS_CHECK(compiled.shape_salt_ == shape_salt_,
+              "CompiledCircuit was compiled for a different cluster shape; "
+              "recompile it with this session");
+  SimulationResult result;
+  result.plan = compiled.plan();
+  result.params = compiled.bind_slots(binding);
+  result.state = executor_->initial_state(*result.plan, cluster_);
+  result.report =
+      executor_->execute(*result.plan, cluster_, result.state,
+                         result.params.empty() ? nullptr : &result.params);
+  return result;
+}
+
+std::future<SimulationResult> Session::submit(const CompiledCircuit& compiled,
+                                              ParamBinding binding) const {
+  auto task = std::make_shared<std::packaged_task<SimulationResult()>>(
+      [this, compiled, binding = std::move(binding)] {
+        return run(compiled, binding);
+      });
+  std::future<SimulationResult> future = task->get_future();
+  dispatch_pool_->submit([task] { (*task)(); });
+  return future;
+}
+
+std::vector<SimulationResult> Session::sweep(
+    const CompiledCircuit& compiled, std::vector<ParamBinding> bindings) const {
+  ATLAS_CHECK(compiled.valid(),
+              "sweep() on an invalid CompiledCircuit; use Session::compile()");
+  ATLAS_CHECK(compiled.shape_salt_ == shape_salt_,
+              "CompiledCircuit was compiled for a different cluster shape; "
+              "recompile it with this session");
+  // Fail fast with the offending point named, before any work is
+  // dispatched — a bad binding mid-sweep would otherwise surface as an
+  // unattributed exception after discarding every computed result.
+  for (std::size_t i = 0; i < bindings.size(); ++i)
+    for (const std::string& s : compiled.symbols())
+      ATLAS_CHECK(bindings[i].contains(s), "sweep binding #"
+                                               << i << " is missing symbol '"
+                                               << s << "'");
+  // One shared handle for the whole fan-out instead of a slot-table
+  // deep copy per binding.
+  auto shared = std::make_shared<const CompiledCircuit>(compiled);
+  std::vector<std::future<SimulationResult>> futures;
+  futures.reserve(bindings.size());
+  for (ParamBinding& b : bindings) {
+    auto task = std::make_shared<std::packaged_task<SimulationResult()>>(
+        [this, shared, binding = std::move(b)] {
+          return run(*shared, binding);
+        });
+    futures.push_back(task->get_future());
+    dispatch_pool_->submit([task] { (*task)(); });
+  }
+  std::vector<SimulationResult> results;
+  results.reserve(futures.size());
+  for (auto& f : futures) results.push_back(f.get());
+  return results;
+}
+
 exec::ExecutionReport Session::execute(const exec::ExecutionPlan& plan,
                                        exec::DistState& state) const {
   return executor_->execute(plan, cluster_, state);
 }
 
+exec::ExecutionReport Session::execute(const exec::ExecutionPlan& plan,
+                                       exec::DistState& state,
+                                       const ParamBinding& binding) const {
+  return executor_->execute(plan, cluster_, state, &binding);
+}
+
 SimulationResult Session::simulate(const Circuit& circuit) const {
-  SimulationResult result;
-  result.plan = plan(circuit);
-  result.state = executor_->initial_state(*result.plan, cluster_);
-  result.report = executor_->execute(*result.plan, cluster_, result.state);
-  return result;
+  if (circuit.is_parameterized()) {
+    const auto symbols = circuit.symbols();
+    throw Error("simulate() needs a fully bound circuit but '" +
+                circuit.name() + "' has free symbols (" + symbols.front() +
+                ", ...); use compile()/run() with a ParamBinding or "
+                "Circuit::bind");
+  }
+  return run(compile(circuit), {});
 }
 
 std::future<SimulationResult> Session::submit(Circuit circuit) const {

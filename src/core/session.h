@@ -18,9 +18,16 @@
 ///   atlas::SimulationResult r1 = f1.get(), r2 = f2.get();
 ///
 /// Plans are state-independent and reusable across runs (paper Section
-/// III); the Session exploits that with an LRU cache keyed by the
-/// circuit's structural fingerprint, so repeated workloads skip
-/// PARTITION entirely. plan_cache_stats() exposes hit/miss counters.
+/// III) — and parameter-value-independent for the whole rotation
+/// family. The Session exploits both: an LRU cache keyed by the
+/// circuit's *structural* fingerprint (plus the cluster shape) lets
+/// repeated workloads skip PARTITION entirely, and compile()/run()/
+/// sweep() bind symbolic parameters against one shared plan:
+///
+///   atlas::CompiledCircuit cc = session.compile(ansatz);   // 1 plan
+///   auto results = session.sweep(cc, bindings);            // N runs
+///
+/// plan_cache_stats() exposes hit/miss counters.
 
 #include <cstdint>
 #include <future>
@@ -28,9 +35,12 @@
 #include <string>
 #include <vector>
 
+#include "common/rng.h"
+#include "core/compiled.h"
 #include "device/cluster.h"
 #include "exec/backend.h"
 #include "ir/circuit.h"
+#include "ir/param.h"
 #include "kernelize/kernelizer.h"
 #include "staging/registry.h"
 
@@ -70,9 +80,35 @@ struct SessionConfig : SimulatorConfig {
 struct SimulationResult {
   /// The immutable plan this run executed — shared with the session's
   /// plan cache rather than deep-copied, so cache hits stay cheap.
+  /// Plans from simulate()/run() are canonicalized: their gates carry
+  /// slot symbols ("$0", "$1", ...) instead of concrete values.
   std::shared_ptr<const exec::ExecutionPlan> plan;
+  /// The slot-symbol values this run executed under; re-execute the
+  /// same physics on a fresh state with
+  /// `session.execute(*result.plan, state, result.params)`.
+  ParamBinding params;
   exec::ExecutionReport report;
   exec::DistState state;
+
+  /// \name Typed query facade
+  /// Observable queries over the distributed final state, delegating to
+  /// exec/queries.h so callers never reach into exec internals (`state`
+  /// stays public as an escape hatch only). All run shard-by-shard
+  /// without gathering.
+  /// @{
+  /// The amplitude of logical basis state `index`.
+  Amp amplitude(Index index) const;
+  /// |amplitude|^2 of logical basis state `index`.
+  double probability(Index index) const;
+  /// Sum of |a|^2 over the whole state (~1 when normalized).
+  double norm_sq() const;
+  /// Marginal distribution over `qubits` (packed ascending).
+  std::vector<double> marginal(const std::vector<Qubit>& qubits) const;
+  /// <Z_q> on logical qubit q.
+  double expectation_z(Qubit q) const;
+  /// Draws `shots` basis-state samples; deterministic under a fixed Rng.
+  std::vector<Index> sample(int shots, Rng& rng) const;
+  /// @}
 };
 
 struct PlanCacheStats {
@@ -105,18 +141,62 @@ class Session {
   const kernelize::Kernelizer& kernelizer() const { return *kernelizer_; }
   const exec::ExecutorBackend& executor() const { return *executor_; }
 
+  /// \name Compile-once / bind-many
+  /// @{
+  /// Canonicalizes the circuit's rotation-family parameters into slot
+  /// symbols, stages + kernelizes the canonical form once (memoized on
+  /// the *structural* fingerprint plus the cluster shape, so rx(0.3),
+  /// rx(0.7) and rx(theta) all share one plan), and returns an
+  /// immutable handle carrying the plan and the parameter slot table.
+  CompiledCircuit compile(const Circuit& circuit) const;
+
+  /// Executes a compiled circuit under `binding`; staging and
+  /// kernelization never re-run. Throws atlas::Error when the binding
+  /// misses one of compiled.symbols(), or when the handle was compiled
+  /// by a session with a different cluster shape. Bit-identical to
+  /// simulate(circuit.bind(binding)).
+  SimulationResult run(const CompiledCircuit& compiled,
+                       const ParamBinding& binding = {}) const;
+
+  /// Asynchronous run() on the session's dispatch pool.
+  std::future<SimulationResult> submit(const CompiledCircuit& compiled,
+                                       ParamBinding binding) const;
+
+  /// Fans `bindings` across the dispatch pool against one shared plan
+  /// (the variational-sweep hot path). Results are positionally
+  /// aligned with `bindings`.
+  std::vector<SimulationResult> sweep(const CompiledCircuit& compiled,
+                                      std::vector<ParamBinding> bindings) const;
+
+  /// The structural plan-cache key compile() would use for `circuit`
+  /// under this session's cluster shape (exposed for diagnostics and
+  /// cache-keying tests).
+  std::uint64_t plan_key(const Circuit& circuit) const;
+  /// @}
+
   /// PARTITION with memoization: returns the cached plan when an
-  /// identical circuit (by structural fingerprint) was planned before,
-  /// else stages + kernelizes and caches the result. The returned plan
-  /// is immutable and safe to share across threads.
+  /// identical circuit (by value-sensitive fingerprint) was planned
+  /// before, else stages + kernelizes and caches the result. The plan
+  /// embeds the circuit's concrete parameter values, so it executes
+  /// without a binding — use compile() for the value-independent
+  /// variant. Note the two paths key *disjoint* spaces of the shared
+  /// LRU cache (a plan() entry never serves compile()/simulate(), and
+  /// vice versa); to warm the cache for simulate()/sweep() traffic,
+  /// call compile(), not plan(). Immutable and thread-safe.
   std::shared_ptr<const exec::ExecutionPlan> plan(const Circuit& circuit) const;
 
   /// EXECUTE: runs a plan over an existing distributed state via the
-  /// configured execution backend.
+  /// configured execution backend. The binding overload supplies
+  /// values for plans holding symbolic parameters.
   exec::ExecutionReport execute(const exec::ExecutionPlan& plan,
                                 exec::DistState& state) const;
+  exec::ExecutionReport execute(const exec::ExecutionPlan& plan,
+                                exec::DistState& state,
+                                const ParamBinding& binding) const;
 
-  /// SIMULATE: plan (cached) + execute from |0...0>.
+  /// SIMULATE: compile (structurally cached) + run from |0...0>. The
+  /// circuit must be fully bound; parameterized circuits go through
+  /// compile()/run() with an explicit binding.
   SimulationResult simulate(const Circuit& circuit) const;
 
   /// Asynchronous SIMULATE on the session's dispatch pool. Exceptions
@@ -136,9 +216,15 @@ class Session {
   class PlanCache;
 
   exec::ExecutionPlan build_plan(const Circuit& circuit) const;
+  std::shared_ptr<const exec::ExecutionPlan> plan_memoized(
+      std::uint64_t key, const Circuit& circuit) const;
 
   SessionConfig config_;
   device::Cluster cluster_;
+  /// Hash of the cluster shape, mixed into every plan-cache key: two
+  /// sessions with different shapes must never share a key even for
+  /// equal circuits (plans embed shape-dependent partitions).
+  std::uint64_t shape_salt_ = 0;
   std::shared_ptr<const staging::Stager> stager_;
   std::shared_ptr<const kernelize::Kernelizer> kernelizer_;
   std::shared_ptr<const exec::ExecutorBackend> executor_;

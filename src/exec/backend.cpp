@@ -16,10 +16,10 @@ class InMemoryBackend final : public ExecutorBackend {
                     << " gpus/node; use the 'offload' executor");
   }
   ExecutionReport execute(const ExecutionPlan& plan,
-                          const device::Cluster& cluster,
-                          DistState& state) const override {
+                          const device::Cluster& cluster, DistState& state,
+                          const ParamBinding* binding) const override {
     validate(cluster.config());  // guards direct registry users too
-    return execute_plan(plan, cluster, state);
+    return execute_plan(plan, cluster, state, binding);
   }
 };
 
@@ -27,11 +27,11 @@ class OffloadBackend final : public ExecutorBackend {
  public:
   std::string name() const override { return "offload"; }
   ExecutionReport execute(const ExecutionPlan& plan,
-                          const device::Cluster& cluster,
-                          DistState& state) const override {
+                          const device::Cluster& cluster, DistState& state,
+                          const ParamBinding* binding) const override {
     // execute_plan meters the per-stage swap traffic whenever the
     // cluster holds more shards than GPUs (Section VII-C).
-    return execute_plan(plan, cluster, state);
+    return execute_plan(plan, cluster, state, binding);
   }
 };
 
@@ -39,11 +39,12 @@ class AutoBackend final : public ExecutorBackend {
  public:
   std::string name() const override { return "auto"; }
   ExecutionReport execute(const ExecutionPlan& plan,
-                          const device::Cluster& cluster,
-                          DistState& state) const override {
+                          const device::Cluster& cluster, DistState& state,
+                          const ParamBinding* binding) const override {
     const char* chosen =
         cluster.config().offloading() ? "offload" : "inmemory";
-    return executor_registry().create(chosen)->execute(plan, cluster, state);
+    return executor_registry().create(chosen)->execute(plan, cluster, state,
+                                                       binding);
   }
 };
 

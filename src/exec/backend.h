@@ -42,10 +42,21 @@ class ExecutorBackend {
     return exec::initial_state(plan, cluster);
   }
 
-  /// Runs `plan` over `state` on `cluster`.
+  /// Runs `plan` over `state` on `cluster`. `binding` supplies values
+  /// for any symbolic parameters the plan's gates carry (compile-once /
+  /// bind-many); it may be null for fully-bound plans. Implementations
+  /// must thread it through to matrix materialization.
   virtual ExecutionReport execute(const ExecutionPlan& plan,
                                   const device::Cluster& cluster,
-                                  DistState& state) const = 0;
+                                  DistState& state,
+                                  const ParamBinding* binding) const = 0;
+
+  /// Convenience for fully-bound plans.
+  ExecutionReport execute(const ExecutionPlan& plan,
+                          const device::Cluster& cluster,
+                          DistState& state) const {
+    return execute(plan, cluster, state, nullptr);
+  }
 };
 
 using ExecutorRegistry = Registry<ExecutorBackend>;

@@ -24,13 +24,15 @@ struct StageScript {
   Index final_xor = 0;
 };
 
-StageScript prewalk(const PlannedStage& stage, const Layout& layout) {
+StageScript prewalk(const Circuit& circuit,
+                    const kernelize::Kernelization& kernels,
+                    const Layout& layout) {
   StageScript script;
   Index cur = layout.shard_xor;
-  for (const auto& kernel : stage.kernels.kernels) {
+  for (const auto& kernel : kernels.kernels) {
     for (int gi : kernel.gate_indices) {
       script.xor_before.push_back(cur);
-      const Gate& g = stage.subcircuit.gate(gi);
+      const Gate& g = circuit.gate(gi);
       if (g.antidiagonal_1q() && !layout.is_local(g.qubits()[0]))
         cur ^= bit(layout.phys_of_logical[g.qubits()[0]] - layout.num_local);
     }
@@ -39,9 +41,10 @@ StageScript prewalk(const PlannedStage& stage, const Layout& layout) {
   return script;
 }
 
-/// Executes one kernel on one shard. `flat_base` is the kernel's first
-/// gate position in the stage's flattened order.
-void run_kernel_on_shard(const PlannedStage& stage,
+/// Executes one kernel on one shard. `circuit` is the stage's (bound)
+/// subcircuit; `flat_base` is the kernel's first gate position in the
+/// stage's flattened order.
+void run_kernel_on_shard(const Circuit& circuit,
                          const kernelize::Kernel& kernel,
                          const StageScript& script, std::size_t flat_base,
                          Layout layout, int shard, Amp* data, Index size) {
@@ -50,7 +53,7 @@ void run_kernel_on_shard(const PlannedStage& stage,
   Amp scale(1, 0);
   for (std::size_t j = 0; j < kernel.gate_indices.size(); ++j) {
     layout.shard_xor = script.xor_before[flat_base + j];
-    const Gate& g = stage.subcircuit.gate(kernel.gate_indices[j]);
+    const Gate& g = circuit.gate(kernel.gate_indices[j]);
     LocalOp op = partial_evaluate(g, layout, shard);
     if (op.skip) continue;
     scale *= op.scale;
@@ -101,8 +104,8 @@ DistState initial_state(const ExecutionPlan& plan,
 }
 
 ExecutionReport execute_plan(const ExecutionPlan& plan,
-                             const device::Cluster& cluster,
-                             DistState& state) {
+                             const device::Cluster& cluster, DistState& state,
+                             const ParamBinding* binding) {
   const auto& cfg = cluster.config();
   ATLAS_CHECK(state.num_qubits() == cfg.total_qubits(),
               "state does not match the cluster shape");
@@ -122,10 +125,23 @@ ExecutionReport execute_plan(const ExecutionPlan& plan,
       sr.comm_seconds = t.seconds();
     }
 
-    // Kernels: every shard runs the stage's kernel list.
+    // Kernels: every shard runs the stage's kernel list. Bind-time
+    // materialization: the plan carries parameter *structure* only;
+    // symbolic parameters are evaluated here, once per stage per run,
+    // so one compiled plan serves every binding of a sweep.
     {
       Timer t;
-      const StageScript script = prewalk(stage, state.layout());
+      const bool symbolic = stage.subcircuit.is_parameterized();
+      ATLAS_CHECK(!symbolic || binding,
+                  "execution plan has unbound symbolic parameters ("
+                      << stage.subcircuit.symbols().front()
+                      << ", ...); pass a ParamBinding");
+      const Circuit bound_storage =
+          symbolic ? stage.subcircuit.bind(*binding) : Circuit();
+      const Circuit& subcircuit = symbolic ? bound_storage : stage.subcircuit;
+
+      const StageScript script =
+          prewalk(subcircuit, stage.kernels, state.layout());
       const Layout layout_snapshot = state.layout();
       const Index shard_size = state.shard_size();
 
@@ -139,7 +155,7 @@ ExecutionReport execute_plan(const ExecutionPlan& plan,
           static_cast<std::size_t>(state.num_shards()), [&](std::size_t s) {
             std::size_t flat = 0;
             for (const auto& kernel : stage.kernels.kernels) {
-              run_kernel_on_shard(stage, kernel, script, flat,
+              run_kernel_on_shard(subcircuit, kernel, script, flat,
                                   layout_snapshot, static_cast<int>(s),
                                   state.shard(static_cast<int>(s)).data(),
                                   shard_size);

@@ -56,10 +56,14 @@ struct ExecutionReport {
                          int nodes) const;
 };
 
-/// Executes `plan` on `cluster`, starting from |0...0>.
+/// Executes `plan` on `cluster` over `state`. Plans hold only gate
+/// *structure*; matrices are materialized per stage at execution time,
+/// so a plan whose gates carry symbolic parameters (compile-once /
+/// bind-many) executes by evaluating them against `binding`. Passing a
+/// plan with unbound symbols and no binding throws atlas::Error.
 ExecutionReport execute_plan(const ExecutionPlan& plan,
-                             const device::Cluster& cluster,
-                             DistState& state);
+                             const device::Cluster& cluster, DistState& state,
+                             const ParamBinding* binding = nullptr);
 
 /// Convenience: build the initial distributed state for a plan (stage
 /// 0's partition as the initial layout, which is free — Eq. (2) only

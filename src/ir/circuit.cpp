@@ -1,9 +1,9 @@
 #include "ir/circuit.h"
 
 #include <algorithm>
-#include <cstring>
 
 #include "common/error.h"
+#include "common/fnv.h"
 
 namespace atlas {
 
@@ -60,36 +60,68 @@ int Circuit::num_multi_qubit_gates() const {
   return n;
 }
 
-std::uint64_t Circuit::fingerprint() const {
-  // FNV-1a, 64-bit.
-  std::uint64_t h = 1469598103934665603ull;
-  const auto mix = [&h](std::uint64_t v) {
-    for (int byte = 0; byte < 8; ++byte) {
-      h ^= (v >> (8 * byte)) & 0xffu;
-      h *= 1099511628211ull;
+namespace {
+
+std::uint64_t hash_circuit(const Circuit& circuit, bool structural) {
+  // Distinct bases keep the two key spaces from aliasing when both
+  // kinds of keys land in one plan cache.
+  Fnv f(structural ? 0x2b992ddfa23249d6ull : Fnv::kDefaultBasis);
+  f.mix(static_cast<std::uint64_t>(circuit.num_qubits()));
+  for (const Gate& g : circuit.gates()) {
+    f.mix(static_cast<std::uint64_t>(g.kind()));
+    f.mix(static_cast<std::uint64_t>(g.num_controls()));
+    for (Qubit q : g.qubits()) f.mix(static_cast<std::uint64_t>(q));
+    f.mix(g.params().size());
+    if (!structural) {
+      for (const Param& p : g.params()) {
+        f.mix_double(p.constant_term());
+        f.mix(p.terms().size());
+        for (const auto& [sym, coeff] : p.terms()) {
+          f.mix_string(sym);
+          f.mix_double(coeff);
+        }
+      }
     }
-  };
-  const auto mix_double = [&](double d) {
-    std::uint64_t bits;
-    static_assert(sizeof(bits) == sizeof(d));
-    std::memcpy(&bits, &d, sizeof(bits));
-    mix(bits);
-  };
-  mix(static_cast<std::uint64_t>(num_qubits_));
-  for (const Gate& g : gates_) {
-    mix(static_cast<std::uint64_t>(g.kind()));
-    mix(static_cast<std::uint64_t>(g.num_controls()));
-    for (Qubit q : g.qubits()) mix(static_cast<std::uint64_t>(q));
-    for (double p : g.params()) mix_double(p);
     if (g.kind() == GateKind::Unitary) {
       const Matrix m = g.target_matrix();
       for (const Amp& a : m.data()) {
-        mix_double(a.real());
-        mix_double(a.imag());
+        f.mix_double(a.real());
+        f.mix_double(a.imag());
       }
     }
   }
-  return h;
+  return f.value();
+}
+
+}  // namespace
+
+std::uint64_t Circuit::fingerprint() const {
+  return hash_circuit(*this, /*structural=*/false);
+}
+
+std::uint64_t Circuit::structural_fingerprint() const {
+  return hash_circuit(*this, /*structural=*/true);
+}
+
+bool Circuit::is_parameterized() const {
+  for (const Gate& g : gates_)
+    if (g.is_parameterized()) return true;
+  return false;
+}
+
+std::vector<std::string> Circuit::symbols() const {
+  std::vector<std::string> out;
+  for (const Gate& g : gates_) g.collect_symbols(out);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+Circuit Circuit::bind(const ParamBinding& binding) const {
+  Circuit bound(num_qubits_, name_);
+  bound.gates_.reserve(gates_.size());
+  for (const Gate& g : gates_) bound.gates_.push_back(g.bind(binding));
+  return bound;
 }
 
 Circuit Circuit::subcircuit(const std::vector<int>& gate_indices) const {

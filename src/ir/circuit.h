@@ -52,12 +52,32 @@ class Circuit {
   /// order, over the same qubit count.
   Circuit subcircuit(const std::vector<int>& gate_indices) const;
 
-  /// Structural FNV-1a hash over qubit count, gate kinds, qubit lists,
-  /// parameter bit patterns, and explicit unitary matrices. Two
+  /// Value-sensitive FNV-1a hash over qubit count, gate kinds, qubit
+  /// lists, parameter expressions (bit patterns of constants, symbol
+  /// structure of expressions), and explicit unitary matrices. Two
   /// circuits with equal fingerprints execute identically regardless of
-  /// their names, so the fingerprint (plus the machine shape) keys the
-  /// session plan cache.
+  /// their names.
   std::uint64_t fingerprint() const;
+
+  /// Shape-only hash: like fingerprint() but every rotation-family
+  /// parameter is treated as an opaque placeholder, so rx(q, 0.3),
+  /// rx(q, 0.7) and rx(q, theta) all collide by design. Execution
+  /// plans depend only on this shape (insularity and diagonality are
+  /// decided per gate kind, paper Definition 2), so the structural
+  /// fingerprint — plus the machine shape — keys the compiled-circuit
+  /// cache. Explicit Unitary matrices still enter the hash: their
+  /// numeric content decides diagonality and thus the plan.
+  std::uint64_t structural_fingerprint() const;
+
+  /// True iff any gate parameter still contains a free symbol.
+  bool is_parameterized() const;
+
+  /// The distinct free symbols over all gates, ascending.
+  std::vector<std::string> symbols() const;
+
+  /// A copy with every symbolic parameter evaluated against `binding`;
+  /// throws atlas::Error naming the first missing symbol.
+  Circuit bind(const ParamBinding& binding) const;
 
  private:
   int num_qubits_ = 0;

@@ -5,6 +5,7 @@
 #include <numbers>
 #include <sstream>
 #include <unordered_set>
+#include <utility>
 
 #include "common/bits.h"
 #include "common/error.h"
@@ -76,7 +77,7 @@ std::string gate_kind_name(GateKind kind) {
 }
 
 Gate::Gate(GateKind kind, std::vector<Qubit> qubits, int num_controls,
-           std::vector<double> params)
+           std::vector<Param> params)
     : kind_(kind),
       qubits_(std::move(qubits)),
       num_controls_(num_controls),
@@ -98,40 +99,49 @@ Gate Gate::sdg(Qubit q) { return Gate(GateKind::Sdg, {q}, 0, {}); }
 Gate Gate::t(Qubit q) { return Gate(GateKind::T, {q}, 0, {}); }
 Gate Gate::tdg(Qubit q) { return Gate(GateKind::Tdg, {q}, 0, {}); }
 Gate Gate::sx(Qubit q) { return Gate(GateKind::SX, {q}, 0, {}); }
-Gate Gate::rx(Qubit q, double t) { return Gate(GateKind::RX, {q}, 0, {t}); }
-Gate Gate::ry(Qubit q, double t) { return Gate(GateKind::RY, {q}, 0, {t}); }
-Gate Gate::rz(Qubit q, double t) { return Gate(GateKind::RZ, {q}, 0, {t}); }
-Gate Gate::p(Qubit q, double t) { return Gate(GateKind::P, {q}, 0, {t}); }
-Gate Gate::u2(Qubit q, double phi, double lam) {
-  return Gate(GateKind::U2, {q}, 0, {phi, lam});
+Gate Gate::rx(Qubit q, Param t) {
+  return Gate(GateKind::RX, {q}, 0, {std::move(t)});
 }
-Gate Gate::u3(Qubit q, double t, double phi, double lam) {
-  return Gate(GateKind::U3, {q}, 0, {t, phi, lam});
+Gate Gate::ry(Qubit q, Param t) {
+  return Gate(GateKind::RY, {q}, 0, {std::move(t)});
+}
+Gate Gate::rz(Qubit q, Param t) {
+  return Gate(GateKind::RZ, {q}, 0, {std::move(t)});
+}
+Gate Gate::p(Qubit q, Param t) {
+  return Gate(GateKind::P, {q}, 0, {std::move(t)});
+}
+Gate Gate::u2(Qubit q, Param phi, Param lam) {
+  return Gate(GateKind::U2, {q}, 0, {std::move(phi), std::move(lam)});
+}
+Gate Gate::u3(Qubit q, Param t, Param phi, Param lam) {
+  return Gate(GateKind::U3, {q}, 0,
+              {std::move(t), std::move(phi), std::move(lam)});
 }
 Gate Gate::cx(Qubit c, Qubit t) { return Gate(GateKind::CX, {t, c}, 1, {}); }
 Gate Gate::cy(Qubit c, Qubit t) { return Gate(GateKind::CY, {t, c}, 1, {}); }
 Gate Gate::cz(Qubit a, Qubit b) { return Gate(GateKind::CZ, {a, b}, 1, {}); }
 Gate Gate::ch(Qubit c, Qubit t) { return Gate(GateKind::CH, {t, c}, 1, {}); }
-Gate Gate::cp(Qubit a, Qubit b, double t) {
-  return Gate(GateKind::CP, {a, b}, 1, {t});
+Gate Gate::cp(Qubit a, Qubit b, Param t) {
+  return Gate(GateKind::CP, {a, b}, 1, {std::move(t)});
 }
-Gate Gate::crx(Qubit c, Qubit t, double th) {
-  return Gate(GateKind::CRX, {t, c}, 1, {th});
+Gate Gate::crx(Qubit c, Qubit t, Param th) {
+  return Gate(GateKind::CRX, {t, c}, 1, {std::move(th)});
 }
-Gate Gate::cry(Qubit c, Qubit t, double th) {
-  return Gate(GateKind::CRY, {t, c}, 1, {th});
+Gate Gate::cry(Qubit c, Qubit t, Param th) {
+  return Gate(GateKind::CRY, {t, c}, 1, {std::move(th)});
 }
-Gate Gate::crz(Qubit c, Qubit t, double th) {
-  return Gate(GateKind::CRZ, {t, c}, 1, {th});
+Gate Gate::crz(Qubit c, Qubit t, Param th) {
+  return Gate(GateKind::CRZ, {t, c}, 1, {std::move(th)});
 }
 Gate Gate::swap(Qubit a, Qubit b) {
   return Gate(GateKind::SWAP, {a, b}, 0, {});
 }
-Gate Gate::rzz(Qubit a, Qubit b, double t) {
-  return Gate(GateKind::RZZ, {a, b}, 0, {t});
+Gate Gate::rzz(Qubit a, Qubit b, Param t) {
+  return Gate(GateKind::RZZ, {a, b}, 0, {std::move(t)});
 }
-Gate Gate::rxx(Qubit a, Qubit b, double t) {
-  return Gate(GateKind::RXX, {a, b}, 0, {t});
+Gate Gate::rxx(Qubit a, Qubit b, Param t) {
+  return Gate(GateKind::RXX, {a, b}, 0, {std::move(t)});
 }
 Gate Gate::ccx(Qubit c0, Qubit c1, Qubit t) {
   return Gate(GateKind::CCX, {t, c0, c1}, 2, {});
@@ -163,6 +173,43 @@ Gate Gate::controlled_unitary(std::vector<Qubit> controls,
   qubits.insert(qubits.end(), controls.begin(), controls.end());
   Gate g(GateKind::Unitary, std::move(qubits), c, {});
   g.custom_ = std::make_shared<Matrix>(std::move(m));
+  return g;
+}
+
+double Gate::param_value(int i) const {
+  ATLAS_CHECK(params_[i].is_constant(),
+              "gate '" << gate_kind_name(kind_) << "' parameter "
+                       << params_[i].to_string()
+                       << " is unbound; bind(...) before materializing");
+  return params_[i].constant_term();
+}
+
+bool Gate::is_parameterized() const {
+  for (const Param& p : params_)
+    if (p.is_symbolic()) return true;
+  return false;
+}
+
+Gate Gate::bind(const ParamBinding& binding) const {
+  if (!is_parameterized()) return *this;
+  Gate g = *this;
+  for (Param& p : g.params_)
+    if (p.is_symbolic()) p = Param(p.evaluate(binding));
+  return g;
+}
+
+void Gate::collect_symbols(std::vector<std::string>& out) const {
+  for (const Param& p : params_)
+    for (std::string& s : p.symbols()) out.push_back(std::move(s));
+}
+
+Gate Gate::with_params(std::vector<Param> params) const {
+  ATLAS_CHECK(params.size() == params_.size(),
+              "gate '" << gate_kind_name(kind_) << "' takes "
+                       << params_.size() << " parameters, got "
+                       << params.size());
+  Gate g = *this;
+  g.params_ = std::move(params);
   return g;
 }
 
@@ -202,20 +249,20 @@ Matrix Gate::target_matrix() const {
       return m2(Amp(0.5, 0.5), Amp(0.5, -0.5), Amp(0.5, -0.5), Amp(0.5, 0.5));
     case GateKind::RX:
     case GateKind::CRX:
-      return rx_matrix(params_[0]);
+      return rx_matrix(param_value(0));
     case GateKind::RY:
     case GateKind::CRY:
-      return ry_matrix(params_[0]);
+      return ry_matrix(param_value(0));
     case GateKind::RZ:
     case GateKind::CRZ:
-      return rz_matrix(params_[0]);
+      return rz_matrix(param_value(0));
     case GateKind::P:
     case GateKind::CP:
-      return m2(1, 0, 0, expi(params_[0]));
+      return m2(1, 0, 0, expi(param_value(0)));
     case GateKind::U2:
-      return u3_matrix(std::numbers::pi / 2, params_[0], params_[1]);
+      return u3_matrix(std::numbers::pi / 2, param_value(0), param_value(1));
     case GateKind::U3:
-      return u3_matrix(params_[0], params_[1], params_[2]);
+      return u3_matrix(param_value(0), param_value(1), param_value(2));
     case GateKind::SWAP:
     case GateKind::CSWAP:
       return Matrix::square(4, {1, 0, 0, 0,  //
@@ -223,14 +270,16 @@ Matrix Gate::target_matrix() const {
                                 0, 1, 0, 0,  //
                                 0, 0, 0, 1});
     case GateKind::RZZ: {
-      const Amp e0 = expi(-params_[0] / 2), e1 = expi(params_[0] / 2);
+      const double t = param_value(0);
+      const Amp e0 = expi(-t / 2), e1 = expi(t / 2);
       return Matrix::square(4, {e0, 0, 0, 0,  //
                                 0, e1, 0, 0,  //
                                 0, 0, e1, 0,  //
                                 0, 0, 0, e0});
     }
     case GateKind::RXX: {
-      const double c = std::cos(params_[0] / 2), s = std::sin(params_[0] / 2);
+      const double t = param_value(0);
+      const double c = std::cos(t / 2), s = std::sin(t / 2);
       const Amp d(c, 0), o(0, -s);
       return Matrix::square(4, {d, 0, 0, o,  //
                                 0, d, o, 0,  //

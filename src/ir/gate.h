@@ -20,6 +20,7 @@
 
 #include "common/types.h"
 #include "ir/matrix.h"
+#include "ir/param.h"
 
 namespace atlas {
 
@@ -54,23 +55,25 @@ class Gate {
   static Gate t(Qubit q);
   static Gate tdg(Qubit q);
   static Gate sx(Qubit q);
-  static Gate rx(Qubit q, double theta);
-  static Gate ry(Qubit q, double theta);
-  static Gate rz(Qubit q, double theta);
-  static Gate p(Qubit q, double theta);
-  static Gate u2(Qubit q, double phi, double lambda);
-  static Gate u3(Qubit q, double theta, double phi, double lambda);
+  /// The rotation family accepts symbolic parameters (Param converts
+  /// implicitly from double, so concrete call sites are unchanged).
+  static Gate rx(Qubit q, Param theta);
+  static Gate ry(Qubit q, Param theta);
+  static Gate rz(Qubit q, Param theta);
+  static Gate p(Qubit q, Param theta);
+  static Gate u2(Qubit q, Param phi, Param lambda);
+  static Gate u3(Qubit q, Param theta, Param phi, Param lambda);
   static Gate cx(Qubit control, Qubit target);
   static Gate cy(Qubit control, Qubit target);
   static Gate cz(Qubit a, Qubit b);
   static Gate ch(Qubit control, Qubit target);
-  static Gate cp(Qubit a, Qubit b, double theta);
-  static Gate crx(Qubit control, Qubit target, double theta);
-  static Gate cry(Qubit control, Qubit target, double theta);
-  static Gate crz(Qubit control, Qubit target, double theta);
+  static Gate cp(Qubit a, Qubit b, Param theta);
+  static Gate crx(Qubit control, Qubit target, Param theta);
+  static Gate cry(Qubit control, Qubit target, Param theta);
+  static Gate crz(Qubit control, Qubit target, Param theta);
   static Gate swap(Qubit a, Qubit b);
-  static Gate rzz(Qubit a, Qubit b, double theta);
-  static Gate rxx(Qubit a, Qubit b, double theta);
+  static Gate rzz(Qubit a, Qubit b, Param theta);
+  static Gate rxx(Qubit a, Qubit b, Param theta);
   static Gate ccx(Qubit c0, Qubit c1, Qubit target);
   static Gate ccz(Qubit a, Qubit b, Qubit c);
   static Gate cswap(Qubit control, Qubit a, Qubit b);
@@ -83,7 +86,28 @@ class Gate {
 
   GateKind kind() const { return kind_; }
   const std::vector<Qubit>& qubits() const { return qubits_; }
-  const std::vector<double>& params() const { return params_; }
+  const std::vector<Param>& params() const { return params_; }
+  const Param& param(int i) const { return params_[i]; }
+
+  /// The concrete value of parameter `i`; throws atlas::Error when it
+  /// is still symbolic (bind() first).
+  double param_value(int i) const;
+
+  /// True iff any parameter still contains a free symbol.
+  bool is_parameterized() const;
+
+  /// A copy with every parameter evaluated against `binding`; throws
+  /// atlas::Error naming the first missing symbol. Identity for
+  /// concrete gates.
+  Gate bind(const ParamBinding& binding) const;
+
+  /// Appends this gate's free symbols to `out` (unsorted, may repeat).
+  void collect_symbols(std::vector<std::string>& out) const;
+
+  /// A copy with its parameter list replaced (arity must match). The
+  /// canonicalization step of Session::compile() uses this to swap
+  /// user parameters for plan slot symbols.
+  Gate with_params(std::vector<Param> params) const;
 
   int num_qubits() const { return static_cast<int>(qubits_.size()); }
   int num_targets() const { return num_qubits() - num_controls_; }
@@ -129,12 +153,12 @@ class Gate {
 
  private:
   Gate(GateKind kind, std::vector<Qubit> qubits, int num_controls,
-       std::vector<double> params);
+       std::vector<Param> params);
 
   GateKind kind_;
   std::vector<Qubit> qubits_;  // targets..., controls...
   int num_controls_ = 0;
-  std::vector<double> params_;
+  std::vector<Param> params_;
   std::shared_ptr<const Matrix> custom_;  // target matrix for Unitary
 };
 

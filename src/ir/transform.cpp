@@ -1,6 +1,7 @@
 #include "ir/transform.h"
 
 #include <algorithm>
+#include <numbers>
 
 #include "common/error.h"
 
@@ -34,8 +35,13 @@ Gate inverse_gate(const Gate& g) {
     case GateKind::P:
       return Gate::p(g.qubits()[0], -g.params()[0]);
     case GateKind::U2:
+      // u2(phi,lam) = u3(pi/2, phi, lam) and u3(t,phi,lam)^-1 =
+      // u3(-t,-lam,-phi); staying parametric keeps symbolic circuits
+      // invertible.
+      return Gate::u3(g.qubits()[0], -std::numbers::pi / 2, -g.param(1),
+                      -g.param(0));
     case GateKind::U3:
-      return Gate::unitary({g.qubits()[0]}, g.target_matrix().dagger());
+      return Gate::u3(g.qubits()[0], -g.param(0), -g.param(2), -g.param(1));
     case GateKind::CP:
       return Gate::cp(g.qubits()[0], g.qubits()[1], -g.params()[0]);
     case GateKind::CRX:

@@ -6,19 +6,25 @@
 #include <numbers>
 #include <sstream>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "common/error.h"
 
 namespace atlas::qasm {
 namespace {
 
-/// Recursive-descent evaluator for gate parameter expressions.
+/// Recursive-descent evaluator for gate parameter expressions. Yields a
+/// Param: identifiers declared via `input float` become free symbols,
+/// so the result stays affine ("2*theta + pi/2"); products or quotients
+/// of two symbolic subexpressions throw through Param's operators.
 class ExprParser {
  public:
-  explicit ExprParser(const std::string& text) : text_(text) {}
+  ExprParser(const std::string& text,
+             const std::unordered_set<std::string>& symbols)
+      : text_(text), symbols_(symbols) {}
 
-  double parse() {
-    const double v = expr();
+  Param parse() {
+    const Param v = expr();
     skip_ws();
     ATLAS_CHECK(pos_ == text_.size(), "trailing characters in expression '"
                                           << text_ << "'");
@@ -26,8 +32,8 @@ class ExprParser {
   }
 
  private:
-  double expr() {
-    double v = term();
+  Param expr() {
+    Param v = term();
     for (;;) {
       skip_ws();
       if (consume('+')) {
@@ -40,42 +46,48 @@ class ExprParser {
     }
   }
 
-  double term() {
-    double v = unary();
+  Param term() {
+    Param v = unary();
     for (;;) {
       skip_ws();
       if (consume('*')) {
-        v *= unary();
+        v = v * unary();
       } else if (consume('/')) {
-        v /= unary();
+        v = v / unary();
       } else {
         return v;
       }
     }
   }
 
-  double unary() {
+  Param unary() {
     skip_ws();
     if (consume('-')) return -unary();
     if (consume('+')) return unary();
     return atom();
   }
 
-  double atom() {
+  Param atom() {
     skip_ws();
     if (consume('(')) {
-      const double v = expr();
+      const Param v = expr();
       skip_ws();
       ATLAS_CHECK(consume(')'), "missing ')' in expression '" << text_ << "'");
       return v;
     }
-    if (pos_ < text_.size() && (std::isalpha(text_[pos_]) != 0)) {
+    if (pos_ < text_.size() &&
+        (std::isalpha(text_[pos_]) != 0 || text_[pos_] == '_')) {
       std::string ident;
-      while (pos_ < text_.size() && std::isalpha(text_[pos_]) != 0)
+      while (pos_ < text_.size() &&
+             (std::isalnum(text_[pos_]) != 0 || text_[pos_] == '_'))
         ident += text_[pos_++];
-      ATLAS_CHECK(ident == "pi", "unknown identifier '" << ident
-                                                        << "' in expression");
-      return std::numbers::pi;
+      if (ident == "pi") return Param(std::numbers::pi);
+      ATLAS_CHECK(symbols_.count(ident) != 0,
+                  "unknown identifier '"
+                      << ident
+                      << "' in expression (declare it with 'input float "
+                      << ident << ";')");
+      return Param::symbol(ident);
     }
     std::size_t used = 0;
     const std::string rest = text_.substr(pos_);
@@ -86,7 +98,7 @@ class ExprParser {
       throw Error("bad numeric literal in expression '" + text_ + "'");
     }
     pos_ += used;
-    return v;
+    return Param(v);
   }
 
   void skip_ws() {
@@ -103,14 +115,18 @@ class ExprParser {
   }
 
   const std::string& text_;
+  const std::unordered_set<std::string>& symbols_;
   std::size_t pos_ = 0;
 };
 
-double eval_expr(const std::string& text) { return ExprParser(text).parse(); }
+Param eval_expr(const std::string& text,
+                const std::unordered_set<std::string>& symbols) {
+  return ExprParser(text, symbols).parse();
+}
 
 struct Statement {
   std::string name;
-  std::vector<double> params;
+  std::vector<Param> params;
   std::vector<int> qubits;  // in source order
 };
 
@@ -118,8 +134,9 @@ struct Statement {
 /// statements that declare nothing to execute (barrier/measure/creg...).
 class LineParser {
  public:
-  LineParser(const std::string& line, int line_no, const std::string& qreg)
-      : line_(line), line_no_(line_no), qreg_(qreg) {}
+  LineParser(const std::string& line, int line_no, const std::string& qreg,
+             const std::unordered_set<std::string>& symbols)
+      : line_(line), line_no_(line_no), qreg_(qreg), symbols_(symbols) {}
 
   Statement parse() {
     Statement st;
@@ -141,9 +158,9 @@ class LineParser {
     return s;
   }
 
-  std::vector<double> param_list() {
+  std::vector<Param> param_list() {
     expect('(');
-    std::vector<double> params;
+    std::vector<Param> params;
     std::string current;
     int depth = 1;
     while (pos_ < line_.size() && depth > 0) {
@@ -155,14 +172,14 @@ class LineParser {
         --depth;
         if (depth > 0) current += c;
       } else if (c == ',' && depth == 1) {
-        params.push_back(eval_expr(current));
+        params.push_back(eval_expr(current, symbols_));
         current.clear();
       } else {
         current += c;
       }
     }
     ATLAS_CHECK(depth == 0, "line " << line_no_ << ": unbalanced parens");
-    params.push_back(eval_expr(current));
+    params.push_back(eval_expr(current, symbols_));
     return params;
   }
 
@@ -212,6 +229,7 @@ class LineParser {
   std::size_t pos_ = 0;
   int line_no_;
   const std::string& qreg_;
+  const std::unordered_set<std::string>& symbols_;
 };
 
 Gate make_gate(const Statement& st, int line_no) {
@@ -259,10 +277,61 @@ Gate make_gate(const Statement& st, int line_no) {
 
 }  // namespace
 
+/// Parses the tail of an `input float theta, phi;` declaration
+/// (OpenQASM 3 style): optional width suffix on the type, then a
+/// comma-separated identifier list.
+void parse_input_declaration(const std::string& stmt, int line_no,
+                             std::unordered_set<std::string>& symbols) {
+  std::size_t pos = 5;  // past "input"
+  auto skip_ws = [&] {
+    while (pos < stmt.size() && std::isspace(stmt[pos]) != 0) ++pos;
+  };
+  auto ident = [&] {
+    skip_ws();
+    std::string s;
+    while (pos < stmt.size() &&
+           (std::isalnum(stmt[pos]) != 0 || stmt[pos] == '_'))
+      s += stmt[pos++];
+    ATLAS_CHECK(!s.empty() && (std::isalpha(s[0]) != 0 || s[0] == '_'),
+                "line " << line_no << ": expected identifier in input "
+                                      "declaration");
+    return s;
+  };
+  const std::string type = ident();
+  ATLAS_CHECK(type == "float" || type == "angle",
+              "line " << line_no << ": unsupported input type '" << type
+                      << "' (want float or angle)");
+  skip_ws();
+  if (pos < stmt.size() && stmt[pos] == '[') {  // width suffix: float[64]
+    const std::size_t close = stmt.find(']', pos);
+    ATLAS_CHECK(close != std::string::npos,
+                "line " << line_no << ": unterminated type width");
+    pos = close + 1;
+  }
+  for (;;) {
+    const std::string name = ident();
+    ATLAS_CHECK(name != "pi", "line " << line_no
+                                      << ": 'pi' is a reserved constant");
+    ATLAS_CHECK(symbols.insert(name).second,
+                "line " << line_no << ": duplicate input declaration '"
+                        << name << "'");
+    skip_ws();
+    if (pos < stmt.size() && stmt[pos] == ',') {
+      ++pos;
+      continue;
+    }
+    break;
+  }
+  skip_ws();
+  ATLAS_CHECK(pos == stmt.size(), "line " << line_no
+                                          << ": malformed input declaration");
+}
+
 Circuit parse(const std::string& source) {
   std::string qreg_name;
   int num_qubits = -1;
   std::vector<Statement> statements;
+  std::unordered_set<std::string> symbols;
 
   // Split on ';', tracking line numbers for diagnostics.
   int line_no = 1;
@@ -309,6 +378,11 @@ Circuit parse(const std::string& source) {
     if (s.rfind("creg", 0) == 0) continue;
     if (s.rfind("barrier", 0) == 0) continue;
     if (s.rfind("measure", 0) == 0) continue;
+    if (s.rfind("input", 0) == 0 &&
+        (s.size() == 5 || std::isspace(s[5]) != 0)) {
+      parse_input_declaration(s, ln, symbols);
+      continue;
+    }
     if (s.rfind("qreg", 0) == 0) {
       ATLAS_CHECK(num_qubits < 0, "line " << ln << ": multiple qreg");
       const std::size_t lb = s.find('[');
@@ -325,7 +399,7 @@ Circuit parse(const std::string& source) {
       continue;
     }
     ATLAS_CHECK(have_circuit, "line " << ln << ": gate before qreg");
-    const Statement st = LineParser(s, ln, qreg_name).parse();
+    const Statement st = LineParser(s, ln, qreg_name, symbols).parse();
     circuit.add(make_gate(st, ln));
   }
   ATLAS_CHECK(have_circuit, "no qreg declaration found");
@@ -344,8 +418,25 @@ Circuit parse_file(const std::string& path) {
 
 std::string to_qasm(const Circuit& circuit) {
   std::ostringstream os;
-  os << "OPENQASM 2.0;\n";
-  os << "include \"qelib1.inc\";\n";
+  const std::vector<std::string> symbols = circuit.symbols();
+  if (symbols.empty()) {
+    os << "OPENQASM 2.0;\n";
+    os << "include \"qelib1.inc\";\n";
+  } else {
+    // Symbolic parameters need OpenQASM 3 input declarations; our own
+    // parser round-trips either dialect. Engine-internal slot symbols
+    // ("$k", from canonicalized plans) are not QASM identifiers and
+    // cannot round-trip, so refuse them up front.
+    os << "OPENQASM 3.0;\n";
+    os << "include \"stdgates.inc\";\n";
+    for (const std::string& s : symbols) {
+      ATLAS_CHECK(std::isalpha(static_cast<unsigned char>(s[0])) != 0 ||
+                      s[0] == '_',
+                  "cannot serialize symbol '"
+                      << s << "' to QASM (not a valid identifier)");
+      os << "input float " << s << ";\n";
+    }
+  }
   os << "qreg q[" << circuit.num_qubits() << "];\n";
   os.precision(17);
   for (const Gate& g : circuit.gates()) {

@@ -8,9 +8,13 @@
 ///
 /// Supported statements: OPENQASM/include headers, qreg/creg
 /// declarations, the qelib1 gates implemented in ir/gate.h, `barrier`
-/// and `measure` (both ignored for state-vector simulation), and
-/// parameter expressions over +,-,*,/, unary minus, parentheses, `pi`,
-/// and decimal literals.
+/// and `measure` (both ignored for state-vector simulation), OpenQASM 3
+/// `input float`/`input angle` parameter declarations, and parameter
+/// expressions over +,-,*,/, unary minus, parentheses, `pi`, decimal
+/// literals, and declared symbols (affine combinations only — symbolic
+/// products are rejected). Parameterized circuits export as OpenQASM 3
+/// with their `input float` declarations and round-trip through
+/// parse().
 
 #include <string>
 

@@ -10,6 +10,13 @@ namespace atlas {
 Matrix expand_to_qubits(const Gate& gate, const std::vector<Qubit>& qubits) {
   const int nq = static_cast<int>(qubits.size());
   ATLAS_CHECK(nq <= 16, "refusing to expand onto " << nq << " qubits");
+  // Fusion is bind-time work: matrices of symbolic gates do not exist
+  // until their parameters are bound, so fail with the fix spelled out
+  // instead of deep inside target_matrix().
+  ATLAS_CHECK(!gate.is_parameterized(),
+              "cannot fuse gate '" << gate.to_string()
+                                   << "' with unbound symbolic parameters; "
+                                      "bind a ParamBinding first");
   // Position of each gate qubit within `qubits`.
   std::vector<int> pos;
   pos.reserve(gate.num_qubits());

@@ -6,6 +6,9 @@
 namespace atlas {
 
 StateVector simulate_reference(const Circuit& circuit) {
+  ATLAS_CHECK(!circuit.is_parameterized(),
+              "reference simulator needs a fully bound circuit; call "
+              "Circuit::bind with values for its symbols first");
   StateVector sv(circuit.num_qubits());
   for (const Gate& g : circuit.gates()) apply_gate(sv, g);
   return sv;

@@ -220,10 +220,11 @@ TEST(EndToEnd, ReportAccounting) {
   EXPECT_GT(r.report.wall_seconds, 0.0);
   EXPECT_GT(r.report.totals.kernel_bytes, 0u);
   // Multi-stage plans must have moved data between devices.
-  if (r.plan->stages.size() > 1)
+  if (r.plan->stages.size() > 1) {
     EXPECT_GT(r.report.totals.intra_node_bytes +
                   r.report.totals.inter_node_bytes,
               0u);
+  }
   const double modeled = r.report.modeled_seconds(
       sim.config().comm, sim.cluster().config().num_nodes() * 4,
       sim.cluster().config().num_nodes());

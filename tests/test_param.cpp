@@ -1,0 +1,203 @@
+// Symbolic parameter tests: Param affine algebra and printing,
+// ParamBinding evaluation, symbolic gates (factories, bind, matrix
+// gating), Circuit-level binding, and the structural fingerprint's
+// value-independence contract.
+
+#include <gtest/gtest.h>
+
+#include <numbers>
+
+#include "circuits/families.h"
+#include "common/error.h"
+#include "ir/circuit.h"
+#include "ir/param.h"
+#include "ir/transform.h"
+#include "sim/reference.h"
+
+namespace atlas {
+namespace {
+
+// --- Param algebra ------------------------------------------------------
+
+TEST(Param, ConstantsBehaveLikeDoubles) {
+  const Param p = 0.75;  // implicit conversion
+  EXPECT_TRUE(p.is_constant());
+  EXPECT_EQ(p.constant_value(), 0.75);
+  EXPECT_TRUE(p.symbols().empty());
+  EXPECT_EQ(p.evaluate({}), 0.75);
+}
+
+TEST(Param, AffineAlgebraAndEvaluation) {
+  const Param theta = Param::symbol("theta");
+  const Param phi = Param::symbol("phi");
+  const Param expr = 2.0 * theta - phi / 2.0 + 0.5;
+  EXPECT_TRUE(expr.is_symbolic());
+  EXPECT_EQ(expr.symbols(), (std::vector<std::string>{"phi", "theta"}));
+  const ParamBinding binding{{"theta", 1.0}, {"phi", 4.0}};
+  EXPECT_DOUBLE_EQ(expr.evaluate(binding), 2.0 - 2.0 + 0.5);
+}
+
+TEST(Param, TermsCancelToConstant) {
+  const Param theta = Param::symbol("theta");
+  const Param diff = theta - theta + 3.0;
+  EXPECT_TRUE(diff.is_constant());
+  EXPECT_EQ(diff.constant_value(), 3.0);
+}
+
+TEST(Param, NonAffineOperationsThrow) {
+  const Param theta = Param::symbol("theta");
+  EXPECT_THROW(theta * theta, Error);
+  EXPECT_THROW(Param(1.0) / theta, Error);
+  EXPECT_NO_THROW(theta * Param(2.0));
+  EXPECT_NO_THROW(Param(2.0) * theta);
+}
+
+TEST(Param, EvaluationNamesTheMissingSymbol) {
+  const Param expr = Param::symbol("theta") + Param::symbol("phi");
+  try {
+    expr.evaluate(ParamBinding{{"theta", 1.0}});
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("phi"), std::string::npos);
+  }
+}
+
+TEST(Param, ConstantValueOnSymbolicThrows) {
+  EXPECT_THROW(Param::symbol("theta").constant_value(), Error);
+}
+
+TEST(Param, SymbolNamesMustBeIdentifiers) {
+  EXPECT_THROW(Param::symbol(""), Error);
+  EXPECT_THROW(Param::symbol("my sym"), Error);
+  EXPECT_THROW(Param::symbol("2theta"), Error);
+  EXPECT_THROW(Param::symbol("a-b"), Error);
+  EXPECT_THROW(Param::symbol("pi"), Error);  // reserved constant
+  EXPECT_NO_THROW(Param::symbol("_t0"));
+  EXPECT_NO_THROW(Param::symbol("theta_1"));
+  EXPECT_NO_THROW(Param::symbol("$0"));  // reserved for engine slots
+}
+
+TEST(Param, ToStringRendersAffineForms) {
+  const Param theta = Param::symbol("theta");
+  EXPECT_EQ(Param(0.5).to_string(), "0.5");
+  EXPECT_EQ(theta.to_string(), "theta");
+  EXPECT_EQ((-theta).to_string(), "-theta");
+  EXPECT_EQ((2.0 * theta + 0.5).to_string(), "2*theta + 0.5");
+  EXPECT_EQ((theta - 0.5).to_string(), "theta - 0.5");
+  EXPECT_EQ((theta + Param::symbol("phi")).to_string(), "phi + theta");
+}
+
+// --- symbolic gates -----------------------------------------------------
+
+TEST(SymbolicGate, FactoriesAcceptSymbolsAndBind) {
+  const Gate g = Gate::rx(0, Param::symbol("theta"));
+  EXPECT_TRUE(g.is_parameterized());
+  EXPECT_THROW(g.target_matrix(), Error);
+  EXPECT_THROW(g.param_value(0), Error);
+
+  const Gate bound = g.bind(ParamBinding{{"theta", 0.3}});
+  EXPECT_FALSE(bound.is_parameterized());
+  EXPECT_EQ(bound.param_value(0), 0.3);
+  const Matrix expect = Gate::rx(0, 0.3).target_matrix();
+  const Matrix got = bound.target_matrix();
+  for (int r = 0; r < 2; ++r)
+    for (int c = 0; c < 2; ++c) EXPECT_EQ(got(r, c), expect(r, c));
+}
+
+TEST(SymbolicGate, InsularityIsDecidedWithoutValues) {
+  // rzz is fully diagonal for any parameter value, so both qubits are
+  // insular even while the parameter is a free symbol.
+  const Gate g = Gate::rzz(0, 1, Param::symbol("gamma"));
+  EXPECT_TRUE(g.fully_diagonal());
+  EXPECT_TRUE(g.non_insular_qubits().empty());
+  // rx is never diagonal; its qubit stays non-insular symbolically too.
+  EXPECT_EQ(Gate::rx(2, Param::symbol("beta")).non_insular_qubits().size(),
+            1u);
+}
+
+TEST(SymbolicGate, ToStringShowsTheExpression) {
+  const Gate g = Gate::cp(0, 5, 2.0 * Param::symbol("theta"));
+  EXPECT_EQ(g.to_string(), "cp(2*theta) q5, q0");  // control prints first
+}
+
+TEST(SymbolicGate, InverseStaysSymbolic) {
+  const Gate inv = inverse_gate(Gate::rz(0, Param::symbol("theta")));
+  EXPECT_EQ(inv.kind(), GateKind::RZ);
+  EXPECT_TRUE(inv.is_parameterized());
+  EXPECT_DOUBLE_EQ(inv.param(0).evaluate(ParamBinding{{"theta", 0.4}}), -0.4);
+
+  const Gate u3inv =
+      inverse_gate(Gate::u3(0, Param::symbol("a"), 0.2, Param::symbol("b")));
+  EXPECT_EQ(u3inv.kind(), GateKind::U3);
+  EXPECT_TRUE(u3inv.is_parameterized());
+}
+
+// --- symbolic circuits --------------------------------------------------
+
+Circuit ansatz() {
+  Circuit c(3, "ansatz");
+  const Param theta = Param::symbol("theta");
+  const Param phi = Param::symbol("phi");
+  c.add(Gate::h(0));
+  c.add(Gate::rx(0, theta));
+  c.add(Gate::rzz(0, 1, 2.0 * phi));
+  c.add(Gate::ry(2, theta + 0.25));
+  c.add(Gate::cx(1, 2));
+  return c;
+}
+
+TEST(SymbolicCircuit, SymbolsAndBind) {
+  const Circuit c = ansatz();
+  EXPECT_TRUE(c.is_parameterized());
+  EXPECT_EQ(c.symbols(), (std::vector<std::string>{"phi", "theta"}));
+
+  const Circuit bound = c.bind(ParamBinding{{"theta", 0.3}, {"phi", 0.7}});
+  EXPECT_FALSE(bound.is_parameterized());
+  EXPECT_EQ(bound.num_gates(), c.num_gates());
+  EXPECT_DOUBLE_EQ(bound.gate(2).param_value(0), 1.4);
+
+  // Partial bindings throw, naming the missing symbol.
+  EXPECT_THROW(c.bind(ParamBinding{{"theta", 0.3}}), Error);
+}
+
+TEST(SymbolicCircuit, ReferenceSimulatorRejectsUnbound) {
+  EXPECT_THROW(simulate_reference(ansatz()), Error);
+  EXPECT_NO_THROW(
+      simulate_reference(ansatz().bind({{"theta", 0.1}, {"phi", 0.2}})));
+}
+
+TEST(StructuralFingerprint, IgnoresParameterValuesAndSymbols) {
+  Circuit a(2), b(2), c(2);
+  a.add(Gate::rx(0, 0.3));
+  b.add(Gate::rx(0, 0.7));
+  c.add(Gate::rx(0, Param::symbol("theta")));
+  EXPECT_EQ(a.structural_fingerprint(), b.structural_fingerprint());
+  EXPECT_EQ(a.structural_fingerprint(), c.structural_fingerprint());
+  // The value-sensitive fingerprint still tells them all apart.
+  EXPECT_NE(a.fingerprint(), b.fingerprint());
+  EXPECT_NE(a.fingerprint(), c.fingerprint());
+}
+
+TEST(StructuralFingerprint, SeesShape) {
+  Circuit a(2), b(2), c(2);
+  a.add(Gate::rx(0, 0.3));
+  b.add(Gate::rx(1, 0.3));  // different qubit
+  c.add(Gate::ry(0, 0.3));  // different kind
+  EXPECT_NE(a.structural_fingerprint(), b.structural_fingerprint());
+  EXPECT_NE(a.structural_fingerprint(), c.structural_fingerprint());
+  // Two instances of a concrete family agree on both hashes.
+  EXPECT_EQ(circuits::qft(6).structural_fingerprint(),
+            circuits::qft(6).structural_fingerprint());
+}
+
+TEST(StructuralFingerprint, UnitaryMatricesStillEnterTheHash) {
+  // An explicit Unitary's numeric content decides diagonality and thus
+  // the plan, so it must stay in the structural hash.
+  Circuit a(1), b(1);
+  a.add(Gate::unitary({0}, Matrix::square(2, {1, 0, 0, 1})));
+  b.add(Gate::unitary({0}, Matrix::square(2, {0, 1, 1, 0})));
+  EXPECT_NE(a.structural_fingerprint(), b.structural_fingerprint());
+}
+
+}  // namespace
+}  // namespace atlas

@@ -28,17 +28,17 @@ measure q[0] -> c[0];
   EXPECT_EQ(c.gate(0).kind(), GateKind::H);
   EXPECT_EQ(c.gate(1).kind(), GateKind::CX);
   EXPECT_EQ(c.gate(2).kind(), GateKind::RZ);
-  EXPECT_NEAR(c.gate(2).params()[0], std::numbers::pi / 4, 1e-12);
+  EXPECT_NEAR(c.gate(2).param_value(0), std::numbers::pi / 4, 1e-12);
 }
 
 TEST(Qasm, ExpressionArithmetic) {
   const Circuit c = qasm::parse(
       "qreg q[1]; rz(-pi) q[0]; rz(2*pi/8) q[0]; rz((1+2)*0.5) q[0];"
       "rz(pi*(1-0.5)) q[0];");
-  EXPECT_NEAR(c.gate(0).params()[0], -std::numbers::pi, 1e-12);
-  EXPECT_NEAR(c.gate(1).params()[0], std::numbers::pi / 4, 1e-12);
-  EXPECT_NEAR(c.gate(2).params()[0], 1.5, 1e-12);
-  EXPECT_NEAR(c.gate(3).params()[0], std::numbers::pi / 2, 1e-12);
+  EXPECT_NEAR(c.gate(0).param_value(0), -std::numbers::pi, 1e-12);
+  EXPECT_NEAR(c.gate(1).param_value(0), std::numbers::pi / 4, 1e-12);
+  EXPECT_NEAR(c.gate(2).param_value(0), 1.5, 1e-12);
+  EXPECT_NEAR(c.gate(3).param_value(0), std::numbers::pi / 2, 1e-12);
 }
 
 TEST(Qasm, CommentsIgnored) {
@@ -90,6 +90,108 @@ TEST_P(QasmRoundTripTest, SemanticRoundTrip) {
 
 INSTANTIATE_TEST_SUITE_P(AllFamilies, QasmRoundTripTest,
                          ::testing::ValuesIn(circuits::family_names()));
+
+// --- symbolic parameters (OpenQASM 3 input declarations) ----------------
+
+constexpr const char* kParameterizedAnsatz = R"(
+OPENQASM 3.0;
+include "stdgates.inc";
+input float theta;
+input float gamma, beta;
+qreg q[4];
+h q[0];
+h q[1];
+h q[2];
+h q[3];
+rzz(gamma) q[0], q[1];
+rzz(2*gamma) q[1], q[2];
+rzz(gamma + pi/4) q[2], q[3];
+rx(theta) q[0];
+rx(-theta) q[1];
+rx(theta/2) q[2];
+crz(beta - 0.5) q[0], q[3];
+)";
+
+TEST(QasmSymbolic, ParsesInputDeclarationsIntoParams) {
+  const Circuit c = qasm::parse(kParameterizedAnsatz);
+  EXPECT_EQ(c.num_qubits(), 4);
+  ASSERT_EQ(c.num_gates(), 11);
+  EXPECT_TRUE(c.is_parameterized());
+  EXPECT_EQ(c.symbols(),
+            (std::vector<std::string>{"beta", "gamma", "theta"}));
+  // rzz(2*gamma): coefficient survives parsing.
+  EXPECT_EQ(c.gate(5).param(0), 2.0 * Param::symbol("gamma"));
+  // rzz(gamma + pi/4): affine constant offset survives.
+  EXPECT_NEAR(
+      c.gate(6).param(0).evaluate(ParamBinding{{"gamma", 0.0}}),
+      std::numbers::pi / 4, 1e-12);
+  // rx(-theta) keeps its sign.
+  EXPECT_EQ(c.gate(8).param(0), -Param::symbol("theta"));
+}
+
+TEST(QasmSymbolic, RoundTripsThroughExport) {
+  const Circuit original = qasm::parse(kParameterizedAnsatz);
+  const std::string exported = qasm::to_qasm(original);
+  // Export declares every free symbol.
+  EXPECT_NE(exported.find("input float beta;"), std::string::npos);
+  EXPECT_NE(exported.find("input float gamma;"), std::string::npos);
+  EXPECT_NE(exported.find("input float theta;"), std::string::npos);
+
+  const Circuit reparsed = qasm::parse(exported);
+  EXPECT_EQ(reparsed.symbols(), original.symbols());
+  EXPECT_EQ(reparsed.fingerprint(), original.fingerprint());
+
+  // Semantic check: bind both and compare the physics.
+  const ParamBinding binding{{"theta", 0.9}, {"gamma", -0.3}, {"beta", 1.7}};
+  const StateVector a = simulate_reference(original.bind(binding));
+  const StateVector b = simulate_reference(reparsed.bind(binding));
+  EXPECT_LT(a.max_abs_diff(b), 1e-12);
+}
+
+TEST(QasmSymbolic, UndeclaredSymbolThrows) {
+  try {
+    qasm::parse("qreg q[1]; rx(theta) q[0];");
+    FAIL() << "expected parse error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("theta"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("input float"), std::string::npos);
+  }
+}
+
+TEST(QasmSymbolic, RejectsNonAffineExpressions) {
+  EXPECT_THROW(
+      qasm::parse("input float a; qreg q[1]; rx(a*a) q[0];"), Error);
+  EXPECT_THROW(
+      qasm::parse("input float a; qreg q[1]; rx(1/a) q[0];"), Error);
+}
+
+TEST(QasmSymbolic, RejectsBadDeclarations) {
+  EXPECT_THROW(qasm::parse("input int k; qreg q[1]; h q[0];"), Error);
+  EXPECT_THROW(
+      qasm::parse("input float a; input float a; qreg q[1]; h q[0];"), Error);
+  EXPECT_THROW(qasm::parse("input float pi; qreg q[1]; h q[0];"), Error);
+}
+
+TEST(QasmSymbolic, UnderscoreIdentifiersRoundTrip) {
+  Circuit c(1);
+  c.add(Gate::rx(0, Param::symbol("_t0")));
+  const Circuit reparsed = qasm::parse(qasm::to_qasm(c));
+  EXPECT_EQ(reparsed.symbols(), (std::vector<std::string>{"_t0"}));
+}
+
+TEST(QasmSymbolic, RefusesInternalSlotSymbols) {
+  // "$k" slot names (from canonicalized plans) are not QASM
+  // identifiers; exporting them must fail loudly, not emit garbage.
+  Circuit c(1);
+  c.add(Gate::rx(0, Param::symbol("$0")));
+  EXPECT_THROW(qasm::to_qasm(c), Error);
+}
+
+TEST(QasmSymbolic, WidthSuffixAndAngleTypeAccepted) {
+  const Circuit c = qasm::parse(
+      "input float[64] t; input angle a; qreg q[1]; rx(t) q[0]; rz(a) q[0];");
+  EXPECT_EQ(c.symbols(), (std::vector<std::string>{"a", "t"}));
+}
 
 TEST(Qasm, RandomCircuitRoundTrip) {
   const Circuit original = circuits::random_circuit(5, 60, 31337);

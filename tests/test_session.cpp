@@ -301,10 +301,11 @@ TEST(Session, ConcurrentSubmitFromManyThreadsIsBitIdentical) {
     EXPECT_EQ(amplitudes(futures[i].get()), expected[i]) << jobs[i].name();
 
   // Racing duplicates may each build cold, but once the dust settles
-  // every one of the four distinct structures is cached: re-planning
-  // the full job list must be all hits.
+  // every one of the four distinct structures is cached: re-compiling
+  // the full job list must be all hits (simulate()/submit() cache
+  // under compile()'s structural keys).
   const std::uint64_t hits_before = session.plan_cache_stats().hits;
-  for (const Circuit& c : jobs) session.plan(c);
+  for (const Circuit& c : jobs) session.compile(c);
   EXPECT_EQ(session.plan_cache_stats().hits, hits_before + jobs.size());
 }
 
@@ -317,6 +318,225 @@ TEST(Session, SimulateBatchAlignsResults) {
             amplitudes(session.simulate(circuits::qft(7))));
   EXPECT_EQ(amplitudes(results[1]),
             amplitudes(session.simulate(circuits::ghz(7))));
+}
+
+// --- compile-once / bind-many -------------------------------------------
+
+/// A 7-qubit two-symbol variational ansatz (theta: mixer angles,
+/// gamma: entangler angles) matching small_config()'s cluster.
+Circuit sweep_ansatz(int n = 7) {
+  Circuit c(n, "sweep_ansatz");
+  const Param theta = Param::symbol("theta");
+  const Param gamma = Param::symbol("gamma");
+  for (Qubit q = 0; q < n; ++q) c.add(Gate::h(q));
+  for (Qubit q = 0; q + 1 < n; ++q) c.add(Gate::rzz(q, q + 1, gamma));
+  for (Qubit q = 0; q < n; ++q) c.add(Gate::rx(q, theta));
+  for (Qubit q = 0; q + 1 < n; ++q) c.add(Gate::rzz(q, q + 1, 0.5 * gamma));
+  for (Qubit q = 0; q < n; ++q) c.add(Gate::rx(q, theta + 0.1));
+  return c;
+}
+
+TEST(CompiledCircuit, HandleExposesSymbolsAndSlotTable) {
+  const Session session(small_config());
+  const Circuit c = sweep_ansatz();
+  const CompiledCircuit compiled = session.compile(c);
+  ASSERT_TRUE(compiled.valid());
+  EXPECT_EQ(compiled.symbols(), (std::vector<std::string>{"gamma", "theta"}));
+  EXPECT_TRUE(compiled.is_parameterized());
+  EXPECT_EQ(compiled.num_qubits(), 7);
+  // One slot per rotation parameter: 2*(7-1) rzz + 2*7 rx.
+  EXPECT_EQ(compiled.param_slots().size(), 26u);
+  EXPECT_EQ(compiled.plan_key(), session.plan_key(c));
+  // The handle keeps the *user* expressions, not the slot symbols.
+  EXPECT_EQ(compiled.param_slots().front().expr,
+            Param::symbol("gamma"));
+}
+
+TEST(CompiledCircuit, RunMatchesSimulateOfBoundCircuit) {
+  const Session session(small_config());
+  const CompiledCircuit compiled = session.compile(sweep_ansatz());
+  const ParamBinding binding{{"theta", 0.37}, {"gamma", -1.2}};
+  const SimulationResult via_run = session.run(compiled, binding);
+  const SimulationResult via_simulate =
+      session.simulate(sweep_ansatz().bind(binding));
+  EXPECT_EQ(amplitudes(via_run), amplitudes(via_simulate));
+}
+
+TEST(CompiledCircuit, RunNamesTheMissingSymbol) {
+  const Session session(small_config());
+  const CompiledCircuit compiled = session.compile(sweep_ansatz());
+  try {
+    session.run(compiled, ParamBinding{{"theta", 0.1}});
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("gamma"), std::string::npos);
+  }
+}
+
+TEST(CompiledCircuit, RejectsHandleFromDifferentClusterShape) {
+  const Session a(small_config(5, 1, 1));
+  const Session b(small_config(4, 2, 1));  // same 7 qubits, other shape
+  const CompiledCircuit compiled = a.compile(sweep_ansatz());
+  EXPECT_THROW(b.run(compiled, ParamBinding{{"theta", 0.0}, {"gamma", 0.0}}),
+               Error);
+}
+
+TEST(CompiledCircuit, InvalidHandleThrows) {
+  const Session session(small_config());
+  EXPECT_THROW(session.run(CompiledCircuit{}), Error);
+}
+
+TEST(Session, SimulateRejectsUnboundCircuits) {
+  const Session session(small_config());
+  try {
+    session.simulate(sweep_ansatz());
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("gamma"), std::string::npos);
+  }
+}
+
+TEST(Session, ConstantParameterVariantsShareOnePlanButNotValues) {
+  // Structural caching must never replay the *first* circuit's
+  // parameter values: rx(0.3) and rx(0.7) share a plan yet produce
+  // different states.
+  const Session session(small_config());
+  Circuit c1(7), c2(7);
+  for (Qubit q = 0; q < 7; ++q) c1.add(Gate::rx(q, 0.3));
+  for (Qubit q = 0; q < 7; ++q) c2.add(Gate::rx(q, 0.7));
+  const SimulationResult r1 = session.simulate(c1);
+  const SimulationResult r2 = session.simulate(c2);
+  EXPECT_EQ(r1.plan.get(), r2.plan.get());  // one shared plan
+  EXPECT_EQ(session.plan_cache_stats().misses, 1u);
+  EXPECT_EQ(session.plan_cache_stats().hits, 1u);
+  EXPECT_NE(amplitudes(r1), amplitudes(r2));  // but distinct physics
+  EXPECT_EQ(amplitudes(r2),
+            amplitudes(Simulator{SimulatorConfig(small_config())}.simulate(c2)));
+}
+
+std::atomic<int> sweep_stager_calls{0};
+std::atomic<int> sweep_kernelizer_calls{0};
+
+class SweepCountingStager final : public staging::Stager {
+ public:
+  std::string name() const override { return "sweep-counting"; }
+  staging::StagedCircuit stage(const Circuit& circuit,
+                               const staging::MachineShape& shape,
+                               const staging::StagingOptions&) const override {
+    ++sweep_stager_calls;
+    return staging::stage_with_snuqs(circuit, shape);
+  }
+};
+
+class SweepCountingKernelizer final : public kernelize::Kernelizer {
+ public:
+  std::string name() const override { return "sweep-counting"; }
+  kernelize::Kernelization kernelize(
+      const Circuit& circuit, const kernelize::CostModel& model,
+      const kernelize::DpOptions&) const override {
+    ++sweep_kernelizer_calls;
+    return kernelize::kernelize_ordered(circuit, model);
+  }
+};
+
+TEST(Sweep, ThirtyTwoBindingsOneStagingPassBitIdenticalResults) {
+  staging::stager_registry().add(
+      "sweep-counting", [] { return std::make_shared<SweepCountingStager>(); });
+  kernelize::kernelizer_registry().add("sweep-counting", [] {
+    return std::make_shared<SweepCountingKernelizer>();
+  });
+
+  SessionConfig cfg = small_config();
+  cfg.stager = "sweep-counting";
+  cfg.kernelizer = "sweep-counting";
+  cfg.dispatch_threads = 4;
+  const Session session(cfg);
+
+  const CompiledCircuit compiled = session.compile(sweep_ansatz());
+  std::vector<ParamBinding> bindings;
+  for (int i = 0; i < 32; ++i) {
+    bindings.push_back(ParamBinding{}
+                           .set("theta", 0.05 * i)
+                           .set("gamma", 1.0 - 0.03 * i));
+  }
+  const int stager_before = sweep_stager_calls.load();
+  const std::vector<SimulationResult> results =
+      session.sweep(compiled, bindings);
+
+  // The whole 32-point sweep re-used compile()'s single staging +
+  // kernelization pass (kernelization runs once per stage of that one
+  // pass, never once per binding).
+  EXPECT_EQ(sweep_stager_calls.load(), stager_before);
+  EXPECT_EQ(session.plan_cache_stats().misses, 1u);
+  ASSERT_EQ(results.size(), bindings.size());
+
+  // Spot-check bit-identical agreement with the naive per-binding
+  // simulate() path across the sweep.
+  for (std::size_t i : {std::size_t{0}, std::size_t{15}, std::size_t{31}}) {
+    EXPECT_EQ(amplitudes(results[i]),
+              amplitudes(session.simulate(sweep_ansatz().bind(bindings[i]))))
+        << "binding " << i;
+  }
+  EXPECT_EQ(sweep_stager_calls.load(), stager_before);  // still cached
+}
+
+TEST(SimulationResult, ReturnedPlanReExecutesWithItsParams) {
+  // simulate()'s plan is canonicalized (slot symbols), so re-running it
+  // needs the slot values the run recorded in result.params.
+  const Session session(small_config());
+  const Circuit c = circuits::ising(7);  // carries rotation parameters
+  const SimulationResult r = session.simulate(c);
+  ASSERT_FALSE(r.params.empty());
+  exec::DistState fresh = session.executor().initial_state(*r.plan,
+                                                           session.cluster());
+  session.execute(*r.plan, fresh, r.params);
+  EXPECT_EQ(fresh.gather().amplitudes(), r.state.gather().amplitudes());
+}
+
+TEST(Sweep, FailsFastNamingTheBadBinding) {
+  const Session session(small_config());
+  const CompiledCircuit compiled = session.compile(sweep_ansatz());
+  std::vector<ParamBinding> bindings = {
+      ParamBinding{{"theta", 0.1}, {"gamma", 0.2}},
+      ParamBinding{{"theta", 0.3}},  // gamma missing
+  };
+  try {
+    session.sweep(compiled, bindings);
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("#1"), std::string::npos);
+    EXPECT_NE(what.find("gamma"), std::string::npos);
+  }
+}
+
+TEST(Sweep, SubmitCompiledMatchesRun) {
+  const Session session(small_config());
+  const CompiledCircuit compiled = session.compile(sweep_ansatz());
+  const ParamBinding binding{{"theta", 0.2}, {"gamma", 0.9}};
+  auto future = session.submit(compiled, binding);
+  EXPECT_EQ(amplitudes(future.get()),
+            amplitudes(session.run(compiled, binding)));
+}
+
+// --- plan-cache keying (cluster shape) ----------------------------------
+
+TEST(PlanKey, IncludesClusterShape) {
+  // Two sessions over the same 7 logical qubits but different shapes
+  // must key the same circuit differently: their plans embed
+  // shape-dependent partitions, so shared caches must never collide.
+  const Session a(small_config(5, 1, 1));
+  const Session b(small_config(4, 2, 1));
+  const Circuit c = circuits::qft(7);
+  EXPECT_NE(a.plan_key(c), b.plan_key(c));
+  EXPECT_EQ(a.plan_key(c), a.plan_key(circuits::qft(7)));
+
+  // Structural keying: parameter values do not enter the key.
+  Circuit p1(7), p2(7);
+  for (Qubit q = 0; q < 7; ++q) p1.add(Gate::rz(q, 0.25));
+  for (Qubit q = 0; q < 7; ++q) p2.add(Gate::rz(q, 0.50));
+  EXPECT_EQ(a.plan_key(p1), a.plan_key(p2));
+  EXPECT_NE(a.plan_key(p1), b.plan_key(p1));
 }
 
 // --- executor backends --------------------------------------------------

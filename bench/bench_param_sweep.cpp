@@ -118,12 +118,13 @@ int run(bool smoke) {
               static_cast<unsigned long long>(sweep_stats.hits));
   std::printf("\nspeedup sweep() vs cold-replan : %6.2fx\n",
               cold_seconds / sweep_seconds);
-  // Informational: the naive loop already shares the structural plan
-  // cache, and per-run execution parallelizes across shards, so on a
-  // loaded host the dispatch fan-out can land near 1x here. The
-  // architectural win this bench gates on is skipping the per-point
-  // staging+kernelization above.
-  std::printf("speedup sweep() vs naive loop  : %6.2fx (informational)\n",
+  // The naive loop shares the structural plan cache but still pays
+  // circuit bind+copy, fingerprint hashing, and compile()
+  // canonicalization per point; sweep() binds through the dense slot
+  // table only. With stage programs compiled once per run the common
+  // execution term shrank, widening this gap from ~1.2x (PR 2) to
+  // ~1.25-1.3x full / ~2x smoke-scale on a quiet host.
+  std::printf("speedup sweep() vs naive loop  : %6.2fx\n",
               naive_seconds / sweep_seconds);
 
   // Correctness gate: the three modes must agree bit for bit on the
@@ -140,12 +141,22 @@ int run(bool smoke) {
                 static_cast<unsigned long long>(sweep_stats.misses));
     return 1;
   }
-  // Perf gate (full mode only — smoke runs on noisy CI workers): the
-  // sweep must clearly beat paying staging+kernelization per point.
+  // Perf gates (full mode only — smoke runs on noisy CI workers): the
+  // sweep must clearly beat paying staging+kernelization per point, and
+  // must hold its widened lead over the warm naive loop. The naive gate
+  // sits well below the quiet-host measurement (~1.25-1.3x) because a
+  // loaded host compresses the ratio toward 1x — it exists to catch a
+  // real inversion, not to certify the margin.
   if (!smoke && cold_seconds < 1.2 * sweep_seconds) {
     std::printf("FAIL: sweep() not measurably faster than cold replanning "
                 "(%.4fs vs %.4fs)\n",
                 sweep_seconds, cold_seconds);
+    return 1;
+  }
+  if (!smoke && naive_seconds < 1.02 * sweep_seconds) {
+    std::printf("FAIL: sweep() lead over the warm naive loop regressed "
+                "(%.4fs vs %.4fs)\n",
+                sweep_seconds, naive_seconds);
     return 1;
   }
   std::printf("check: all modes bit-identical, sweep planned once — %s\n",

@@ -63,6 +63,19 @@ inline Index gather_bits(Index i, const std::vector<int>& qs) {
   return r;
 }
 
+/// Inverse position index of a sorted bit list: result[b] = index of
+/// bit position b within `bits`, or -1 when absent (result is sized
+/// bits.back()+1; empty for an empty list). The O(1)-lookup complement
+/// of spread_bits/gather_bits used when remapping between bit spaces.
+inline std::vector<int> inverse_index(const std::vector<int>& bits) {
+  std::vector<int> pos(bits.empty() ? 0 : static_cast<std::size_t>(
+                                              bits.back()) + 1,
+                       -1);
+  for (std::size_t i = 0; i < bits.size(); ++i)
+    pos[static_cast<std::size_t>(bits[i])] = static_cast<int>(i);
+  return pos;
+}
+
 /// floor(log2(x)) for x > 0.
 constexpr int floor_log2(Index x) {
   return 63 - std::countl_zero(x);

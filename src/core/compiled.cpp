@@ -1,6 +1,8 @@
 #include "core/compiled.h"
 
+#include <algorithm>
 #include <string>
+#include <unordered_map>
 
 #include "common/error.h"
 
@@ -14,13 +16,54 @@ std::string slot_symbol_name(int index) {
   return name;
 }
 
-ParamBinding CompiledCircuit::bind_slots(const ParamBinding& binding) const {
-  ATLAS_CHECK(valid(), "bind_slots() on an invalid CompiledCircuit; use "
+void CompiledCircuit::build_slot_programs() {
+  std::unordered_map<std::string, int> index_of;
+  index_of.reserve(symbols_.size());
+  for (std::size_t i = 0; i < symbols_.size(); ++i)
+    index_of.emplace(symbols_[i], static_cast<int>(i));
+  slot_programs_.clear();
+  slot_programs_.reserve(slots_.size());
+  for (const Slot& s : slots_) {
+    SlotProgram prog;
+    prog.constant = s.expr.constant_term();
+    prog.terms.reserve(s.expr.terms().size());
+    for (const auto& [sym, coeff] : s.expr.terms()) {
+      const auto it = index_of.find(sym);
+      ATLAS_CHECK(it != index_of.end(),
+                  "slot expression references unknown symbol '" << sym << "'");
+      prog.terms.push_back(SlotTerm{it->second, coeff});
+    }
+    slot_programs_.push_back(std::move(prog));
+  }
+}
+
+SlotValues CompiledCircuit::slot_values_from(
+    const std::vector<double>& symbol_values) const {
+  ATLAS_CHECK(valid(), "slot_values_from() on an invalid CompiledCircuit; "
+                       "use Session::compile()");
+  ATLAS_CHECK(symbol_values.size() == symbols_.size(),
+              "expected " << symbols_.size() << " symbol values (one per "
+                          << "entry of symbols()), got "
+                          << symbol_values.size());
+  SlotValues values(slot_programs_.size());
+  for (std::size_t k = 0; k < slot_programs_.size(); ++k) {
+    const SlotProgram& prog = slot_programs_[k];
+    double v = prog.constant;
+    for (const SlotTerm& t : prog.terms)
+      v += t.coeff * symbol_values[static_cast<std::size_t>(t.sym)];
+    values[k] = v;
+  }
+  return values;
+}
+
+SlotValues CompiledCircuit::slot_values(const ParamBinding& binding) const {
+  ATLAS_CHECK(valid(), "slot_values() on an invalid CompiledCircuit; use "
                        "Session::compile()");
-  ParamBinding slots;
-  for (const Slot& s : slots_)
-    slots.set(slot_symbol_name(s.index), s.expr.evaluate(binding));
-  return slots;
+  std::vector<double> symbol_values;
+  symbol_values.reserve(symbols_.size());
+  for (const std::string& sym : symbols_)
+    symbol_values.push_back(binding.at(sym));
+  return slot_values_from(symbol_values);
 }
 
 }  // namespace atlas

@@ -71,18 +71,41 @@ class CompiledCircuit {
   /// (structural fingerprint mixed with the cluster shape).
   std::uint64_t plan_key() const { return plan_key_; }
 
-  /// Evaluates the slot table against `binding`, producing the
-  /// slot-symbol binding the execution layer consumes. Throws
-  /// atlas::Error naming the first missing symbol.
-  ParamBinding bind_slots(const ParamBinding& binding) const;
+  /// Dense slot-value table for `binding`: index k holds the value of
+  /// plan slot "$k". Exactly one string lookup per free symbol; every
+  /// slot expression is then evaluated by a precompiled symbol-index
+  /// program, and execution resolves plan parameters by array indexing
+  /// — zero ParamBinding lookups past this call. Throws atlas::Error
+  /// naming the first missing symbol.
+  SlotValues slot_values(const ParamBinding& binding) const;
+
+  /// As slot_values(), from values positionally aligned with symbols()
+  /// — the zero-string-lookup sweep entry. Throws atlas::Error on a
+  /// size mismatch.
+  SlotValues slot_values_from(const std::vector<double>& symbol_values) const;
 
  private:
   friend class Session;
+
+  /// One slot expression lowered to symbol indices: constant +
+  /// sum(coeff * symbol_values[sym]). Built once at compile() so
+  /// binding a sweep point is pure arithmetic.
+  struct SlotTerm {
+    int sym = 0;
+    double coeff = 0;
+  };
+  struct SlotProgram {
+    double constant = 0;
+    std::vector<SlotTerm> terms;
+  };
+
+  void build_slot_programs();
 
   std::shared_ptr<const Circuit> circuit_;
   std::shared_ptr<const exec::ExecutionPlan> plan_;
   std::vector<std::string> symbols_;
   std::vector<Slot> slots_;
+  std::vector<SlotProgram> slot_programs_;
   std::uint64_t plan_key_ = 0;
   std::uint64_t shape_salt_ = 0;  // guards cross-session handle misuse
 };
@@ -90,8 +113,8 @@ class CompiledCircuit {
 /// The canonical name of parameter slot `index` ("$3"). The "$" prefix
 /// is reserved for the engine: QASM identifiers cannot produce it (and
 /// export refuses it), and even a hand-minted Param::symbol("$k") never
-/// meets a plan slot — user expressions are evaluated by bind_slots()
-/// before the slot binding reaches the execution layer.
+/// meets a plan slot — user expressions are evaluated by slot_values()
+/// before the dense slot table reaches the execution layer.
 std::string slot_symbol_name(int index);
 
 }  // namespace atlas

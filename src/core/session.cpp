@@ -301,24 +301,74 @@ CompiledCircuit Session::compile(const Circuit& circuit) const {
     }
     canonical.add(g.with_params(std::move(slot_params)));
   }
+  cc.build_slot_programs();
   cc.plan_ = plan_memoized(cc.plan_key_, canonical);
   return cc;
 }
 
-SimulationResult Session::run(const CompiledCircuit& compiled,
-                              const ParamBinding& binding) const {
-  ATLAS_CHECK(compiled.valid(),
-              "run() on an invalid CompiledCircuit; use Session::compile()");
+void Session::check_compiled(const CompiledCircuit& compiled,
+                             const char* what) const {
+  ATLAS_CHECK(compiled.valid(), "" << what
+                                    << "() on an invalid CompiledCircuit; "
+                                       "use Session::compile()");
   ATLAS_CHECK(compiled.shape_salt_ == shape_salt_,
               "CompiledCircuit was compiled for a different cluster shape; "
               "recompile it with this session");
+}
+
+std::vector<SimulationResult> Session::fan_out(
+    std::size_t count,
+    const std::function<SimulationResult(std::size_t)>& run_point) const {
+  // Tasks reference caller-owned state through `run_point`, so no
+  // exception may unwind this frame while a task is still queued or
+  // running: a future is recorded only once its task is queued, and
+  // every recorded future is joined before anything propagates.
+  std::vector<std::future<SimulationResult>> futures;
+  futures.reserve(count);
+  try {
+    for (std::size_t i = 0; i < count; ++i) {
+      auto task = std::make_shared<std::packaged_task<SimulationResult()>>(
+          [&run_point, i] { return run_point(i); });
+      std::future<SimulationResult> future = task->get_future();
+      dispatch_pool_->submit([task] { (*task)(); });
+      futures.push_back(std::move(future));
+    }
+  } catch (...) {
+    for (auto& f : futures) f.wait();
+    throw;
+  }
+  for (auto& f : futures) f.wait();
+  std::vector<SimulationResult> results;
+  results.reserve(count);
+  for (auto& f : futures) results.push_back(f.get());
+  return results;
+}
+
+SimulationResult Session::run(const CompiledCircuit& compiled,
+                              const ParamBinding& binding) const {
+  check_compiled(compiled, "run");
+  return run_with_slots(compiled, compiled.slot_values(binding));
+}
+
+SimulationResult Session::run(const CompiledCircuit& compiled,
+                              const std::vector<double>& symbol_values) const {
+  check_compiled(compiled, "run");
+  return run_with_slots(compiled, compiled.slot_values_from(symbol_values));
+}
+
+SimulationResult Session::run_with_slots(const CompiledCircuit& compiled,
+                                         SlotValues values) const {
   SimulationResult result;
   result.plan = compiled.plan();
-  result.params = compiled.bind_slots(binding);
+  // The slot-symbol binding is recorded for reproducibility via
+  // execute(); the run itself reads only the dense table.
+  for (std::size_t k = 0; k < values.size(); ++k)
+    result.params.set(slot_symbol_name(static_cast<int>(k)), values[k]);
   result.state = executor_->initial_state(*result.plan, cluster_);
+  ParamEnv env;
+  env.slots = &values;
   result.report =
-      executor_->execute(*result.plan, cluster_, result.state,
-                         result.params.empty() ? nullptr : &result.params);
+      executor_->execute(*result.plan, cluster_, result.state, env);
   return result;
 }
 
@@ -335,11 +385,7 @@ std::future<SimulationResult> Session::submit(const CompiledCircuit& compiled,
 
 std::vector<SimulationResult> Session::sweep(
     const CompiledCircuit& compiled, std::vector<ParamBinding> bindings) const {
-  ATLAS_CHECK(compiled.valid(),
-              "sweep() on an invalid CompiledCircuit; use Session::compile()");
-  ATLAS_CHECK(compiled.shape_salt_ == shape_salt_,
-              "CompiledCircuit was compiled for a different cluster shape; "
-              "recompile it with this session");
+  check_compiled(compiled, "sweep");
   // Fail fast with the offending point named, before any work is
   // dispatched — a bad binding mid-sweep would otherwise surface as an
   // unattributed exception after discarding every computed result.
@@ -348,23 +394,22 @@ std::vector<SimulationResult> Session::sweep(
       ATLAS_CHECK(bindings[i].contains(s), "sweep binding #"
                                                << i << " is missing symbol '"
                                                << s << "'");
-  // One shared handle for the whole fan-out instead of a slot-table
-  // deep copy per binding.
-  auto shared = std::make_shared<const CompiledCircuit>(compiled);
-  std::vector<std::future<SimulationResult>> futures;
-  futures.reserve(bindings.size());
-  for (ParamBinding& b : bindings) {
-    auto task = std::make_shared<std::packaged_task<SimulationResult()>>(
-        [this, shared, binding = std::move(b)] {
-          return run(*shared, binding);
-        });
-    futures.push_back(task->get_future());
-    dispatch_pool_->submit([task] { (*task)(); });
-  }
-  std::vector<SimulationResult> results;
-  results.reserve(futures.size());
-  for (auto& f : futures) results.push_back(f.get());
-  return results;
+  return fan_out(bindings.size(),
+                 [&](std::size_t i) { return run(compiled, bindings[i]); });
+}
+
+std::vector<SimulationResult> Session::sweep(
+    const CompiledCircuit& compiled,
+    const std::vector<std::vector<double>>& points) const {
+  check_compiled(compiled, "sweep");
+  const std::size_t want = compiled.symbols().size();
+  for (std::size_t i = 0; i < points.size(); ++i)
+    ATLAS_CHECK(points[i].size() == want,
+                "sweep point #" << i << " has " << points[i].size()
+                                << " values but the compiled circuit takes "
+                                << want << " symbols");
+  return fan_out(points.size(),
+                 [&](std::size_t i) { return run(compiled, points[i]); });
 }
 
 exec::ExecutionReport Session::execute(const exec::ExecutionPlan& plan,
@@ -386,7 +431,7 @@ SimulationResult Session::simulate(const Circuit& circuit) const {
                 ", ...); use compile()/run() with a ParamBinding or "
                 "Circuit::bind");
   }
-  return run(compile(circuit), {});
+  return run(compile(circuit), ParamBinding{});
 }
 
 std::future<SimulationResult> Session::submit(Circuit circuit) const {

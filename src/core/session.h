@@ -30,6 +30,7 @@
 /// plan_cache_stats() exposes hit/miss counters.
 
 #include <cstdint>
+#include <functional>
 #include <future>
 #include <memory>
 #include <string>
@@ -158,6 +159,15 @@ class Session {
   SimulationResult run(const CompiledCircuit& compiled,
                        const ParamBinding& binding = {}) const;
 
+  /// run() from values positionally aligned with compiled.symbols():
+  /// the zero-string-lookup hot path — parameters flow through the
+  /// dense slot table only, never through ParamBinding lookups (the
+  /// result still records its slot binding in `params` for
+  /// reproducibility). Note: a braced `{}` second argument is
+  /// ambiguous with the binding overload — spell `ParamBinding{}`.
+  SimulationResult run(const CompiledCircuit& compiled,
+                       const std::vector<double>& symbol_values) const;
+
   /// Asynchronous run() on the session's dispatch pool.
   std::future<SimulationResult> submit(const CompiledCircuit& compiled,
                                        ParamBinding binding) const;
@@ -167,6 +177,13 @@ class Session {
   /// aligned with `bindings`.
   std::vector<SimulationResult> sweep(const CompiledCircuit& compiled,
                                       std::vector<ParamBinding> bindings) const;
+
+  /// As sweep(), but each point is a dense value vector positionally
+  /// aligned with compiled.symbols() — zero string-keyed lookups per
+  /// point.
+  std::vector<SimulationResult> sweep(
+      const CompiledCircuit& compiled,
+      const std::vector<std::vector<double>>& points) const;
 
   /// The structural plan-cache key compile() would use for `circuit`
   /// under this session's cluster shape (exposed for diagnostics and
@@ -218,6 +235,19 @@ class Session {
   exec::ExecutionPlan build_plan(const Circuit& circuit) const;
   std::shared_ptr<const exec::ExecutionPlan> plan_memoized(
       std::uint64_t key, const Circuit& circuit) const;
+  /// Shared tail of every run() flavor: executes the compiled plan
+  /// under a dense slot table (the only parameter path the executor
+  /// sees — zero string lookups).
+  SimulationResult run_with_slots(const CompiledCircuit& compiled,
+                                  SlotValues values) const;
+  /// Guards shared by run()/sweep(): valid handle, matching shape.
+  void check_compiled(const CompiledCircuit& compiled, const char* what) const;
+  /// Fans `count` points across the dispatch pool and joins them;
+  /// `run_point` must be thread-safe and outlives the call (fan_out
+  /// blocks until every future resolves).
+  std::vector<SimulationResult> fan_out(
+      std::size_t count,
+      const std::function<SimulationResult(std::size_t)>& run_point) const;
 
   SessionConfig config_;
   device::Cluster cluster_;

@@ -17,9 +17,9 @@ class InMemoryBackend final : public ExecutorBackend {
   }
   ExecutionReport execute(const ExecutionPlan& plan,
                           const device::Cluster& cluster, DistState& state,
-                          const ParamBinding* binding) const override {
+                          const ParamEnv& env) const override {
     validate(cluster.config());  // guards direct registry users too
-    return execute_plan(plan, cluster, state, binding);
+    return execute_plan(plan, cluster, state, env);
   }
 };
 
@@ -28,10 +28,10 @@ class OffloadBackend final : public ExecutorBackend {
   std::string name() const override { return "offload"; }
   ExecutionReport execute(const ExecutionPlan& plan,
                           const device::Cluster& cluster, DistState& state,
-                          const ParamBinding* binding) const override {
+                          const ParamEnv& env) const override {
     // execute_plan meters the per-stage swap traffic whenever the
     // cluster holds more shards than GPUs (Section VII-C).
-    return execute_plan(plan, cluster, state, binding);
+    return execute_plan(plan, cluster, state, env);
   }
 };
 
@@ -40,11 +40,11 @@ class AutoBackend final : public ExecutorBackend {
   std::string name() const override { return "auto"; }
   ExecutionReport execute(const ExecutionPlan& plan,
                           const device::Cluster& cluster, DistState& state,
-                          const ParamBinding* binding) const override {
+                          const ParamEnv& env) const override {
     const char* chosen =
         cluster.config().offloading() ? "offload" : "inmemory";
     return executor_registry().create(chosen)->execute(plan, cluster, state,
-                                                       binding);
+                                                       env);
   }
 };
 

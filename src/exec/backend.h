@@ -42,20 +42,31 @@ class ExecutorBackend {
     return exec::initial_state(plan, cluster);
   }
 
-  /// Runs `plan` over `state` on `cluster`. `binding` supplies values
-  /// for any symbolic parameters the plan's gates carry (compile-once /
-  /// bind-many); it may be null for fully-bound plans. Implementations
-  /// must thread it through to matrix materialization.
+  /// Runs `plan` over `state` on `cluster`. `env` supplies values for
+  /// any symbolic parameters the plan's gates carry (compile-once /
+  /// bind-many): a dense slot table for canonical plans, a named
+  /// binding for free user symbols, or both; it may be empty for
+  /// fully-bound plans. Implementations must thread it through to
+  /// stage-program compilation.
   virtual ExecutionReport execute(const ExecutionPlan& plan,
                                   const device::Cluster& cluster,
                                   DistState& state,
-                                  const ParamBinding* binding) const = 0;
+                                  const ParamEnv& env) const = 0;
+
+  /// Convenience for named-binding callers (may be null).
+  ExecutionReport execute(const ExecutionPlan& plan,
+                          const device::Cluster& cluster, DistState& state,
+                          const ParamBinding* binding) const {
+    ParamEnv env;
+    env.named = binding;
+    return execute(plan, cluster, state, env);
+  }
 
   /// Convenience for fully-bound plans.
   ExecutionReport execute(const ExecutionPlan& plan,
                           const device::Cluster& cluster,
                           DistState& state) const {
-    return execute(plan, cluster, state, nullptr);
+    return execute(plan, cluster, state, ParamEnv{});
   }
 };
 

@@ -4,88 +4,10 @@
 
 #include "common/error.h"
 #include "common/timer.h"
-#include "exec/partial_eval.h"
 #include "exec/remap.h"
-#include "sim/apply.h"
-#include "sim/fusion.h"
-#include "sim/shm_executor.h"
+#include "exec/stage_program.h"
 
 namespace atlas::exec {
-namespace {
-
-/// Pre-walked per-gate layout context for one stage: anti-diagonal
-/// insular gates on non-local qubits flip the shard-id mapping, and
-/// later gates must observe the flipped mapping. The walk follows the
-/// kernel execution order (topologically equivalent to the stage).
-struct StageScript {
-  /// Flattened (kernel, gate) execution order with the shard_xor in
-  /// effect before each gate.
-  std::vector<Index> xor_before;   // indexed by flattened position
-  Index final_xor = 0;
-};
-
-StageScript prewalk(const Circuit& circuit,
-                    const kernelize::Kernelization& kernels,
-                    const Layout& layout) {
-  StageScript script;
-  Index cur = layout.shard_xor;
-  for (const auto& kernel : kernels.kernels) {
-    for (int gi : kernel.gate_indices) {
-      script.xor_before.push_back(cur);
-      const Gate& g = circuit.gate(gi);
-      if (g.antidiagonal_1q() && !layout.is_local(g.qubits()[0]))
-        cur ^= bit(layout.phys_of_logical[g.qubits()[0]] - layout.num_local);
-    }
-  }
-  script.final_xor = cur;
-  return script;
-}
-
-/// Executes one kernel on one shard. `circuit` is the stage's (bound)
-/// subcircuit; `flat_base` is the kernel's first gate position in the
-/// stage's flattened order.
-void run_kernel_on_shard(const Circuit& circuit,
-                         const kernelize::Kernel& kernel,
-                         const StageScript& script, std::size_t flat_base,
-                         Layout layout, int shard, Amp* data, Index size) {
-  // Collect the localized operations for this shard.
-  std::vector<Gate> local_gates;  // qubit ids are *bit positions*
-  Amp scale(1, 0);
-  for (std::size_t j = 0; j < kernel.gate_indices.size(); ++j) {
-    layout.shard_xor = script.xor_before[flat_base + j];
-    const Gate& g = circuit.gate(kernel.gate_indices[j]);
-    LocalOp op = partial_evaluate(g, layout, shard);
-    if (op.skip) continue;
-    scale *= op.scale;
-    if (!op.gate) continue;
-    // Remap logical qubits to physical bit positions.
-    std::vector<Qubit> tbits, cbits;
-    for (Qubit q : op.gate->targets())
-      tbits.push_back(layout.phys_of_logical[q]);
-    for (Qubit q : op.gate->controls())
-      cbits.push_back(layout.phys_of_logical[q]);
-    local_gates.push_back(Gate::controlled_unitary(
-        std::move(cbits), std::move(tbits), op.gate->target_matrix()));
-  }
-
-  if (scale != Amp(1, 0)) scale_buffer(data, size, scale);
-  if (local_gates.empty()) return;
-
-  std::vector<int> identity_map(layout.num_qubits());
-  for (int i = 0; i < layout.num_qubits(); ++i) identity_map[i] = i;
-
-  if (kernel.type == kernelize::KernelType::Fusion) {
-    // Fuse the localized gates into one matrix over their bit span.
-    const Gate fused = fuse_to_gate(local_gates);
-    std::vector<int> targets;
-    for (Qubit b : fused.targets()) targets.push_back(b);
-    apply_matrix(data, size, targets, fused.target_matrix());
-  } else {
-    run_shared_memory_kernel(data, size, local_gates, identity_map);
-  }
-}
-
-}  // namespace
 
 double ExecutionReport::modeled_seconds(const device::CommCostModel& m,
                                         int gpus, int nodes) const {
@@ -105,7 +27,7 @@ DistState initial_state(const ExecutionPlan& plan,
 
 ExecutionReport execute_plan(const ExecutionPlan& plan,
                              const device::Cluster& cluster, DistState& state,
-                             const ParamBinding* binding) {
+                             const ParamEnv& env) {
   const auto& cfg = cluster.config();
   ATLAS_CHECK(state.num_qubits() == cfg.total_qubits(),
               "state does not match the cluster shape");
@@ -125,24 +47,19 @@ ExecutionReport execute_plan(const ExecutionPlan& plan,
       sr.comm_seconds = t.seconds();
     }
 
-    // Kernels: every shard runs the stage's kernel list. Bind-time
-    // materialization: the plan carries parameter *structure* only;
-    // symbolic parameters are evaluated here, once per stage per run,
-    // so one compiled plan serves every binding of a sweep.
+    // Kernels: compile the stage once per run — bind-time parameter
+    // materialization (dense slot table, no subcircuit copy), gate
+    // localization, fusion products, and shm gather maps are all
+    // shard-invariant — then replay the program on every shard, where
+    // only the cheap non-local-bit decisions remain.
     {
       Timer t;
-      const bool symbolic = stage.subcircuit.is_parameterized();
-      ATLAS_CHECK(!symbolic || binding,
+      ATLAS_CHECK(!stage.subcircuit.is_parameterized() || !env.empty(),
                   "execution plan has unbound symbolic parameters ("
                       << stage.subcircuit.symbols().front()
                       << ", ...); pass a ParamBinding");
-      const Circuit bound_storage =
-          symbolic ? stage.subcircuit.bind(*binding) : Circuit();
-      const Circuit& subcircuit = symbolic ? bound_storage : stage.subcircuit;
-
-      const StageScript script =
-          prewalk(subcircuit, stage.kernels, state.layout());
-      const Layout layout_snapshot = state.layout();
+      const StageProgram program = compile_stage_program(
+          stage.subcircuit, stage.kernels, state.layout(), env);
       const Index shard_size = state.shard_size();
 
       // Kernel cost-model units -> bytes streamed (for modeled time).
@@ -153,16 +70,12 @@ ExecutionReport execute_plan(const ExecutionPlan& plan,
 
       cluster.pool().parallel_for(
           static_cast<std::size_t>(state.num_shards()), [&](std::size_t s) {
-            std::size_t flat = 0;
-            for (const auto& kernel : stage.kernels.kernels) {
-              run_kernel_on_shard(subcircuit, kernel, script, flat,
-                                  layout_snapshot, static_cast<int>(s),
-                                  state.shard(static_cast<int>(s)).data(),
-                                  shard_size);
-              flat += kernel.gate_indices.size();
-            }
+            std::vector<Amp> scratch;
+            run_stage_program(program, static_cast<int>(s),
+                              state.shard(static_cast<int>(s)).data(),
+                              shard_size, scratch);
           });
-      state.layout().shard_xor = script.final_xor;
+      state.layout().shard_xor = program.final_xor;
 
       // DRAM offloading: each resident shard is staged in and out of a
       // GPU once per stage (Atlas), or once per kernel for baselines
@@ -185,6 +98,14 @@ ExecutionReport execute_plan(const ExecutionPlan& plan,
   }
   report.wall_seconds = total_timer.seconds();
   return report;
+}
+
+ExecutionReport execute_plan(const ExecutionPlan& plan,
+                             const device::Cluster& cluster, DistState& state,
+                             const ParamBinding* binding) {
+  ParamEnv env;
+  env.named = binding;
+  return execute_plan(plan, cluster, state, env);
 }
 
 }  // namespace atlas::exec

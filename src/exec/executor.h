@@ -57,13 +57,21 @@ struct ExecutionReport {
 };
 
 /// Executes `plan` on `cluster` over `state`. Plans hold only gate
-/// *structure*; matrices are materialized per stage at execution time,
-/// so a plan whose gates carry symbolic parameters (compile-once /
-/// bind-many) executes by evaluating them against `binding`. Passing a
-/// plan with unbound symbols and no binding throws atlas::Error.
+/// *structure*; each stage is compiled once per run into a StageProgram
+/// (matrices materialized against `env`, gates localized, kernels
+/// lowered) and replayed across shards, so a plan whose gates carry
+/// symbolic parameters (compile-once / bind-many) executes by resolving
+/// them against env.slots (dense slot table, canonical plans) or
+/// env.named (free user symbols). Passing a plan with unbound symbols
+/// and an empty env throws atlas::Error.
 ExecutionReport execute_plan(const ExecutionPlan& plan,
                              const device::Cluster& cluster, DistState& state,
-                             const ParamBinding* binding = nullptr);
+                             const ParamEnv& env = {});
+
+/// Compatibility overload: named-binding-only environments.
+ExecutionReport execute_plan(const ExecutionPlan& plan,
+                             const device::Cluster& cluster, DistState& state,
+                             const ParamBinding* binding);
 
 /// Convenience: build the initial distributed state for a plan (stage
 /// 0's partition as the initial layout, which is free — Eq. (2) only

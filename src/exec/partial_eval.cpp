@@ -6,6 +6,18 @@
 
 namespace atlas::exec {
 
+Matrix restrict_diagonal(const Matrix& full, const std::vector<int>& local_pos,
+                         Index fixed) {
+  const int lk = static_cast<int>(local_pos.size());
+  Matrix restricted(1 << lk, 1 << lk);
+  for (Index v = 0; v < (Index{1} << lk); ++v) {
+    const Index full_idx = fixed | spread_bits(v, local_pos);
+    restricted(static_cast<int>(v), static_cast<int>(v)) =
+        full(static_cast<int>(full_idx), static_cast<int>(full_idx));
+  }
+  return restricted;
+}
+
 LocalOp partial_evaluate(const Gate& g, const Layout& layout, int shard) {
   LocalOp op;
   bool any_nonlocal = false;
@@ -39,14 +51,8 @@ LocalOp partial_evaluate(const Gate& g, const Layout& layout, int shard) {
     std::vector<int> local_pos;
     for (int pos = 0; pos < k; ++pos)
       if (layout.is_local(g.qubits()[pos])) local_pos.push_back(pos);
-    const int lk = static_cast<int>(local_qubits.size());
-    Matrix restricted(1 << lk, 1 << lk);
-    for (Index v = 0; v < (Index{1} << lk); ++v) {
-      const Index full_idx = fixed | spread_bits(v, local_pos);
-      restricted(static_cast<int>(v), static_cast<int>(v)) =
-          full(static_cast<int>(full_idx), static_cast<int>(full_idx));
-    }
-    op.gate = Gate::unitary(local_qubits, std::move(restricted));
+    op.gate =
+        Gate::unitary(local_qubits, restrict_diagonal(full, local_pos, fixed));
     return op;
   }
 

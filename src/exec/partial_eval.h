@@ -15,6 +15,12 @@
 ///
 /// Staging guarantees every *non-insular* qubit is local, so these
 /// four cases are exhaustive.
+///
+/// This per-shard form is the *executable specification* of the case
+/// split: stage programs (exec/stage_program.cpp, prep_gate) encode the
+/// same semantics in hoisted form for the hot path, and the unit tests
+/// here plus the stage-program property tests (vs the reference
+/// simulator) pin the two against each other. Change them together.
 
 #include <optional>
 #include <variant>
@@ -41,5 +47,13 @@ struct LocalOp {
 /// Evaluates `gate` for `shard` under `layout`. Throws atlas::Error if
 /// the gate has a non-insular qubit that is not local (staging bug).
 LocalOp partial_evaluate(const Gate& gate, const Layout& layout, int shard);
+
+/// Restriction of a fully diagonal gate matrix to its local qubits:
+/// entry v of the result is full(fixed | spread(v, local_pos)) on the
+/// diagonal, where `fixed` holds the known values of the non-local
+/// qubits in the gate's index space. Shared by per-shard partial
+/// evaluation and bind-time stage-program compilation.
+Matrix restrict_diagonal(const Matrix& full, const std::vector<int>& local_pos,
+                         Index fixed);
 
 }  // namespace atlas::exec

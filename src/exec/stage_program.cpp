@@ -1,0 +1,241 @@
+#include "exec/stage_program.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/bits.h"
+#include "common/error.h"
+#include "exec/partial_eval.h"
+#include "sim/fusion.h"
+
+namespace atlas::exec {
+namespace {
+
+/// Shard-invariant preparation of one gate against the stage layout:
+/// the gate's matrix is materialized (parameters resolved through
+/// `env`), its qubits are remapped to physical bit positions, and its
+/// shard-dependence is reduced to a list of shard-index bits plus how
+/// to react to them. Mirrors the case split of partial_evaluate(), but
+/// evaluated once per stage instead of once per gate per shard.
+struct GatePrep {
+  enum class Case { Local, DiagScale, DiagRestrict, Antidiag, Ctrl };
+  Case kind = Case::Local;
+  /// The shard-independent local remainder: full op for Local/Ctrl,
+  /// target positions (matrix filled per variant) for DiagRestrict.
+  MatrixOp local;
+  /// DiagScale/DiagRestrict: resolved full diagonal matrix and the
+  /// gate-index-space positions of its non-local / local qubits.
+  Matrix full;
+  std::vector<int> nonlocal_pos;
+  std::vector<int> local_pos;
+  /// Shard-index bits read by this gate (order matches nonlocal_pos or
+  /// the non-local control list); bit i of xor_adjust is the shard_xor
+  /// correction in effect before this gate at decision_bits[i].
+  std::vector<int> decision_bits;
+  Index xor_adjust = 0;
+  /// Antidiag: scale picked by the xor-adjusted shard bit.
+  Amp scale_bit0{1.0, 0.0};
+  Amp scale_bit1{1.0, 0.0};
+};
+
+GatePrep prep_gate(const Gate& g, const Layout& layout, Index xor_before,
+                   const ParamEnv& env) {
+  GatePrep p;
+  bool any_nonlocal = false;
+  for (Qubit q : g.qubits()) any_nonlocal |= !layout.is_local(q);
+
+  if (!any_nonlocal) {
+    p.kind = GatePrep::Case::Local;
+    p.local.m = g.target_matrix_resolved(env);
+    for (Qubit q : g.targets())
+      p.local.targets.push_back(layout.phys_of_logical[q]);
+    for (Qubit q : g.controls())
+      p.local.controls.push_back(layout.phys_of_logical[q]);
+    return p;
+  }
+
+  if (g.fully_diagonal()) {
+    p.full = g.full_matrix_resolved(env);
+    const int k = g.num_qubits();
+    for (int pos = 0; pos < k; ++pos) {
+      const Qubit q = g.qubits()[pos];
+      if (layout.is_local(q)) {
+        p.local_pos.push_back(pos);
+        p.local.targets.push_back(layout.phys_of_logical[q]);
+      } else {
+        const int sb = layout.phys_of_logical[q] - layout.num_local;
+        if (test_bit(xor_before, sb))
+          p.xor_adjust |= bit(static_cast<int>(p.decision_bits.size()));
+        p.nonlocal_pos.push_back(pos);
+        p.decision_bits.push_back(sb);
+      }
+    }
+    p.kind = p.local_pos.empty() ? GatePrep::Case::DiagScale
+                                 : GatePrep::Case::DiagRestrict;
+    return p;
+  }
+
+  if (g.antidiagonal_1q() && !layout.is_local(g.qubits()[0])) {
+    p.kind = GatePrep::Case::Antidiag;
+    const Matrix m = g.target_matrix_resolved(env);
+    // After the flip the shard represents value (1 - old_bit); its
+    // contents pick up u_{new,old}.
+    p.scale_bit0 = m(1, 0);
+    p.scale_bit1 = m(0, 1);
+    const int sb =
+        layout.phys_of_logical[g.qubits()[0]] - layout.num_local;
+    if (test_bit(xor_before, sb)) p.xor_adjust |= bit(0);
+    p.decision_bits.push_back(sb);
+    return p;
+  }
+
+  // Controlled gate with non-local (insular) controls.
+  p.kind = GatePrep::Case::Ctrl;
+  p.local.m = g.target_matrix_resolved(env);
+  for (Qubit t : g.targets()) {
+    ATLAS_CHECK(layout.is_local(t),
+                "non-insular qubit " << t << " of gate " << g.to_string()
+                                     << " is not local (staging bug)");
+    p.local.targets.push_back(layout.phys_of_logical[t]);
+  }
+  for (Qubit c : g.controls()) {
+    if (layout.is_local(c)) {
+      p.local.controls.push_back(layout.phys_of_logical[c]);
+    } else {
+      const int sb = layout.phys_of_logical[c] - layout.num_local;
+      if (test_bit(xor_before, sb))
+        p.xor_adjust |= bit(static_cast<int>(p.decision_bits.size()));
+      p.decision_bits.push_back(sb);
+    }
+  }
+  return p;
+}
+
+KernelProgram compile_kernel(const std::vector<GatePrep>& preps,
+                             kernelize::KernelType type) {
+  KernelProgram kp;
+  for (const GatePrep& p : preps)
+    kp.pattern_bits.insert(kp.pattern_bits.end(), p.decision_bits.begin(),
+                           p.decision_bits.end());
+  std::sort(kp.pattern_bits.begin(), kp.pattern_bits.end());
+  kp.pattern_bits.erase(
+      std::unique(kp.pattern_bits.begin(), kp.pattern_bits.end()),
+      kp.pattern_bits.end());
+
+  // Pattern position of each shard-index bit.
+  const std::vector<int> pos_of_bit = inverse_index(kp.pattern_bits);
+
+  const Index num_variants = Index{1} << kp.pattern_bits.size();
+  kp.variants.reserve(num_variants);
+  for (Index pattern = 0; pattern < num_variants; ++pattern) {
+    KernelVariant v;
+    std::vector<MatrixOp> ops;
+    for (const GatePrep& p : preps) {
+      const auto decide = [&](std::size_t i) -> bool {
+        const int where =
+            pos_of_bit[static_cast<std::size_t>(p.decision_bits[i])];
+        return test_bit(pattern, where) ^
+               test_bit(p.xor_adjust, static_cast<int>(i));
+      };
+      switch (p.kind) {
+        case GatePrep::Case::Local:
+          ops.push_back(p.local);
+          break;
+        case GatePrep::Case::DiagScale: {
+          Index fixed = 0;
+          for (std::size_t i = 0; i < p.decision_bits.size(); ++i)
+            if (decide(i)) fixed |= bit(p.nonlocal_pos[i]);
+          const Amp entry =
+              p.full(static_cast<int>(fixed), static_cast<int>(fixed));
+          if (entry != Amp(1, 0)) v.scale *= entry;
+          break;
+        }
+        case GatePrep::Case::DiagRestrict: {
+          Index fixed = 0;
+          for (std::size_t i = 0; i < p.decision_bits.size(); ++i)
+            if (decide(i)) fixed |= bit(p.nonlocal_pos[i]);
+          MatrixOp op = p.local;
+          op.m = restrict_diagonal(p.full, p.local_pos, fixed);
+          ops.push_back(std::move(op));
+          break;
+        }
+        case GatePrep::Case::Antidiag:
+          v.scale *= decide(0) ? p.scale_bit1 : p.scale_bit0;
+          break;
+        case GatePrep::Case::Ctrl: {
+          bool fires = true;
+          for (std::size_t i = 0; i < p.decision_bits.size(); ++i)
+            fires &= decide(i);
+          if (fires) ops.push_back(p.local);
+          break;
+        }
+      }
+    }
+    if (!ops.empty()) {
+      if (type == kernelize::KernelType::Fusion) {
+        MatrixOp fused;
+        fused.targets = bit_union(ops);
+        fused.m = fuse_matrix_ops(ops, fused.targets);
+        v.fused = prepare_gate(fused);
+        v.op = KernelVariant::Op::Fused;
+      } else {
+        v.shm = compile_shm_program(ops);
+        v.op = KernelVariant::Op::Shm;
+      }
+    }
+    kp.variants.push_back(std::move(v));
+  }
+  return kp;
+}
+
+}  // namespace
+
+StageProgram compile_stage_program(const Circuit& subcircuit,
+                                   const kernelize::Kernelization& kernels,
+                                   const Layout& layout,
+                                   const ParamEnv& env) {
+  StageProgram prog;
+  // Pre-walk the shard_xor trajectory: anti-diagonal insular gates on
+  // non-local qubits flip the shard-id mapping, and later gates must
+  // observe the flipped mapping. The walk follows the kernel execution
+  // order (topologically equivalent to the stage).
+  Index cur = layout.shard_xor;
+  prog.kernels.reserve(kernels.kernels.size());
+  for (const auto& kernel : kernels.kernels) {
+    std::vector<GatePrep> preps;
+    preps.reserve(kernel.gate_indices.size());
+    for (int gi : kernel.gate_indices) {
+      const Gate& g = subcircuit.gate(gi);
+      preps.push_back(prep_gate(g, layout, cur, env));
+      if (g.antidiagonal_1q() && !layout.is_local(g.qubits()[0]))
+        cur ^= bit(layout.phys_of_logical[g.qubits()[0]] - layout.num_local);
+    }
+    prog.kernels.push_back(compile_kernel(preps, kernel.type));
+  }
+  prog.final_xor = cur;
+  return prog;
+}
+
+void run_stage_program(const StageProgram& prog, int shard, Amp* data,
+                       Index size, std::vector<Amp>& scratch) {
+  for (const KernelProgram& kp : prog.kernels) {
+    Index pattern = 0;
+    for (std::size_t i = 0; i < kp.pattern_bits.size(); ++i)
+      if (test_bit(static_cast<Index>(shard), kp.pattern_bits[i]))
+        pattern |= bit(static_cast<int>(i));
+    const KernelVariant& v = kp.variants[pattern];
+    if (v.scale != Amp(1, 0)) scale_buffer(data, size, v.scale);
+    switch (v.op) {
+      case KernelVariant::Op::None:
+        break;
+      case KernelVariant::Op::Fused:
+        apply_prepared(data, size, v.fused);
+        break;
+      case KernelVariant::Op::Shm:
+        run_shm_program(data, size, v.shm, scratch);
+        break;
+    }
+  }
+}
+
+}  // namespace atlas::exec

@@ -1,0 +1,89 @@
+#pragma once
+
+/// \file stage_program.h
+/// Bind-time stage compilation: the layer between execution plans and
+/// the per-shard loop. compile_stage_program() runs once per stage per
+/// run and hoists everything shard-invariant out of the hot loop:
+///
+///  * parameter materialization — every gate matrix is built by
+///    resolving its Params against a ParamEnv (dense slot indexing for
+///    canonical plans), with no subcircuit copy and no string lookups;
+///  * gate localization — logical qubits are remapped to physical bit
+///    positions against the stage layout once, not per shard;
+///  * kernel lowering — fused matrices are multiplied out and
+///    shared-memory gather/scatter offset tables are built once per
+///    distinct non-local bit pattern, not per shard.
+///
+/// The only genuinely shard-dependent inputs are the values of the
+/// shard's non-local bits: they decide whether a non-local control
+/// fires, which diagonal restriction applies, and which anti-diagonal
+/// scale is picked. Each kernel therefore records the set of shard-id
+/// bits it reads (`pattern_bits`) and a table of fully lowered variants
+/// indexed by the gathered bit pattern — per-shard "specialization" is
+/// a few bit tests and a table lookup. Since a kernel reading j shard
+/// bits has at most 2^j <= num_shards distinct variants, compiling
+/// variants eagerly never exceeds the old per-shard localization work
+/// and is shared by every shard with the same pattern. The deliberate
+/// tradeoff: the table is built serially and held for the stage, so
+/// resident memory is O(variants) where the old code kept O(1)
+/// transient state per shard worker — fine at in-process shard counts
+/// (shards cost 2^L amplitudes each, dwarfing their variant); a run
+/// with very many tiny shards would want lazy per-pattern memoization
+/// instead.
+
+#include <vector>
+
+#include "exec/layout.h"
+#include "ir/circuit.h"
+#include "ir/param.h"
+#include "kernelize/kernel.h"
+#include "sim/apply.h"
+#include "sim/shm_executor.h"
+
+namespace atlas::exec {
+
+/// One kernel fully lowered for all shards matching a non-local bit
+/// pattern: an optional scalar (diagonal/anti-diagonal contributions of
+/// non-local qubits) plus either a fused matrix kernel or a compiled
+/// shared-memory program.
+struct KernelVariant {
+  Amp scale{1.0, 0.0};
+  enum class Op { None, Fused, Shm } op = Op::None;
+  PreparedGate fused;
+  ShmProgram shm;
+};
+
+struct KernelProgram {
+  /// Shard-index bit positions this kernel's localization reads,
+  /// ascending; empty when the kernel is identical on every shard (the
+  /// common case — staging keeps non-insular qubits local).
+  std::vector<int> pattern_bits;
+  /// Lowered variants indexed by the gathered pattern (size
+  /// 2^|pattern_bits|).
+  std::vector<KernelVariant> variants;
+};
+
+/// A stage compiled against a concrete layout and parameter
+/// environment. Immutable after compilation; run_stage_program() is
+/// const and called concurrently from every shard worker.
+struct StageProgram {
+  std::vector<KernelProgram> kernels;
+  /// shard_xor in effect after the stage (anti-diagonal non-local gates
+  /// flip shard-id mapping bits as they execute).
+  Index final_xor = 0;
+};
+
+/// Compiles one planned stage (its subcircuit + kernelization) against
+/// `layout` and `env`. Throws atlas::Error when a symbolic parameter
+/// cannot be resolved or a non-insular qubit is not local (staging
+/// bug).
+StageProgram compile_stage_program(const Circuit& subcircuit,
+                                   const kernelize::Kernelization& kernels,
+                                   const Layout& layout, const ParamEnv& env);
+
+/// Executes a compiled stage on one shard's buffer. `scratch` is
+/// caller-provided shared-memory staging storage reused across kernels.
+void run_stage_program(const StageProgram& prog, int shard, Amp* data,
+                       Index size, std::vector<Amp>& scratch);
+
+}  // namespace atlas::exec

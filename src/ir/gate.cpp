@@ -15,6 +15,10 @@ namespace {
 
 constexpr double kInvSqrt2 = 0.70710678118654752440;
 
+/// Widest parameter list of any gate kind (U3); the callers of
+/// materialize_target() size their value buffers with it.
+constexpr std::size_t kMaxGateParams = 3;
+
 Amp expi(double theta) { return Amp(std::cos(theta), std::sin(theta)); }
 
 Matrix m2(Amp a, Amp b, Amp c, Amp d) { return Matrix::square(2, {a, b, c, d}); }
@@ -222,6 +226,30 @@ std::vector<Qubit> Gate::controls() const {
 }
 
 Matrix Gate::target_matrix() const {
+  double values[kMaxGateParams] = {0, 0, 0};
+  ATLAS_DCHECK(params_.size() <= kMaxGateParams,
+               "gate kind with " << params_.size()
+                                 << " params exceeds kMaxGateParams");
+  for (std::size_t pi = 0; pi < params_.size(); ++pi)
+    values[pi] = param_value(static_cast<int>(pi));
+  return materialize_target(values);
+}
+
+Matrix Gate::target_matrix_resolved(const ParamEnv& env) const {
+  double values[kMaxGateParams] = {0, 0, 0};
+  ATLAS_DCHECK(params_.size() <= kMaxGateParams,
+               "gate kind with " << params_.size()
+                                 << " params exceeds kMaxGateParams");
+  for (std::size_t pi = 0; pi < params_.size(); ++pi)
+    values[pi] = resolve_param(params_[pi], env);
+  return materialize_target(values);
+}
+
+Matrix Gate::full_matrix_resolved(const ParamEnv& env) const {
+  return embed_controlled(target_matrix_resolved(env), num_controls_);
+}
+
+Matrix Gate::materialize_target(const double* values) const {
   const Amp i(0, 1);
   switch (kind_) {
     case GateKind::H:
@@ -249,20 +277,20 @@ Matrix Gate::target_matrix() const {
       return m2(Amp(0.5, 0.5), Amp(0.5, -0.5), Amp(0.5, -0.5), Amp(0.5, 0.5));
     case GateKind::RX:
     case GateKind::CRX:
-      return rx_matrix(param_value(0));
+      return rx_matrix(values[0]);
     case GateKind::RY:
     case GateKind::CRY:
-      return ry_matrix(param_value(0));
+      return ry_matrix(values[0]);
     case GateKind::RZ:
     case GateKind::CRZ:
-      return rz_matrix(param_value(0));
+      return rz_matrix(values[0]);
     case GateKind::P:
     case GateKind::CP:
-      return m2(1, 0, 0, expi(param_value(0)));
+      return m2(1, 0, 0, expi(values[0]));
     case GateKind::U2:
-      return u3_matrix(std::numbers::pi / 2, param_value(0), param_value(1));
+      return u3_matrix(std::numbers::pi / 2, values[0], values[1]);
     case GateKind::U3:
-      return u3_matrix(param_value(0), param_value(1), param_value(2));
+      return u3_matrix(values[0], values[1], values[2]);
     case GateKind::SWAP:
     case GateKind::CSWAP:
       return Matrix::square(4, {1, 0, 0, 0,  //
@@ -270,7 +298,7 @@ Matrix Gate::target_matrix() const {
                                 0, 1, 0, 0,  //
                                 0, 0, 0, 1});
     case GateKind::RZZ: {
-      const double t = param_value(0);
+      const double t = values[0];
       const Amp e0 = expi(-t / 2), e1 = expi(t / 2);
       return Matrix::square(4, {e0, 0, 0, 0,  //
                                 0, e1, 0, 0,  //
@@ -278,7 +306,7 @@ Matrix Gate::target_matrix() const {
                                 0, 0, 0, e0});
     }
     case GateKind::RXX: {
-      const double t = param_value(0);
+      const double t = values[0];
       const double c = std::cos(t / 2), s = std::sin(t / 2);
       const Amp d(c, 0), o(0, -s);
       return Matrix::square(4, {d, 0, 0, o,  //
@@ -295,25 +323,7 @@ Matrix Gate::target_matrix() const {
 }
 
 Matrix Gate::full_matrix() const {
-  const Matrix u = target_matrix();
-  const int t = num_targets();
-  const int k = num_qubits();
-  Matrix full = Matrix::identity(1 << k);
-  // Controls occupy bits [t, k): the U block sits where all controls = 1.
-  const Index ctrl_mask = ((Index{1} << num_controls_) - 1) << t;
-  for (int r = 0; r < (1 << t); ++r)
-    for (int c = 0; c < (1 << t); ++c) {
-      const int fr = static_cast<int>(ctrl_mask) | r;
-      const int fc = static_cast<int>(ctrl_mask) | c;
-      full(fr, fc) = u(r, c);
-      if (r == c && fr != r) {
-        // Leave the identity block untouched elsewhere; clear the
-        // identity entry we are overwriting only at the U block.
-      }
-    }
-  // The loop above overwrote the diagonal of the control-1 block; the
-  // remaining blocks stay identity, which is exactly controlled-U.
-  return full;
+  return embed_controlled(target_matrix(), num_controls_);
 }
 
 bool Gate::fully_diagonal() const {

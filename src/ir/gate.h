@@ -124,6 +124,13 @@ class Gate {
   /// Full 2^(T+C) x 2^(T+C) matrix (controls = high bits).
   Matrix full_matrix() const;
 
+  /// target_matrix()/full_matrix() with symbolic parameters resolved
+  /// against `env` instead of requiring constants — the bind-time
+  /// materialization entry: no gate copy, no circuit bind(), and for
+  /// slot-canonical plans no string lookups (dense slot indexing).
+  Matrix target_matrix_resolved(const ParamEnv& env) const;
+  Matrix full_matrix_resolved(const ParamEnv& env) const;
+
   /// Insularity of `qubits()[pos]` per Definition 2:
   /// * all qubits of a fully diagonal gate are insular (covers
   ///   footnote 2's "any qubit can be the control": cz, cp, ccz, rzz,
@@ -154,6 +161,11 @@ class Gate {
  private:
   Gate(GateKind kind, std::vector<Qubit> qubits, int num_controls,
        std::vector<Param> params);
+
+  /// target_matrix() with explicit parameter values (values[i] is the
+  /// resolved value of params_[i]); the single switch both public
+  /// entries share.
+  Matrix materialize_target(const double* values) const;
 
   GateKind kind_;
   std::vector<Qubit> qubits_;  // targets..., controls...

@@ -82,4 +82,18 @@ double Matrix::max_abs_diff(const Matrix& a, const Matrix& b) {
   return m;
 }
 
+Matrix embed_controlled(const Matrix& u, int num_controls) {
+  if (num_controls == 0) return u;
+  const int t_dim = u.rows();
+  ATLAS_CHECK(t_dim == u.cols(), "embed_controlled needs a square matrix");
+  Matrix full = Matrix::identity(t_dim << num_controls);
+  // Controls occupy the high index bits: the U block sits where all
+  // controls = 1; every other block stays identity, which is exactly
+  // controlled-U.
+  const int ctrl_mask = ((1 << num_controls) - 1) * t_dim;
+  for (int r = 0; r < t_dim; ++r)
+    for (int c = 0; c < t_dim; ++c) full(ctrl_mask | r, ctrl_mask | c) = u(r, c);
+  return full;
+}
+
 }  // namespace atlas

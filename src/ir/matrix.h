@@ -63,4 +63,11 @@ class Matrix {
   std::vector<Amp> data_;
 };
 
+/// Embeds a 2^t square target unitary into the 2^(t+c) controlled
+/// unitary: identity everywhere except the block where all `c` control
+/// bits (the high index bits) are 1, which holds `u`. The one shared
+/// definition of the control-block convention (Gate::full_matrix and
+/// bit-space fusion both use it).
+Matrix embed_controlled(const Matrix& u, int num_controls);
+
 }  // namespace atlas

@@ -1,6 +1,7 @@
 #include "ir/param.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cctype>
 #include <cmath>
 #include <ostream>
@@ -10,6 +11,11 @@
 
 namespace atlas {
 namespace {
+
+/// Counts every string-keyed ParamBinding lookup process-wide. Relaxed
+/// increments: the probe is a monotonic counter read between quiescent
+/// points, never a synchronization primitive.
+std::atomic<std::uint64_t> g_binding_lookups{0};
 
 /// Prints one term's coefficient and symbol: "theta", "-theta",
 /// "2*theta". `lead` selects the leading-position form (signed) vs the
@@ -28,11 +34,21 @@ void print_term(std::ostream& os, double coeff, const std::string& sym,
 
 }  // namespace
 
+bool ParamBinding::contains(const std::string& name) const {
+  g_binding_lookups.fetch_add(1, std::memory_order_relaxed);
+  return values_.count(name) != 0;
+}
+
 double ParamBinding::at(const std::string& name) const {
+  g_binding_lookups.fetch_add(1, std::memory_order_relaxed);
   auto it = values_.find(name);
   ATLAS_CHECK(it != values_.end(), "no value bound for symbol '" << name
                                                                  << "'");
   return it->second;
+}
+
+std::uint64_t ParamBinding::probe_lookups() {
+  return g_binding_lookups.load(std::memory_order_relaxed);
 }
 
 Param Param::symbol(std::string name) {
@@ -74,6 +90,22 @@ double Param::evaluate(const ParamBinding& binding) const {
     v += coeff * binding.at(sym);
   }
   return v;
+}
+
+int Param::slot_index() const {
+  if (constant_ != 0.0 || terms_.size() != 1) return -1;
+  const auto& [sym, coeff] = terms_.front();
+  // <= 9 digits keeps the accumulator below INT_MAX; longer strings are
+  // user-minted '$' symbols, never engine slots.
+  if (coeff != 1.0 || sym.size() < 2 || sym.size() > 10 || sym[0] != '$')
+    return -1;
+  int index = 0;
+  for (std::size_t i = 1; i < sym.size(); ++i) {
+    const unsigned char ch = static_cast<unsigned char>(sym[i]);
+    if (std::isdigit(ch) == 0) return -1;
+    index = index * 10 + (sym[i] - '0');
+  }
+  return index;
 }
 
 std::vector<std::string> Param::symbols() const {
@@ -151,6 +183,19 @@ void Param::drop_zero_terms() {
   terms_.erase(std::remove_if(terms_.begin(), terms_.end(),
                               [](const auto& t) { return t.second == 0.0; }),
                terms_.end());
+}
+
+double resolve_param(const Param& p, const ParamEnv& env) {
+  if (p.is_constant()) return p.constant_term();
+  if (env.slots != nullptr) {
+    const int k = p.slot_index();
+    if (k >= 0 && k < static_cast<int>(env.slots->size()))
+      return (*env.slots)[static_cast<std::size_t>(k)];
+  }
+  ATLAS_CHECK(env.named != nullptr,
+              "no binding supplied for symbolic parameter '" << p.to_string()
+                                                             << "'");
+  return p.evaluate(*env.named);
 }
 
 std::ostream& operator<<(std::ostream& os, const Param& p) {

@@ -13,7 +13,15 @@
 /// A ParamBinding maps symbol names to concrete values; evaluating a
 /// Param against a binding that lacks one of its symbols throws an
 /// atlas::Error naming the symbol.
+///
+/// Execution never touches ParamBinding on its hot path: the engine
+/// lowers bindings into a dense SlotValues table (slot "$k" at index k)
+/// once per run, and kernels resolve parameters by array indexing. The
+/// ParamBinding lookup probe (probe_lookups()) exists to regression-test
+/// exactly that — it counts every string-keyed at()/contains() call
+/// process-wide.
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 #include <unordered_map>
@@ -21,6 +29,11 @@
 #include <vector>
 
 namespace atlas {
+
+/// Dense engine-slot values: index k holds the value of plan slot "$k".
+/// Built once per run by CompiledCircuit::slot_values(); consumed by the
+/// execution layer through ParamEnv with pure array indexing.
+using SlotValues = std::vector<double>;
 
 /// Symbol-name -> value assignment used to bind parameterized circuits.
 class ParamBinding {
@@ -36,12 +49,16 @@ class ParamBinding {
     return *this;
   }
 
-  bool contains(const std::string& name) const {
-    return values_.count(name) != 0;
-  }
+  bool contains(const std::string& name) const;
 
   /// Throws atlas::Error naming the symbol when unbound.
   double at(const std::string& name) const;
+
+  /// Process-wide count of string-keyed lookups (at()/contains()) made
+  /// against any ParamBinding. The hot-path regression tests snapshot
+  /// this around sweeps to prove execution does zero per-point string
+  /// lookups once parameters are slot-lowered.
+  static std::uint64_t probe_lookups();
 
   std::size_t size() const { return values_.size(); }
   bool empty() const { return values_.empty(); }
@@ -77,6 +94,12 @@ class Param {
   /// Evaluates against `binding`; throws atlas::Error naming the first
   /// symbol the binding is missing.
   double evaluate(const ParamBinding& binding) const;
+
+  /// The dense slot id when this expression is exactly one engine slot
+  /// symbol ("$k" with coefficient 1 and no constant), else -1. Plans
+  /// produced by Session::compile() carry only such parameters, so the
+  /// execution layer resolves them by indexing a SlotValues table.
+  int slot_index() const;
 
   /// The distinct symbol names, ascending.
   std::vector<std::string> symbols() const;
@@ -124,5 +147,22 @@ class Param {
 /// Streams the same rendering as to_string(), honoring the stream's
 /// floating-point precision (QASM export runs at precision 17).
 std::ostream& operator<<(std::ostream& os, const Param& p);
+
+/// The parameter environment a plan executes under. Either side may be
+/// null: `slots` serves canonical plans (every parameter a "$k" slot)
+/// with array indexing; `named` is the general fallback for plans that
+/// carry free user symbols. Both null means only constant parameters
+/// can be resolved.
+struct ParamEnv {
+  const ParamBinding* named = nullptr;
+  const SlotValues* slots = nullptr;
+
+  bool empty() const { return named == nullptr && slots == nullptr; }
+};
+
+/// Resolves `p` against `env`: constants directly, slot symbols through
+/// env.slots by index, anything else through env.named. Throws
+/// atlas::Error naming the expression when it cannot be resolved.
+double resolve_param(const Param& p, const ParamEnv& env);
 
 }  // namespace atlas

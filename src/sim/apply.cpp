@@ -8,123 +8,392 @@
 namespace atlas {
 namespace {
 
-/// Specialized 1-qubit path: the dominant case in practice.
-void apply_1q(Amp* data, Index size, int q, const Matrix& m) {
-  const Amp u00 = m(0, 0), u01 = m(0, 1), u10 = m(1, 0), u11 = m(1, 1);
-  const Index stride = bit(q);
-  const Index groups = size >> 1;
-  for (Index g = 0; g < groups; ++g) {
-    const Index i0 = insert_zero_bit(g, q);
-    const Index i1 = i0 | stride;
-    const Amp a0 = data[i0], a1 = data[i1];
-    data[i0] = u00 * a0 + u01 * a1;
-    data[i1] = u10 * a0 + u11 * a1;
+/// Lane count of the blocked kernels: groups are processed in batches
+/// of up to kLanes so the per-lane arithmetic vectorizes (each lane is
+/// an independent amplitude group — no reduction across lanes, so the
+/// compiler may use SIMD without reassociating any floating-point sum,
+/// keeping results bit-identical to the scalar loop).
+constexpr Index kLanes = 32;
+
+/// Exact-zero test: fast paths must preserve bit-identical arithmetic,
+/// so classification never uses a tolerance (an entry of 1e-300 still
+/// forces the dense path).
+bool exactly_zero(const Amp& a) { return a.real() == 0.0 && a.imag() == 0.0; }
+
+/// Group walk shared by the non-blocked paths: enumerates the base
+/// index of every amplitude group, with the bits below the lowest
+/// op bit walked by a contiguous inner loop.
+template <class Body>
+void for_each_base(Index size, int span, const std::vector<int>& sorted,
+                   Index ctrl_mask, Body&& body) {
+  const Index groups = size >> span;
+  const int b0 = sorted.front();
+  const Index inner = Index{1} << b0;
+  const Index outer = groups >> b0;
+  for (Index h = 0; h < outer; ++h) {
+    const Index hb = insert_zero_bits(h << b0, sorted) | ctrl_mask;
+    for (Index l = 0; l < inner; ++l) body(hb + l);
   }
 }
 
-/// Controlled 1-qubit path (e.g. CX, CP with one control).
-void apply_1q_1c(Amp* data, Index size, int t, int c, const Matrix& m) {
-  const Amp u00 = m(0, 0), u01 = m(0, 1), u10 = m(1, 0), u11 = m(1, 1);
-  const Index tbit = bit(t), cbit = bit(c);
-  const int lo = std::min(t, c), hi = std::max(t, c);
-  const Index groups = size >> 2;
-  for (Index g = 0; g < groups; ++g) {
-    const Index base = insert_zero_bit(insert_zero_bit(g, lo), hi) | cbit;
-    const Index i0 = base, i1 = base | tbit;
-    const Amp a0 = data[i0], a1 = data[i1];
-    data[i0] = u00 * a0 + u01 * a1;
-    data[i1] = u10 * a0 + u11 * a1;
+/// Uncontrolled dense 1q: the dominant kernel. Processes 2^q-long
+/// contiguous runs of paired amplitudes; the inner loop is stride-1
+/// over raw doubles and vectorizes.
+void apply_dense_1q_direct(Amp* data, Index size, int q, const double* mre,
+                           const double* mim) {
+  const double u00r = mre[0], u00i = mim[0];
+  const double u01r = mre[1], u01i = mim[1];
+  const double u10r = mre[2], u10i = mim[2];
+  const double u11r = mre[3], u11i = mim[3];
+  double* d = reinterpret_cast<double*>(data);
+  const Index run = Index{2} << q;  // doubles per contiguous half-block
+  for (Index base = 0; base < 2 * size; base += 2 * run) {
+    double* p0 = d + base;
+    double* p1 = p0 + run;
+    for (Index j = 0; j < run; j += 2) {
+      const double a0r = p0[j], a0i = p0[j + 1];
+      const double a1r = p1[j], a1i = p1[j + 1];
+      p0[j] = (u00r * a0r - u00i * a0i) + (u01r * a1r - u01i * a1i);
+      p0[j + 1] = (u00r * a0i + u00i * a0r) + (u01r * a1i + u01i * a1r);
+      p1[j] = (u10r * a0r - u10i * a0i) + (u11r * a1r - u11i * a1i);
+      p1[j + 1] = (u10r * a0i + u10i * a0r) + (u11r * a1i + u11i * a1r);
+    }
+  }
+}
+
+/// Uncontrolled diagonal 1q: two contiguous scalar-multiply runs per
+/// block, no pairing loads at all.
+void apply_diag_1q_direct(Amp* data, Index size, int q, const double* dre,
+                          const double* dim) {
+  const double d0r = dre[0], d0i = dim[0];
+  const double d1r = dre[1], d1i = dim[1];
+  double* d = reinterpret_cast<double*>(data);
+  const Index run = Index{2} << q;
+  for (Index base = 0; base < 2 * size; base += 2 * run) {
+    double* p0 = d + base;
+    double* p1 = p0 + run;
+    for (Index j = 0; j < run; j += 2) {
+      const double a0r = p0[j], a0i = p0[j + 1];
+      p0[j] = a0r * d0r - a0i * d0i;
+      p0[j + 1] = a0r * d0i + a0i * d0r;
+      const double a1r = p1[j], a1i = p1[j + 1];
+      p1[j] = a1r * d1r - a1i * d1i;
+      p1[j + 1] = a1r * d1i + a1i * d1r;
+    }
+  }
+}
+
+/// Scratch for the blocked kernels, allocated once per apply call and
+/// reused across every group block.
+struct BlockScratch {
+  std::vector<Index> base;
+  std::vector<double> in_re, in_im, out_re, out_im;
+
+  void size_for(Index lanes, Index dim, bool with_out) {
+    base.resize(lanes);
+    in_re.resize(dim * lanes);
+    in_im.resize(dim * lanes);
+    if (with_out) {
+      out_re.resize(dim * lanes);
+      out_im.resize(dim * lanes);
+    }
+  }
+};
+
+/// Fills scratch.base with the next `nb` group bases starting at group
+/// index g0.
+void fill_bases(BlockScratch& s, Index g0, Index nb,
+                const std::vector<int>& sorted, Index ctrl_mask) {
+  for (Index j = 0; j < nb; ++j)
+    s.base[j] = insert_zero_bits(g0 + j, sorted) | ctrl_mask;
+}
+
+/// Blocked dense kernel: gathers a (dim x lanes) tile, multiplies by
+/// the matrix with the reduction kept in strict column order (lane-wise
+/// SIMD only), and scatters back. DIM == 0 selects the runtime-dim
+/// variant.
+template <Index DIM>
+void apply_dense_blocked(Amp* data, Index size, const PreparedGate& g,
+                         Index dyn_dim) {
+  const Index dim = DIM == 0 ? dyn_dim : DIM;
+  const Index groups = size >> g.span;
+  const Index lanes = std::min<Index>(kLanes, groups);
+  // Reused across calls: shared-memory programs replay small-batch
+  // kernels at high call rates, where per-call allocation would
+  // dominate.
+  static thread_local BlockScratch s;
+  s.size_for(lanes, dim, /*with_out=*/true);
+  const double* mre = g.m_re.data();
+  const double* mim = g.m_im.data();
+  const Index* off = g.offset.data();
+  for (Index g0 = 0; g0 < groups; g0 += lanes) {
+    const Index nb = std::min(lanes, groups - g0);
+    fill_bases(s, g0, nb, g.sorted_bits, g.ctrl_mask);
+    for (Index v = 0; v < dim; ++v) {
+      const Index o = off[v];
+      double* ir = s.in_re.data() + v * lanes;
+      double* ii = s.in_im.data() + v * lanes;
+      for (Index j = 0; j < nb; ++j) {
+        const Amp a = data[s.base[j] + o];
+        ir[j] = a.real();
+        ii[j] = a.imag();
+      }
+    }
+    for (Index r = 0; r < dim; ++r) {
+      double* orr = s.out_re.data() + r * lanes;
+      double* ori = s.out_im.data() + r * lanes;
+      for (Index j = 0; j < nb; ++j) {
+        orr[j] = 0.0;
+        ori[j] = 0.0;
+      }
+      for (Index c = 0; c < dim; ++c) {
+        const double ur = mre[r * dim + c], ui = mim[r * dim + c];
+        const double* ir = s.in_re.data() + c * lanes;
+        const double* ii = s.in_im.data() + c * lanes;
+        for (Index j = 0; j < nb; ++j) {
+          orr[j] += ur * ir[j] - ui * ii[j];
+          ori[j] += ur * ii[j] + ui * ir[j];
+        }
+      }
+    }
+    for (Index r = 0; r < dim; ++r) {
+      const Index o = off[r];
+      const double* orr = s.out_re.data() + r * lanes;
+      const double* ori = s.out_im.data() + r * lanes;
+      for (Index j = 0; j < nb; ++j)
+        data[s.base[j] + o] = Amp(orr[j], ori[j]);
+    }
+  }
+}
+
+/// Diagonal k-qubit kernel: pure in-place scalar multiplies, no
+/// gather/scatter tile. The loop nest is entry-major so the innermost
+/// loop walks a contiguous amplitude run per diagonal entry.
+void apply_diag_k(Amp* data, Index size, const PreparedGate& g) {
+  const Index dim = Index{1} << g.targets.size();
+  const Index groups = size >> g.span;
+  const int b0 = g.sorted_bits.front();
+  const Index inner = Index{1} << b0;
+  const Index outer = groups >> b0;
+  for (Index h = 0; h < outer; ++h) {
+    const Index hb = insert_zero_bits(h << b0, g.sorted_bits) | g.ctrl_mask;
+    for (Index v = 0; v < dim; ++v) {
+      const double dr = g.m_re[v], di = g.m_im[v];
+      double* p = reinterpret_cast<double*>(data + hb + g.offset[v]);
+      for (Index l = 0; l < 2 * inner; l += 2) {
+        const double ar = p[l], ai = p[l + 1];
+        p[l] = ar * dr - ai * di;
+        p[l + 1] = ar * di + ai * dr;
+      }
+    }
+  }
+}
+
+/// Permutation kernel: gathers each group once, then writes row r from
+/// column perm[r] scaled by the row's single nonzero entry.
+void apply_perm_k(Amp* data, Index size, const PreparedGate& g) {
+  const Index dim = Index{1} << g.targets.size();
+  const Index groups = size >> g.span;
+  const Index lanes = std::min<Index>(kLanes, groups);
+  static thread_local BlockScratch s;
+  s.size_for(lanes, dim, /*with_out=*/false);
+  for (Index g0 = 0; g0 < groups; g0 += lanes) {
+    const Index nb = std::min(lanes, groups - g0);
+    fill_bases(s, g0, nb, g.sorted_bits, g.ctrl_mask);
+    for (Index v = 0; v < dim; ++v) {
+      const Index o = g.offset[v];
+      double* ir = s.in_re.data() + v * lanes;
+      double* ii = s.in_im.data() + v * lanes;
+      for (Index j = 0; j < nb; ++j) {
+        const Amp a = data[s.base[j] + o];
+        ir[j] = a.real();
+        ii[j] = a.imag();
+      }
+    }
+    for (Index r = 0; r < dim; ++r) {
+      const Index o = g.offset[r];
+      const Index c = static_cast<Index>(g.perm[r]);
+      const double pr = g.phase[r].real(), pi = g.phase[r].imag();
+      const double* ir = s.in_re.data() + c * lanes;
+      const double* ii = s.in_im.data() + c * lanes;
+      for (Index j = 0; j < nb; ++j)
+        data[s.base[j] + o] =
+            Amp(pr * ir[j] - pi * ii[j], pr * ii[j] + pi * ir[j]);
+    }
   }
 }
 
 }  // namespace
 
+PreparedGate prepare_gate(const MatrixOp& op) {
+  const int k = static_cast<int>(op.targets.size());
+  const Index dim = Index{1} << k;
+  ATLAS_DCHECK(op.m.rows() == static_cast<int>(dim) &&
+                   op.m.cols() == static_cast<int>(dim),
+               "matrix size mismatch");
+  PreparedGate g;
+  g.targets = op.targets;
+  g.span = k + static_cast<int>(op.controls.size());
+  g.sorted_bits = op.targets;
+  g.sorted_bits.insert(g.sorted_bits.end(), op.controls.begin(),
+                       op.controls.end());
+  std::sort(g.sorted_bits.begin(), g.sorted_bits.end());
+  for (int c : op.controls) g.ctrl_mask |= bit(c);
+
+  // Classify: exact structure tests only (see file comment).
+  bool diagonal = true;
+  bool permutation = true;
+  std::vector<int> perm(dim, -1);
+  std::vector<bool> col_used(dim, false);
+  for (Index r = 0; r < dim && permutation; ++r) {
+    int nonzero = -1;
+    for (Index c = 0; c < dim; ++c) {
+      if (exactly_zero(op.m(static_cast<int>(r), static_cast<int>(c))))
+        continue;
+      if (c != r) diagonal = false;
+      if (nonzero >= 0) {
+        permutation = false;
+        break;
+      }
+      nonzero = static_cast<int>(c);
+    }
+    if (nonzero < 0 || col_used[static_cast<std::size_t>(nonzero)]) {
+      permutation = false;  // zero row / duplicated column: not a permutation
+      break;
+    }
+    col_used[static_cast<std::size_t>(nonzero)] = true;
+    perm[static_cast<std::size_t>(r)] = nonzero;
+  }
+
+  if (diagonal && permutation) {
+    g.m_re.resize(dim);
+    g.m_im.resize(dim);
+    for (Index v = 0; v < dim; ++v) {
+      const Amp d = op.m(static_cast<int>(v), static_cast<int>(v));
+      g.m_re[v] = d.real();
+      g.m_im[v] = d.imag();
+    }
+    if (k == 1) {
+      g.path = ApplyPath::Diag1q;
+      return g;
+    }
+    g.path = ApplyPath::DiagK;
+    g.offset.resize(dim);
+    for (Index v = 0; v < dim; ++v) g.offset[v] = spread_bits(v, g.targets);
+    return g;
+  }
+  if (permutation) {
+    g.path = ApplyPath::PermK;
+    g.perm = std::move(perm);
+    g.phase.resize(dim);
+    for (Index r = 0; r < dim; ++r)
+      g.phase[r] = op.m(static_cast<int>(r), g.perm[r]);
+    g.offset.resize(dim);
+    for (Index v = 0; v < dim; ++v) g.offset[v] = spread_bits(v, g.targets);
+    return g;
+  }
+
+  g.m_re.resize(dim * dim);
+  g.m_im.resize(dim * dim);
+  for (Index r = 0; r < dim; ++r)
+    for (Index c = 0; c < dim; ++c) {
+      const Amp u = op.m(static_cast<int>(r), static_cast<int>(c));
+      g.m_re[r * dim + c] = u.real();
+      g.m_im[r * dim + c] = u.imag();
+    }
+  g.offset.resize(dim);
+  for (Index v = 0; v < dim; ++v) g.offset[v] = spread_bits(v, g.targets);
+  g.path = k == 1 ? ApplyPath::Dense1q
+                  : (k == 2 ? ApplyPath::Dense2q : ApplyPath::DenseK);
+  return g;
+}
+
+void apply_prepared(Amp* data, Index size, const PreparedGate& g) {
+  switch (g.path) {
+    case ApplyPath::Dense1q:
+      if (g.ctrl_mask == 0) {
+        apply_dense_1q_direct(data, size, g.targets[0], g.m_re.data(),
+                              g.m_im.data());
+      } else {
+        apply_dense_blocked<2>(data, size, g, 2);
+      }
+      return;
+    case ApplyPath::Diag1q: {
+      if (g.ctrl_mask == 0) {
+        apply_diag_1q_direct(data, size, g.targets[0], g.m_re.data(),
+                             g.m_im.data());
+        return;
+      }
+      // Controlled diagonal 1q: walk the control-selected groups.
+      const Amp d0(g.m_re[0], g.m_im[0]), d1(g.m_re[1], g.m_im[1]);
+      const Index s0 = bit(g.targets[0]);
+      for_each_base(size, g.span, g.sorted_bits, g.ctrl_mask, [&](Index b) {
+        Amp& a0 = data[b];
+        a0 = Amp(a0.real() * d0.real() - a0.imag() * d0.imag(),
+                 a0.real() * d0.imag() + a0.imag() * d0.real());
+        Amp& a1 = data[b + s0];
+        a1 = Amp(a1.real() * d1.real() - a1.imag() * d1.imag(),
+                 a1.real() * d1.imag() + a1.imag() * d1.real());
+      });
+      return;
+    }
+    case ApplyPath::Dense2q:
+      apply_dense_blocked<4>(data, size, g, 4);
+      return;
+    case ApplyPath::DiagK:
+      apply_diag_k(data, size, g);
+      return;
+    case ApplyPath::PermK:
+      apply_perm_k(data, size, g);
+      return;
+    case ApplyPath::DenseK:
+      apply_dense_blocked<0>(data, size, g,
+                             Index{1} << g.targets.size());
+      return;
+  }
+}
+
 void apply_matrix(Amp* data, Index size, const std::vector<int>& targets,
                   const Matrix& m) {
-  const int k = static_cast<int>(targets.size());
-  ATLAS_DCHECK(m.rows() == (1 << k), "matrix size mismatch");
-  if (k == 1) {
-    apply_1q(data, size, targets[0], m);
-    return;
-  }
-  std::vector<int> sorted = targets;
-  std::sort(sorted.begin(), sorted.end());
-  const Index dim = Index{1} << k;
-  const Index groups = size >> k;
-  // Precompute the buffer offset of each matrix index.
-  std::vector<Index> offset(dim);
-  for (Index v = 0; v < dim; ++v) offset[v] = spread_bits(v, targets);
-  std::vector<Amp> in(dim), out(dim);
-  for (Index g = 0; g < groups; ++g) {
-    const Index base = insert_zero_bits(g, sorted);
-    for (Index v = 0; v < dim; ++v) in[v] = data[base | offset[v]];
-    for (Index r = 0; r < dim; ++r) {
-      Amp acc{};
-      for (Index c = 0; c < dim; ++c) {
-        acc += m(static_cast<int>(r), static_cast<int>(c)) * in[c];
-      }
-      out[r] = acc;
-    }
-    for (Index v = 0; v < dim; ++v) data[base | offset[v]] = out[v];
-  }
+  apply_prepared(data, size, prepare_gate(MatrixOp{m, targets, {}}));
 }
 
 void apply_controlled_matrix(Amp* data, Index size,
                              const std::vector<int>& targets,
                              const std::vector<int>& controls,
                              const Matrix& m) {
-  if (controls.empty()) {
-    apply_matrix(data, size, targets, m);
-    return;
-  }
-  if (targets.size() == 1 && controls.size() == 1) {
-    apply_1q_1c(data, size, targets[0], controls[0], m);
-    return;
-  }
-  const int k = static_cast<int>(targets.size());
-  const int c = static_cast<int>(controls.size());
-  std::vector<int> all = targets;
-  all.insert(all.end(), controls.begin(), controls.end());
-  std::sort(all.begin(), all.end());
-  Index ctrl_mask = 0;
-  for (int cq : controls) ctrl_mask |= bit(cq);
-  const Index dim = Index{1} << k;
-  const Index groups = size >> (k + c);
-  std::vector<Index> offset(dim);
-  for (Index v = 0; v < dim; ++v) offset[v] = spread_bits(v, targets);
-  std::vector<Amp> in(dim), out(dim);
-  for (Index g = 0; g < groups; ++g) {
-    const Index base = insert_zero_bits(g, all) | ctrl_mask;
-    for (Index v = 0; v < dim; ++v) in[v] = data[base | offset[v]];
-    for (Index r = 0; r < dim; ++r) {
-      Amp acc{};
-      for (Index col = 0; col < dim; ++col) {
-        acc += m(static_cast<int>(r), static_cast<int>(col)) * in[col];
-      }
-      out[r] = acc;
-    }
-    for (Index v = 0; v < dim; ++v) data[base | offset[v]] = out[v];
-  }
+  apply_prepared(data, size, prepare_gate(MatrixOp{m, targets, controls}));
 }
 
 void apply_gate_mapped(Amp* data, Index size, const Gate& gate,
                        const std::vector<int>& bit_of_qubit) {
-  std::vector<int> targets, controls;
-  targets.reserve(gate.num_targets());
-  for (Qubit q : gate.targets()) targets.push_back(bit_of_qubit[q]);
-  for (Qubit q : gate.controls()) controls.push_back(bit_of_qubit[q]);
-  apply_controlled_matrix(data, size, targets, controls,
-                          gate.target_matrix());
+  MatrixOp op;
+  op.targets.reserve(gate.num_targets());
+  for (Qubit q : gate.targets()) op.targets.push_back(bit_of_qubit[q]);
+  op.controls.reserve(gate.num_controls());
+  for (Qubit q : gate.controls()) op.controls.push_back(bit_of_qubit[q]);
+  op.m = gate.target_matrix();
+  apply_prepared(data, size, prepare_gate(op));
 }
 
 void apply_gate(StateVector& sv, const Gate& gate) {
-  std::vector<int> identity(sv.num_qubits());
-  for (int i = 0; i < sv.num_qubits(); ++i) identity[i] = i;
-  apply_gate_mapped(sv.data(), sv.size(), gate, identity);
+  // Identity layout: qubit ids are bit positions — no per-call map.
+  MatrixOp op;
+  op.m = gate.target_matrix();
+  const std::vector<Qubit> ts = gate.targets(), cs = gate.controls();
+  op.targets.assign(ts.begin(), ts.end());
+  op.controls.assign(cs.begin(), cs.end());
+  apply_prepared(sv.data(), sv.size(), prepare_gate(op));
 }
 
 void scale_buffer(Amp* data, Index size, Amp factor) {
-  for (Index i = 0; i < size; ++i) data[i] *= factor;
+  const double fr = factor.real(), fi = factor.imag();
+  double* d = reinterpret_cast<double*>(data);
+  for (Index i = 0; i < 2 * size; i += 2) {
+    const double ar = d[i], ai = d[i + 1];
+    d[i] = ar * fr - ai * fi;
+    d[i + 1] = ar * fi + ai * fr;
+  }
 }
 
 }  // namespace atlas

@@ -9,6 +9,17 @@
 ///
 /// All functions take *bit positions within the buffer*; callers that
 /// work with logical qubits map them through their layout first.
+///
+/// Hot paths are two-tier: prepare_gate() lowers a MatrixOp once —
+/// resolving strides/offset tables and classifying the matrix into a
+/// fast-path class (1q/2q dense, diagonal, permutation, general) — and
+/// apply_prepared() replays it with stride-based nested loops whose
+/// inner loop walks contiguous amplitudes, with the complex arithmetic
+/// spelled out over raw doubles so the compiler can vectorize it.
+/// Classification uses *exact* zero tests, so every fast path computes
+/// bit-identical amplitudes (modulo the sign of zero) to the general
+/// dense loop. The one-shot wrappers (apply_matrix & co.) prepare and
+/// apply in a single call.
 
 #include <vector>
 
@@ -18,6 +29,51 @@
 #include "sim/state_vector.h"
 
 namespace atlas {
+
+/// A (possibly controlled) unitary lowered to buffer bit positions: the
+/// common currency of bind-time kernel compilation (fusion spans,
+/// shared-memory programs, stage programs) — no Gate, no logical
+/// qubits. Matrix row/column bit i corresponds to targets[i]; the op
+/// acts only where every control bit is 1.
+struct MatrixOp {
+  Matrix m;
+  std::vector<int> targets;
+  std::vector<int> controls;
+};
+
+/// Fast-path class of a prepared kernel, decided once at preparation.
+enum class ApplyPath {
+  Dense1q,   ///< dense 2x2 on one target
+  Diag1q,    ///< diagonal 2x2: two scalar multiplies per group
+  Dense2q,   ///< dense 4x4 on two targets
+  DiagK,     ///< diagonal 2^k: in-place scalar multiplies, no gather
+  PermK,     ///< one nonzero per row/column: gather + phased permute
+  DenseK,    ///< general 2^k x 2^k gather / mat-vec / scatter
+};
+
+/// A gate kernel lowered for repeated application: bit positions
+/// resolved, offsets precomputed, matrix classified. Immutable after
+/// prepare_gate(); apply_prepared() is const and thread-safe.
+struct PreparedGate {
+  ApplyPath path = ApplyPath::DenseK;
+  int span = 0;                  ///< targets + controls bit count
+  Index ctrl_mask = 0;           ///< OR of control bit positions
+  std::vector<int> targets;      ///< matrix-order target bit positions
+  std::vector<int> sorted_bits;  ///< targets + controls, ascending
+  std::vector<double> m_re;      ///< Dense*: row-major / Diag*: diagonal
+  std::vector<double> m_im;      ///< imaginary counterpart of m_re
+  std::vector<int> perm;         ///< PermK: column of row r's nonzero
+  std::vector<Amp> phase;        ///< PermK: value of row r's nonzero
+  std::vector<Index> offset;     ///< buffer offset of matrix index v
+};
+
+/// Lowers `op` into a PreparedGate (positions must be distinct and the
+/// matrix 2^|targets| square).
+PreparedGate prepare_gate(const MatrixOp& op);
+
+/// Applies a prepared kernel to the buffer (`size` a power of two,
+/// every bit position < log2(size)).
+void apply_prepared(Amp* data, Index size, const PreparedGate& g);
 
 /// Applies the 2^k x 2^k matrix `m` to target bit positions `targets`
 /// of the buffer (`size` must be a power of two, all positions <
@@ -38,7 +94,7 @@ void apply_gate_mapped(Amp* data, Index size, const Gate& gate,
                        const std::vector<int>& bit_of_qubit);
 
 /// Applies `gate` to a full state vector (identity layout: qubit q at
-/// bit q).
+/// bit q — no per-call mapping is materialized).
 void apply_gate(StateVector& sv, const Gate& gate);
 
 /// Multiplies every amplitude by `factor` (used when a diagonal or

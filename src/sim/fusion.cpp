@@ -6,6 +6,38 @@
 #include "common/error.h"
 
 namespace atlas {
+namespace {
+
+/// Expands a full (already controlled) matrix whose qubit i sits at
+/// span position pos[i] onto the 2^|span| space. Shared by the Gate
+/// and MatrixOp entries.
+Matrix expand_full(const Matrix& g, const std::vector<int>& pos,
+                   int span_qubits) {
+  const Index dim = Index{1} << span_qubits;
+  const Index gate_dim = Index{1} << pos.size();
+  Index gate_mask = 0;
+  for (int p : pos) gate_mask |= bit(p);
+  Matrix out(static_cast<int>(dim), static_cast<int>(dim));
+  for (Index r = 0; r < dim; ++r) {
+    const Index rest = r & ~gate_mask;
+    const Index gr = gather_bits(r, pos);
+    for (Index gc = 0; gc < gate_dim; ++gc) {
+      const Amp v = g(static_cast<int>(gr), static_cast<int>(gc));
+      if (v == Amp{}) continue;
+      const Index c = rest | spread_bits(gc, pos);
+      out(static_cast<int>(r), static_cast<int>(c)) = v;
+    }
+  }
+  return out;
+}
+
+/// Full (controlled) matrix of a bit-space op. Qubit order is
+/// targets..., controls... (matching Gate::full_matrix).
+Matrix op_full_matrix(const MatrixOp& op) {
+  return embed_controlled(op.m, static_cast<int>(op.controls.size()));
+}
+
+}  // namespace
 
 Matrix expand_to_qubits(const Gate& gate, const std::vector<Qubit>& qubits) {
   const int nq = static_cast<int>(qubits.size());
@@ -25,22 +57,43 @@ Matrix expand_to_qubits(const Gate& gate, const std::vector<Qubit>& qubits) {
     ATLAS_CHECK(it != qubits.end(), "gate qubit " << q << " not in span");
     pos.push_back(static_cast<int>(it - qubits.begin()));
   }
-  const Matrix g = gate.full_matrix();
-  const Index dim = Index{1} << nq;
-  Index gate_mask = 0;
-  for (int p : pos) gate_mask |= bit(p);
-  Matrix out(static_cast<int>(dim), static_cast<int>(dim));
-  for (Index r = 0; r < dim; ++r) {
-    const Index rest = r & ~gate_mask;
-    const Index gr = gather_bits(r, pos);
-    for (Index gc = 0; gc < (Index{1} << gate.num_qubits()); ++gc) {
-      const Amp v = g(static_cast<int>(gr), static_cast<int>(gc));
-      if (v == Amp{}) continue;
-      const Index c = rest | spread_bits(gc, pos);
-      out(static_cast<int>(r), static_cast<int>(c)) = v;
-    }
+  return expand_full(gate.full_matrix(), pos, nq);
+}
+
+std::vector<int> bit_union(const std::vector<MatrixOp>& ops) {
+  std::vector<int> bits;
+  for (const MatrixOp& op : ops) {
+    bits.insert(bits.end(), op.targets.begin(), op.targets.end());
+    bits.insert(bits.end(), op.controls.begin(), op.controls.end());
   }
-  return out;
+  std::sort(bits.begin(), bits.end());
+  bits.erase(std::unique(bits.begin(), bits.end()), bits.end());
+  return bits;
+}
+
+Matrix fuse_matrix_ops(const std::vector<MatrixOp>& ops,
+                       const std::vector<int>& span) {
+  const int nq = static_cast<int>(span.size());
+  ATLAS_CHECK(nq <= 16, "refusing to fuse onto " << nq << " qubits");
+  // Inverse index: span position of each buffer bit (no linear scans).
+  const std::vector<int> pos_of_bit = inverse_index(span);
+  const auto pos_of = [&](int b) {
+    ATLAS_CHECK(b >= 0 && b < static_cast<int>(pos_of_bit.size()) &&
+                    pos_of_bit[static_cast<std::size_t>(b)] >= 0,
+                "op bit " << b << " not in fusion span");
+    return pos_of_bit[static_cast<std::size_t>(b)];
+  };
+
+  const Index dim = Index{1} << nq;
+  Matrix m = Matrix::identity(static_cast<int>(dim));
+  for (const MatrixOp& op : ops) {
+    std::vector<int> pos;
+    pos.reserve(op.targets.size() + op.controls.size());
+    for (int b : op.targets) pos.push_back(pos_of(b));
+    for (int b : op.controls) pos.push_back(pos_of(b));
+    m = expand_full(op_full_matrix(op), pos, nq) * m;
+  }
+  return m;
 }
 
 Matrix fuse_gates(const std::vector<Gate>& gates,

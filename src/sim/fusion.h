@@ -10,8 +10,20 @@
 
 #include "ir/gate.h"
 #include "ir/matrix.h"
+#include "sim/apply.h"
 
 namespace atlas {
+
+/// Union of the ops' bit positions (targets and controls), ascending.
+std::vector<int> bit_union(const std::vector<MatrixOp>& ops);
+
+/// The fused unitary of bit-space ops (applied left-to-right: ops[0]
+/// first) over `span` (ascending bit positions; span[i] = bit i of the
+/// result). Every op bit must appear in `span`. This is the bind-time
+/// fusion entry used by stage programs: matrices are already
+/// materialized, so no Gate objects and no parameter checks.
+Matrix fuse_matrix_ops(const std::vector<MatrixOp>& ops,
+                       const std::vector<int>& span);
 
 /// Expands `gate`'s full (controlled) matrix onto the qubit space
 /// `qubits` (ascending bit order: qubits[i] = bit i of the result).

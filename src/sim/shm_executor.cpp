@@ -4,15 +4,16 @@
 
 #include "common/bits.h"
 #include "common/error.h"
-#include "sim/apply.h"
+#include "sim/fusion.h"
 
 namespace atlas {
+namespace {
 
-std::vector<int> active_bits(const std::vector<Gate>& gates,
-                             const std::vector<int>& bit_of_qubit) {
-  std::vector<int> bits = {0, 1, 2};
-  for (const Gate& g : gates)
-    for (Qubit q : g.qubits()) bits.push_back(bit_of_qubit[q]);
+/// Sorted, deduplicated union of the ops' bit positions plus the three
+/// always-active low bits.
+std::vector<int> active_bits_of(const std::vector<MatrixOp>& ops) {
+  std::vector<int> bits = bit_union(ops);
+  bits.insert(bits.end(), {0, 1, 2});
   std::sort(bits.begin(), bits.end());
   bits.erase(std::unique(bits.begin(), bits.end()), bits.end());
   ATLAS_CHECK(static_cast<int>(bits.size()) <= kShmQubits,
@@ -22,36 +23,81 @@ std::vector<int> active_bits(const std::vector<Gate>& gates,
   return bits;
 }
 
-Index run_shared_memory_kernel(Amp* data, Index size,
-                               const std::vector<Gate>& gates,
-                               const std::vector<int>& bit_of_qubit) {
-  const std::vector<int> active = active_bits(gates, bit_of_qubit);
-  const int a = static_cast<int>(active.size());
-  const Index batch = Index{1} << a;
-  const Index num_batches = size >> a;
+}  // namespace
 
-  // Bit position of each qubit *inside the scratch buffer*.
-  std::vector<int> shm_bit_of_qubit(bit_of_qubit.size(), -1);
-  for (std::size_t q = 0; q < bit_of_qubit.size(); ++q) {
-    const auto it =
-        std::find(active.begin(), active.end(), bit_of_qubit[q]);
-    if (it != active.end())
-      shm_bit_of_qubit[q] = static_cast<int>(it - active.begin());
+std::vector<int> active_bits(const std::vector<Gate>& gates,
+                             const std::vector<int>& bit_of_qubit) {
+  std::vector<MatrixOp> ops;
+  ops.reserve(gates.size());
+  for (const Gate& g : gates) {
+    MatrixOp op;
+    for (Qubit q : g.qubits()) op.targets.push_back(bit_of_qubit[q]);
+    ops.push_back(std::move(op));
   }
+  return active_bits_of(ops);
+}
+
+ShmProgram compile_shm_program(const std::vector<MatrixOp>& ops) {
+  ShmProgram prog;
+  prog.active = active_bits_of(ops);
+  const int a = static_cast<int>(prog.active.size());
+  const Index batch = Index{1} << a;
+
+  // Scratch-space position of each buffer bit: a direct inverse-index
+  // fill (O(bits)) instead of a per-qubit linear scan of `active`.
+  const std::vector<int> pos_of_bit = inverse_index(prog.active);
 
   // Buffer offset of each scratch index (the gather/scatter map).
-  std::vector<Index> offset(batch);
-  for (Index v = 0; v < batch; ++v) offset[v] = spread_bits(v, active);
+  prog.offset.resize(batch);
+  for (Index v = 0; v < batch; ++v)
+    prog.offset[v] = spread_bits(v, prog.active);
 
-  std::vector<Amp> shm(batch);
+  prog.gates.reserve(ops.size());
+  for (const MatrixOp& op : ops) {
+    MatrixOp remapped;
+    remapped.m = op.m;
+    remapped.targets.reserve(op.targets.size());
+    for (int b : op.targets)
+      remapped.targets.push_back(pos_of_bit[static_cast<std::size_t>(b)]);
+    remapped.controls.reserve(op.controls.size());
+    for (int b : op.controls)
+      remapped.controls.push_back(pos_of_bit[static_cast<std::size_t>(b)]);
+    prog.gates.push_back(prepare_gate(remapped));
+  }
+  return prog;
+}
+
+Index run_shm_program(Amp* data, Index size, const ShmProgram& prog,
+                      std::vector<Amp>& scratch) {
+  const int a = static_cast<int>(prog.active.size());
+  const Index batch = Index{1} << a;
+  const Index num_batches = size >> a;
+  scratch.resize(batch);
+  Amp* shm = scratch.data();
+  const Index* offset = prog.offset.data();
   for (Index b = 0; b < num_batches; ++b) {
-    const Index base = insert_zero_bits(b, active);
+    const Index base = insert_zero_bits(b, prog.active);
     for (Index v = 0; v < batch; ++v) shm[v] = data[base | offset[v]];
-    for (const Gate& g : gates)
-      apply_gate_mapped(shm.data(), batch, g, shm_bit_of_qubit);
+    for (const PreparedGate& g : prog.gates) apply_prepared(shm, batch, g);
     for (Index v = 0; v < batch; ++v) data[base | offset[v]] = shm[v];
   }
   return num_batches;
+}
+
+Index run_shared_memory_kernel(Amp* data, Index size,
+                               const std::vector<Gate>& gates,
+                               const std::vector<int>& bit_of_qubit) {
+  std::vector<MatrixOp> ops;
+  ops.reserve(gates.size());
+  for (const Gate& g : gates) {
+    MatrixOp op;
+    op.m = g.target_matrix();
+    for (Qubit q : g.targets()) op.targets.push_back(bit_of_qubit[q]);
+    for (Qubit q : g.controls()) op.controls.push_back(bit_of_qubit[q]);
+    ops.push_back(std::move(op));
+  }
+  std::vector<Amp> scratch;
+  return run_shm_program(data, size, compile_shm_program(ops), scratch);
 }
 
 }  // namespace atlas

@@ -8,11 +8,18 @@
 /// the scratch buffer, and the batch is stored back. Per the paper
 /// (footnote 3), the three least significant buffer bits are always
 /// active so each load moves at least 2^3 contiguous amplitudes.
+///
+/// The kernel is compiled once into a ShmProgram — active-bit set,
+/// gather/scatter offset table, and the member gates pre-lowered into
+/// scratch-space PreparedGates — and replayed per shard / per stage
+/// without rebuilding any of it (compile_shm_program / run_shm_program).
+/// run_shared_memory_kernel is the one-shot wrapper.
 
 #include <vector>
 
 #include "common/types.h"
 #include "ir/gate.h"
+#include "sim/apply.h"
 
 namespace atlas {
 
@@ -21,13 +28,31 @@ namespace atlas {
 /// budget per block at double precision).
 inline constexpr int kShmQubits = 10;
 
-/// Executes `gates` on `data` via micro-batched shared-memory passes.
+/// A compiled shared-memory kernel: everything invariant across
+/// micro-batches, shards, and bindings of the same localized gate list.
+struct ShmProgram {
+  std::vector<int> active;       ///< active buffer bit positions, ascending
+  std::vector<Index> offset;     ///< gather/scatter map, size 2^|active|
+  std::vector<PreparedGate> gates;  ///< lowered to scratch bit positions
+};
+
+/// Compiles buffer-bit-space ops into a ShmProgram. Throws if more than
+/// kShmQubits bits would be active.
+ShmProgram compile_shm_program(const std::vector<MatrixOp>& ops);
+
+/// Replays a compiled program over the buffer. `scratch` is caller-
+/// provided storage reused across invocations (resized as needed).
+/// \returns the number of micro-batches processed (used by cost-model
+///          calibration).
+Index run_shm_program(Amp* data, Index size, const ShmProgram& prog,
+                      std::vector<Amp>& scratch);
+
+/// One-shot wrapper: compiles `gates` under `bit_of_qubit` and runs the
+/// program once.
 ///
 /// \param bit_of_qubit  maps each logical qubit to its buffer bit
 ///                      position; gates must only touch qubits whose
 ///                      bit position is < log2(size).
-/// \returns the number of micro-batches processed (used by cost-model
-///          calibration).
 Index run_shared_memory_kernel(Amp* data, Index size,
                                const std::vector<Gate>& gates,
                                const std::vector<int>& bit_of_qubit);

@@ -1,0 +1,175 @@
+// Stage-program pipeline tests: the bind-time compilation layer must be
+// invisible to results — distributed execution matches the reference
+// simulator across randomized circuits and machine shapes, sweeps stay
+// bit-identical to per-binding simulate(), and the dense slot table
+// keeps every string-keyed ParamBinding lookup out of the per-point hot
+// path (regression-tested through the process-wide lookup probe).
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "circuits/families.h"
+#include "core/session.h"
+#include "sim/reference.h"
+
+namespace atlas {
+namespace {
+
+Circuit make_ansatz(int n, int layers) {
+  Circuit c(n, "stage_program_ansatz");
+  for (Qubit q = 0; q < n; ++q) c.add(Gate::h(q));
+  for (int l = 0; l < layers; ++l) {
+    const Param gamma = Param::symbol("gamma" + std::to_string(l));
+    const Param theta = Param::symbol("theta" + std::to_string(l));
+    for (Qubit q = 0; q < n; ++q) c.add(Gate::rzz(q, (q + 1) % n, gamma));
+    for (Qubit q = 0; q < n; ++q) c.add(Gate::rx(q, theta));
+  }
+  return c;
+}
+
+std::vector<Amp> amplitudes(const SimulationResult& r) {
+  return r.state.gather().amplitudes();
+}
+
+SessionConfig shaped(int local, int regional, int global) {
+  SessionConfig cfg;
+  cfg.cluster.local_qubits = local;
+  cfg.cluster.regional_qubits = regional;
+  cfg.cluster.global_qubits = global;
+  cfg.cluster.gpus_per_node = 1 << regional;
+  return cfg;
+}
+
+class StageProgramShapeTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(StageProgramShapeTest, RandomCircuitsMatchReference) {
+  const std::uint64_t seed = GetParam();
+  Rng rng(seed * 104729);
+  const int local = 4 + static_cast<int>(rng.index(2));     // 4..5
+  const int regional = static_cast<int>(rng.index(3));      // 0..2
+  const int global = static_cast<int>(rng.index(2));        // 0..1
+  const int n = local + regional + global;
+  const Circuit c = circuits::random_circuit(n, 40, seed * 37);
+  const Session session(shaped(local, regional, global));
+  const SimulationResult result = session.simulate(c);
+  const StateVector expected = simulate_reference(c);
+  EXPECT_LT(result.state.gather().max_abs_diff(expected), 1e-8)
+      << "seed " << seed << " shape " << local << "/" << regional << "/"
+      << global;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StageProgramShapeTest, ::testing::Range(1, 13));
+
+// Directed coverage of every per-shard specialization case: diagonal
+// gates restricted by non-local bits, anti-diagonal X/Y flipping the
+// shard-id mapping, and controlled gates whose controls live on
+// non-local qubits.
+TEST(StageProgram, InsularCasesOnNonlocalQubitsMatchReference) {
+  const int n = 7;  // 4 local + 2 regional + 1 global
+  Circuit c(n, "insular_zoo");
+  for (Qubit q = 0; q < n; ++q) c.add(Gate::h(q));
+  for (Qubit q = 0; q < n; ++q) c.add(Gate::x(q));
+  for (Qubit q = 0; q < n; ++q) c.add(Gate::y(q));
+  for (Qubit q = 0; q < n; ++q) c.add(Gate::rz(q, 0.3 + q));
+  for (Qubit q = 0; q < n; ++q) c.add(Gate::cp(q, (q + 3) % n, 0.5 + q));
+  for (Qubit q = 0; q < n; ++q) c.add(Gate::crz((q + 2) % n, q, 1.1 * q));
+  for (Qubit q = 0; q < n; ++q) c.add(Gate::cx((q + 4) % n, q));
+  c.add(Gate::ccz(0, 3, 6));
+  c.add(Gate::ccx(5, 6, 0));
+  const Session session(shaped(4, 2, 1));
+  const SimulationResult result = session.simulate(c);
+  EXPECT_LT(result.state.gather().max_abs_diff(simulate_reference(c)), 1e-8);
+}
+
+TEST(StageProgram, SweepBitIdenticalToPerBindingSimulate) {
+  const int n = 7, layers = 2, points = 6;
+  const Circuit ansatz = make_ansatz(n, layers);
+  const Session session(shaped(4, 2, 1));
+  const CompiledCircuit compiled = session.compile(ansatz);
+
+  std::vector<ParamBinding> bindings;
+  for (int i = 0; i < points; ++i) {
+    ParamBinding b;
+    for (int l = 0; l < layers; ++l) {
+      b.set("gamma" + std::to_string(l), 0.17 * (i + 1) + 0.29 * l);
+      b.set("theta" + std::to_string(l), 0.05 * (i + 1) - 0.31 * l);
+    }
+    bindings.push_back(std::move(b));
+  }
+  const std::vector<SimulationResult> swept = session.sweep(compiled, bindings);
+  ASSERT_EQ(swept.size(), bindings.size());
+  for (int i = 0; i < points; ++i) {
+    const SimulationResult direct = session.simulate(ansatz.bind(bindings[i]));
+    EXPECT_EQ(amplitudes(swept[static_cast<std::size_t>(i)]),
+              amplitudes(direct))
+        << "point " << i;
+  }
+}
+
+TEST(StageProgram, DensePointsMatchBindingSweepBitIdentically) {
+  const int n = 6, layers = 2, points = 5;
+  const Circuit ansatz = make_ansatz(n, layers);
+  const Session session(shaped(4, 1, 1));
+  const CompiledCircuit compiled = session.compile(ansatz);
+  // symbols() is ascending: gamma0, gamma1, theta0, theta1.
+  ASSERT_EQ(compiled.symbols(),
+            (std::vector<std::string>{"gamma0", "gamma1", "theta0", "theta1"}));
+
+  std::vector<ParamBinding> bindings;
+  std::vector<std::vector<double>> dense;
+  for (int i = 0; i < points; ++i) {
+    const double g0 = 0.11 * i, g1 = 0.23 * i, t0 = 0.37 * i, t1 = 0.41 * i;
+    bindings.push_back(ParamBinding{
+        {"gamma0", g0}, {"gamma1", g1}, {"theta0", t0}, {"theta1", t1}});
+    dense.push_back({g0, g1, t0, t1});
+  }
+  const auto via_bindings = session.sweep(compiled, bindings);
+  const auto via_dense = session.sweep(compiled, dense);
+  ASSERT_EQ(via_bindings.size(), via_dense.size());
+  for (int i = 0; i < points; ++i)
+    EXPECT_EQ(amplitudes(via_bindings[static_cast<std::size_t>(i)]),
+              amplitudes(via_dense[static_cast<std::size_t>(i)]))
+        << "point " << i;
+}
+
+// The slot-table regression: once compiled, a dense-point run performs
+// ZERO string-keyed ParamBinding lookups — parameters flow plan-slot ->
+// dense table -> array indexing. The named-binding run() performs
+// exactly one lookup per free symbol (lowering the user binding into
+// the table), independent of gate count and shard count.
+TEST(StageProgram, DensePointRunsDoZeroParamBindingLookups) {
+  const int n = 6, layers = 2;
+  const Circuit ansatz = make_ansatz(n, layers);
+  const Session session(shaped(4, 1, 1));
+  const CompiledCircuit compiled = session.compile(ansatz);
+  const std::vector<double> point = {0.3, 0.7, 1.1, 1.9};
+  (void)session.run(compiled, point);  // warm everything once
+
+  const std::uint64_t before = ParamBinding::probe_lookups();
+  constexpr int kRuns = 4;
+  for (int i = 0; i < kRuns; ++i) (void)session.run(compiled, point);
+  EXPECT_EQ(ParamBinding::probe_lookups() - before, 0u);
+}
+
+TEST(StageProgram, BindingRunsDoOneLookupPerSymbolOnly) {
+  const int n = 6, layers = 2;
+  const Circuit ansatz = make_ansatz(n, layers);
+  const Session session(shaped(4, 1, 1));
+  const CompiledCircuit compiled = session.compile(ansatz);
+  const ParamBinding binding{
+      {"gamma0", 0.3}, {"gamma1", 0.7}, {"theta0", 1.1}, {"theta1", 1.9}};
+  (void)session.run(compiled, binding);
+
+  const std::uint64_t before = ParamBinding::probe_lookups();
+  constexpr std::uint64_t kRuns = 4;
+  for (std::uint64_t i = 0; i < kRuns; ++i) (void)session.run(compiled, binding);
+  // One at() per free symbol per run — never per gate, per slot, or per
+  // shard (the ansatz has 24 parameterized gates on 4 symbols).
+  EXPECT_EQ(ParamBinding::probe_lookups() - before,
+            kRuns * compiled.symbols().size());
+}
+
+}  // namespace
+}  // namespace atlas

@@ -1,0 +1,189 @@
+// bench_noise — trajectory-throughput scaling of the noise engine.
+//
+// Workload: an entangling ansatz with single-qubit depolarizing noise
+// after every gate (the Pauli-twirl fast path: one CompiledCircuit and
+// one plan-cache entry shared by every trajectory). Measures
+// trajectories/sec as the dispatch pool widens and reports the
+// parallel efficiency vs linear scaling; also verifies the sharing
+// property (plan-cache misses stay at 1 across the whole batch) and
+// the statistical correctness of the estimate against the exact
+// density-matrix reference on a small instance.
+//
+// --smoke shrinks the workload and skips the efficiency gate (CI
+// workers are noisy and often single-core); --json PATH emits a
+// BENCH_noise.json artifact for trend tracking.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "common/timer.h"
+#include "noise/channel.h"
+#include "noise/density_ref.h"
+#include "noise/model.h"
+#include "util.h"
+
+namespace atlas::bench {
+namespace {
+
+Circuit noisy_ansatz(int n) {
+  Circuit c(n, "bench_noise_ansatz");
+  for (Qubit q = 0; q < n; ++q) c.add(Gate::h(q));
+  for (Qubit q = 0; q + 1 < n; ++q) c.add(Gate::cx(q, q + 1));
+  for (Qubit q = 0; q < n; ++q) c.add(Gate::ry(q, 0.2 + 0.1 * q));
+  for (Qubit q = 0; q + 1 < n; ++q) c.add(Gate::cx((q + 2) % n, q));
+  return c;
+}
+
+int run(bool smoke, const char* json_path) {
+  const int local = smoke ? 6 : 10;
+  const int nonlocal = 2;
+  const int n = local + nonlocal;
+  const int trajectories = smoke ? 64 : 256;
+  const unsigned hardware =
+      std::max(1u, std::thread::hardware_concurrency());
+
+  print_header(
+      "Noise engine: trajectory throughput vs dispatch width",
+      "error-mitigation sweeps averaging 10^3-10^4 noisy trajectories",
+      (std::to_string(trajectories) + " trajectories, " + std::to_string(n) +
+       "-qubit ansatz, depolarizing(0.01) after every gate")
+          .c_str());
+
+  const Circuit circuit = noisy_ansatz(n);
+  noise::NoiseModel model;
+  model.after_all_gates(noise::KrausChannel::depolarizing(0.01));
+
+  // --- Sharing gate: the whole batch plans exactly once.
+  SessionConfig cfg{scaled_config(local, nonlocal, /*threads=*/1)};
+  cfg.dispatch_threads = 1;
+  bool sharing_ok = false;
+  {
+    const Session session(cfg);
+    noise::NoisyRunOptions opts;
+    opts.trajectories = trajectories;
+    const noise::NoisyResult r = session.run_noisy(circuit, model, opts);
+    const PlanCacheStats stats = session.plan_cache_stats();
+    sharing_ok = r.pauli_fast_path() && stats.misses == 1;
+    std::printf("\nplan sharing: fast path %s, plan-cache misses %llu "
+                "(want 1) over %d trajectories\n",
+                r.pauli_fast_path() ? "yes" : "NO",
+                static_cast<unsigned long long>(stats.misses), trajectories);
+  }
+
+  // --- Statistical gate: trajectory average within 5 sigma of the
+  // exact density reference on a small instance.
+  bool stats_ok = true;
+  {
+    const int small_n = 5;
+    const Circuit small = noisy_ansatz(small_n);
+    noise::NoiseModel strong;
+    strong.after_all_gates(noise::KrausChannel::depolarizing(0.05));
+    SessionConfig scfg{scaled_config(4, 1, /*threads=*/1)};
+    const Session session(scfg);
+    noise::NoisyRunOptions opts;
+    opts.trajectories = smoke ? 400 : 1500;
+    const noise::NoisyResult est = session.run_noisy(small, strong, opts);
+    const noise::DensityMatrix rho = noise::simulate_density(small, strong);
+    for (Qubit q = 0; q < small_n; ++q) {
+      const noise::Estimate z = est.expectation_z(q);
+      const double exact = rho.expectation_z(q);
+      if (std::abs(z.value - exact) > 5 * z.std_error + 1e-9) {
+        std::printf("FAIL: <Z_%d> = %.4f +- %.4f vs exact %.4f\n", q,
+                    z.value, z.std_error, exact);
+        stats_ok = false;
+      }
+    }
+    std::printf("statistics  : trajectory averages within 5 sigma of the "
+                "density reference — %s\n",
+                stats_ok ? "ok" : "FAIL");
+  }
+
+  // --- Scaling: trajectories/sec vs dispatch width.
+  std::vector<int> widths = {1, 2, 4, 8};
+  widths.erase(std::remove_if(widths.begin(), widths.end(),
+                              [&](int w) {
+                                return w > 8 ||
+                                       (w > 1 &&
+                                        static_cast<unsigned>(w) >
+                                            2 * hardware);
+                              }),
+               widths.end());
+  std::printf("\n%-8s %16s %12s\n", "width", "traj/sec", "efficiency");
+  std::vector<double> tps(widths.size(), 0.0);
+  double base_tps = 0;
+  bool scaling_ok = true;
+  for (std::size_t i = 0; i < widths.size(); ++i) {
+    SessionConfig wcfg{scaled_config(local, nonlocal, /*threads=*/1)};
+    wcfg.dispatch_threads = widths[i];
+    const Session session(wcfg);
+    noise::NoisyRunOptions opts;
+    opts.trajectories = trajectories;
+    (void)session.run_noisy(circuit, model, opts);  // warm plan + pool
+    Timer t;
+    (void)session.run_noisy(circuit, model, opts);
+    tps[i] = trajectories / t.seconds();
+    if (widths[i] == 1) base_tps = tps[i];
+    const double efficiency = tps[i] / (base_tps * widths[i]);
+    std::printf("%-8d %16.1f %11.0f%%\n", widths[i], tps[i],
+                100 * efficiency);
+    // The acceptance gate: >= 0.7x linear up to the machine's real
+    // core count (oversubscribed widths are informational only).
+    if (!smoke && static_cast<unsigned>(widths[i]) <= hardware &&
+        efficiency < 0.7)
+      scaling_ok = false;
+  }
+
+  if (json_path != nullptr) {
+    std::FILE* f = std::fopen(json_path, "w");
+    if (f == nullptr) {
+      std::printf("FAIL: cannot write %s\n", json_path);
+      return 1;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"noise\",\n  \"smoke\": %s,\n",
+                 smoke ? "true" : "false");
+    std::fprintf(f, "  \"qubits\": %d,\n  \"trajectories\": %d,\n", n,
+                 trajectories);
+    std::fprintf(f, "  \"hardware_concurrency\": %u,\n", hardware);
+    std::fprintf(f, "  \"trajectories_per_sec\": {");
+    for (std::size_t i = 0; i < widths.size(); ++i)
+      std::fprintf(f, "%s\"w%d\": %.1f", i == 0 ? "" : ", ", widths[i],
+                   tps[i]);
+    std::fprintf(f, "},\n");
+    std::fprintf(f, "  \"plan_sharing\": %s,\n  \"stats_ok\": %s\n}\n",
+                 sharing_ok ? "true" : "false", stats_ok ? "true" : "false");
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path);
+  }
+
+  if (!sharing_ok) {
+    std::printf("FAIL: Pauli-twirl batch did not share a single plan\n");
+    return 1;
+  }
+  if (!stats_ok) return 1;
+  if (!scaling_ok) {
+    std::printf("FAIL: trajectory scaling below 0.7x linear\n");
+    return 1;
+  }
+  std::printf("check: plan shared, statistics converged%s — %s\n",
+              smoke ? "" : ", scaling >= 0.7x linear",
+              smoke ? "SMOKE PASS" : "PASS");
+  return 0;
+}
+
+}  // namespace
+}  // namespace atlas::bench
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  const char* json_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc)
+      json_path = argv[++i];
+  }
+  return atlas::bench::run(smoke, json_path);
+}

@@ -48,6 +48,19 @@ std::uint64_t shape_salt_of(const SessionConfig& config) {
 
 // --- SimulationResult query facade ---------------------------------------
 
+const ParamBinding& SimulationResult::params() const {
+  // Built on demand: sweeps and trajectory batches produce thousands of
+  // results whose string-keyed binding nobody reads — the dense
+  // slot_values record is the source of truth.
+  if (!params_cache_) {
+    auto built = std::make_shared<ParamBinding>();
+    for (std::size_t k = 0; k < slot_values.size(); ++k)
+      built->set(slot_symbol_name(static_cast<int>(k)), slot_values[k]);
+    params_cache_ = std::move(built);
+  }
+  return *params_cache_;
+}
+
 Amp SimulationResult::amplitude(Index index) const {
   return exec::amplitude(state, index);
 }
@@ -68,6 +81,11 @@ double SimulationResult::expectation_z(Qubit q) const {
 }
 
 std::vector<Index> SimulationResult::sample(int shots, Rng& rng) const {
+  return exec::sample(state, shots, rng);
+}
+
+std::vector<Index> SimulationResult::sample(int shots) const {
+  Rng rng = Rng::for_stream(seed, sample_counter_++);
   return exec::sample(state, shots, rng);
 }
 
@@ -316,20 +334,19 @@ void Session::check_compiled(const CompiledCircuit& compiled,
               "recompile it with this session");
 }
 
-std::vector<SimulationResult> Session::fan_out(
-    std::size_t count,
-    const std::function<SimulationResult(std::size_t)>& run_point) const {
-  // Tasks reference caller-owned state through `run_point`, so no
-  // exception may unwind this frame while a task is still queued or
-  // running: a future is recorded only once its task is queued, and
-  // every recorded future is joined before anything propagates.
-  std::vector<std::future<SimulationResult>> futures;
+void Session::dispatch_each(
+    std::size_t count, const std::function<void(std::size_t)>& fn) const {
+  // Tasks reference caller-owned state through `fn`, so no exception
+  // may unwind this frame while a task is still queued or running: a
+  // future is recorded only once its task is queued, and every
+  // recorded future is joined before anything propagates.
+  std::vector<std::future<void>> futures;
   futures.reserve(count);
   try {
     for (std::size_t i = 0; i < count; ++i) {
-      auto task = std::make_shared<std::packaged_task<SimulationResult()>>(
-          [&run_point, i] { return run_point(i); });
-      std::future<SimulationResult> future = task->get_future();
+      auto task = std::make_shared<std::packaged_task<void()>>(
+          [&fn, i] { fn(i); });
+      std::future<void> future = task->get_future();
       dispatch_pool_->submit([task] { (*task)(); });
       futures.push_back(std::move(future));
     }
@@ -338,9 +355,15 @@ std::vector<SimulationResult> Session::fan_out(
     throw;
   }
   for (auto& f : futures) f.wait();
-  std::vector<SimulationResult> results;
-  results.reserve(count);
-  for (auto& f : futures) results.push_back(f.get());
+  for (auto& f : futures) f.get();  // rethrows the first task failure
+}
+
+std::vector<SimulationResult> Session::fan_out(
+    std::size_t count,
+    const std::function<SimulationResult(std::size_t)>& run_point) const {
+  std::vector<SimulationResult> results(count);
+  dispatch_each(count,
+                [&](std::size_t i) { results[i] = run_point(i); });
   return results;
 }
 
@@ -360,13 +383,22 @@ SimulationResult Session::run_with_slots(const CompiledCircuit& compiled,
                                          SlotValues values) const {
   SimulationResult result;
   result.plan = compiled.plan();
-  // The slot-symbol binding is recorded for reproducibility via
-  // execute(); the run itself reads only the dense table.
-  for (std::size_t k = 0; k < values.size(); ++k)
-    result.params.set(slot_symbol_name(static_cast<int>(k)), values[k]);
+  // The dense slot table is both the execution input and the
+  // reproducibility record; the string-keyed view is built lazily by
+  // params().
+  result.slot_values = std::move(values);
+  // Sampling seed keyed by the run's identity (not a call counter):
+  // equal runs sample equal shots, and sweep results are independent
+  // of dispatch-pool completion order.
+  {
+    Fnv f;
+    f.mix(compiled.plan_key());
+    for (double v : result.slot_values) f.mix_double(v);
+    result.seed = rng_stream_seed(config_.seed, f.value());
+  }
   result.state = executor_->initial_state(*result.plan, cluster_);
   ParamEnv env;
-  env.slots = &values;
+  env.slots = &result.slot_values;
   result.report =
       executor_->execute(*result.plan, cluster_, result.state, env);
   return result;

@@ -43,9 +43,14 @@
 #include "ir/circuit.h"
 #include "ir/param.h"
 #include "kernelize/kernelizer.h"
+#include "noise/result.h"
 #include "staging/registry.h"
 
 namespace atlas {
+
+namespace noise {
+class NoiseModel;
+}
 
 struct SimulatorConfig {
   device::ClusterConfig cluster;
@@ -76,6 +81,13 @@ struct SessionConfig : SimulatorConfig {
   /// (0 = min(hardware, 4)). Distinct from cluster.num_threads, which
   /// sizes the per-shard compute pool.
   int dispatch_threads = 0;
+  /// Base seed for every sampling path the session owns: noise
+  /// trajectories, readout-error draws, and SimulationResult::sample()
+  /// without an explicit Rng. All of them derive counter-based streams
+  /// (rng_stream_seed) keyed by stable indices — trajectory number,
+  /// sweep point — never by dispatch order, so results are bit-stable
+  /// under any dispatch_threads value.
+  std::uint64_t seed = 0x0a71a5ba5e5eed01ull;
 };
 
 struct SimulationResult {
@@ -84,12 +96,24 @@ struct SimulationResult {
   /// Plans from simulate()/run() are canonicalized: their gates carry
   /// slot symbols ("$0", "$1", ...) instead of concrete values.
   std::shared_ptr<const exec::ExecutionPlan> plan;
-  /// The slot-symbol values this run executed under; re-execute the
-  /// same physics on a fresh state with
-  /// `session.execute(*result.plan, state, result.params)`.
-  ParamBinding params;
+  /// Dense slot values this run executed under (index k = plan slot
+  /// "$k") — the reproducibility record, kept in the form the engine
+  /// ran with. The string-keyed view is built lazily by params().
+  SlotValues slot_values;
+  /// Deterministic per-run sampling seed, derived from
+  /// SessionConfig::seed and the run's identity (plan key + slot
+  /// values) — equal runs sample identically, independent of dispatch
+  /// interleaving.
+  std::uint64_t seed = 0;
   exec::ExecutionReport report;
   exec::DistState state;
+
+  /// The slot-symbol binding ("$k" -> value) this run executed under;
+  /// re-execute the same physics on a fresh state with
+  /// `session.execute(*result.plan, state, result.params())`. Built on
+  /// first access from `slot_values` and cached (not safe to *first*
+  /// call concurrently from two threads; copies share the cache).
+  const ParamBinding& params() const;
 
   /// \name Typed query facade
   /// Observable queries over the distributed final state, delegating to
@@ -109,7 +133,18 @@ struct SimulationResult {
   double expectation_z(Qubit q) const;
   /// Draws `shots` basis-state samples; deterministic under a fixed Rng.
   std::vector<Index> sample(int shots, Rng& rng) const;
+  /// As above with the result's own deterministic stream (`seed`):
+  /// call k draws stream k, so repeat calls give fresh batches yet the
+  /// whole call sequence replays exactly on an identical run. Like
+  /// params(), not safe to call concurrently on one result (the call
+  /// counter is plain state; copies also replay the original's
+  /// streams) — share an explicit Rng for multi-threaded sampling.
+  std::vector<Index> sample(int shots) const;
   /// @}
+
+ private:
+  mutable std::shared_ptr<const ParamBinding> params_cache_;
+  mutable std::uint64_t sample_counter_ = 0;
 };
 
 struct PlanCacheStats {
@@ -226,6 +261,27 @@ class Session {
   std::vector<SimulationResult> simulate_batch(
       std::vector<Circuit> circuits) const;
 
+  /// \name Noisy simulation (stochastic trajectory unravelling)
+  /// Averages `options.trajectories` stochastic unravellings of
+  /// `model` applied to `circuit`, fanned across the dispatch pool.
+  /// All-Pauli models ride the fast path: every trajectory binds the
+  /// same CompiledCircuit (one plan-cache entry for the whole batch);
+  /// general Kraus channels fall back to norm-tracked per-trajectory
+  /// lowering. Deterministic in SessionConfig::seed (or the per-run
+  /// override) regardless of dispatch parallelism. Implemented in
+  /// noise/engine.cpp.
+  /// @{
+  noise::NoisyResult run_noisy(
+      const Circuit& circuit, const noise::NoiseModel& model,
+      const noise::NoisyRunOptions& options = {}) const;
+
+  /// run_noisy() with `shots` measurement samples per trajectory — the
+  /// counts-first entry (readout error applied when modeled).
+  noise::NoisyResult sample_noisy(const Circuit& circuit,
+                                  const noise::NoiseModel& model, int shots,
+                                  noise::NoisyRunOptions options = {}) const;
+  /// @}
+
   PlanCacheStats plan_cache_stats() const;
   void clear_plan_cache() const;
 
@@ -248,6 +304,11 @@ class Session {
   std::vector<SimulationResult> fan_out(
       std::size_t count,
       const std::function<SimulationResult(std::size_t)>& run_point) const;
+  /// As fan_out() for void tasks writing their own outputs (trajectory
+  /// partials): runs fn(i) for i in [0, count) on the dispatch pool,
+  /// joins all, rethrows the first failure after every task finished.
+  void dispatch_each(std::size_t count,
+                     const std::function<void(std::size_t)>& fn) const;
 
   SessionConfig config_;
   device::Cluster cluster_;

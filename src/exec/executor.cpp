@@ -58,8 +58,16 @@ ExecutionReport execute_plan(const ExecutionPlan& plan,
                   "execution plan has unbound symbolic parameters ("
                       << stage.subcircuit.symbols().front()
                       << ", ...); pass a ParamBinding");
-      const StageProgram program = compile_stage_program(
-          stage.subcircuit, stage.kernels, state.layout(), env);
+      // The binding-independent skeleton is cached on the plan: repeat
+      // runs (sweep points, noise trajectories) only re-fill matrix
+      // values.
+      const std::shared_ptr<const StageSkeleton> skeleton =
+          stage.skeleton->get_or_build(state.layout(), [&] {
+            return compile_stage_skeleton(stage.subcircuit, stage.kernels,
+                                          state.layout());
+          });
+      const StageProgram program =
+          bind_stage_program(stage.subcircuit, *skeleton, env);
       const Index shard_size = state.shard_size();
 
       // Kernel cost-model units -> bytes streamed (for modeled time).

@@ -8,10 +8,12 @@
 /// the cluster has fewer GPUs than shards, shards are swapped through
 /// the GPUs and the staging traffic is metered.
 
+#include <memory>
 #include <vector>
 
 #include "device/cluster.h"
 #include "exec/dist_state.h"
+#include "exec/stage_program.h"
 #include "ir/circuit.h"
 #include "kernelize/kernel.h"
 #include "staging/stage.h"
@@ -26,6 +28,13 @@ struct PlannedStage {
   std::vector<int> original_indices;
   staging::QubitPartition partition;
   kernelize::Kernelization kernels;
+  /// Lazily-built binding-independent stage skeleton (pattern bits,
+  /// fired-gate sets, shm actives/offsets, fused spans), shared by
+  /// every run of the owning plan: sweeps and trajectory batches only
+  /// re-fill matrix values per point. Copies of a PlannedStage share
+  /// the cache — plans are immutable once built, so that is sound.
+  mutable std::shared_ptr<StageSkeletonCache> skeleton =
+      std::make_shared<StageSkeletonCache>();
 };
 
 struct ExecutionPlan {

@@ -94,9 +94,52 @@ double expectation_z(const DistState& state, Qubit q) {
   return dist[0] - dist[1];
 }
 
+StateMoments state_moments(const DistState& state) {
+  const Layout& l = state.layout();
+  const int n = state.num_qubits();
+  StateMoments m;
+  m.z.assign(static_cast<std::size_t>(n), 0.0);
+  std::vector<int> local_pos(static_cast<std::size_t>(n), -1);
+  for (Qubit q = 0; q < n; ++q)
+    if (l.is_local(q)) local_pos[static_cast<std::size_t>(q)] =
+        l.phys_of_logical[q];
+  for (int s = 0; s < state.num_shards(); ++s) {
+    // Non-local qubits are fixed per shard: accumulate their sign
+    // against the shard's total weight instead of per amplitude.
+    double shard_norm = 0;
+    std::vector<double> local_z(static_cast<std::size_t>(n), 0.0);
+    const auto& shard = state.shard(s);
+    for (Index o = 0; o < state.shard_size(); ++o) {
+      const double p = std::norm(shard[o]);
+      if (p == 0.0) continue;
+      shard_norm += p;
+      for (Qubit q = 0; q < n; ++q) {
+        const int pos = local_pos[static_cast<std::size_t>(q)];
+        if (pos >= 0)
+          local_z[static_cast<std::size_t>(q)] += test_bit(o, pos) ? -p : p;
+      }
+    }
+    m.norm_sq += shard_norm;
+    for (Qubit q = 0; q < n; ++q) {
+      const int pos = local_pos[static_cast<std::size_t>(q)];
+      if (pos >= 0)
+        m.z[static_cast<std::size_t>(q)] += local_z[static_cast<std::size_t>(q)];
+      else
+        m.z[static_cast<std::size_t>(q)] +=
+            l.nonlocal_bit(q, s) ? -shard_norm : shard_norm;
+    }
+  }
+  return m;
+}
+
 std::vector<Index> sample(const DistState& state, int shots, Rng& rng) {
+  return sample(state, shots, rng, 1.0);
+}
+
+std::vector<Index> sample(const DistState& state, int shots, Rng& rng,
+                          double total_norm) {
   std::vector<double> draws(shots);
-  for (auto& d : draws) d = rng.uniform();
+  for (auto& d : draws) d = rng.uniform() * total_norm;
   std::sort(draws.begin(), draws.end());
   std::vector<Index> out(shots);
   double cum = 0;

@@ -30,7 +30,25 @@ std::vector<double> marginal_distribution(const DistState& state,
 /// <Z_q> on logical qubit q.
 double expectation_z(const DistState& state, Qubit q);
 
+/// Everything trajectory aggregation needs from a state, in a single
+/// shard pass (the state is consumed right after, so one traversal
+/// beats num_qubits marginals): the norm and the *raw* per-qubit Z sums
+/// sum_i (+/-)|a_i|^2 — equal to <Z_q> for normalized states, and to
+/// tr(|phi><phi| Z_q) for the norm-tracked unravelling's unnormalized
+/// trajectories.
+struct StateMoments {
+  double norm_sq = 0;
+  std::vector<double> z;
+};
+StateMoments state_moments(const DistState& state);
+
 /// Draws `shots` logical basis-state samples.
 std::vector<Index> sample(const DistState& state, int shots, Rng& rng);
+
+/// As sample(), from a state of total weight `total_norm` (draws are
+/// scaled, so an unnormalized trajectory state samples its *normalized*
+/// distribution without copying the state).
+std::vector<Index> sample(const DistState& state, int shots, Rng& rng,
+                          double total_norm);
 
 }  // namespace atlas::exec

@@ -1,67 +1,52 @@
 #include "exec/stage_program.h"
 
 #include <algorithm>
+#include <atomic>
 #include <utility>
 
 #include "common/bits.h"
 #include "common/error.h"
+#include "common/fnv.h"
 #include "exec/partial_eval.h"
 #include "sim/fusion.h"
 
 namespace atlas::exec {
 namespace {
 
-/// Shard-invariant preparation of one gate against the stage layout:
-/// the gate's matrix is materialized (parameters resolved through
-/// `env`), its qubits are remapped to physical bit positions, and its
-/// shard-dependence is reduced to a list of shard-index bits plus how
-/// to react to them. Mirrors the case split of partial_evaluate(), but
-/// evaluated once per stage instead of once per gate per shard.
-struct GatePrep {
-  enum class Case { Local, DiagScale, DiagRestrict, Antidiag, Ctrl };
-  Case kind = Case::Local;
-  /// The shard-independent local remainder: full op for Local/Ctrl,
-  /// target positions (matrix filled per variant) for DiagRestrict.
-  MatrixOp local;
-  /// DiagScale/DiagRestrict: resolved full diagonal matrix and the
-  /// gate-index-space positions of its non-local / local qubits.
-  Matrix full;
-  std::vector<int> nonlocal_pos;
-  std::vector<int> local_pos;
-  /// Shard-index bits read by this gate (order matches nonlocal_pos or
-  /// the non-local control list); bit i of xor_adjust is the shard_xor
-  /// correction in effect before this gate at decision_bits[i].
-  std::vector<int> decision_bits;
-  Index xor_adjust = 0;
-  /// Antidiag: scale picked by the xor-adjusted shard bit.
-  Amp scale_bit0{1.0, 0.0};
-  Amp scale_bit1{1.0, 0.0};
-};
+std::atomic<std::uint64_t> g_skeleton_compiles{0};
 
-GatePrep prep_gate(const Gate& g, const Layout& layout, Index xor_before,
-                   const ParamEnv& env) {
-  GatePrep p;
+using GateSlot = StageSkeleton::GateSlot;
+using VariantSkeleton = StageSkeleton::VariantSkeleton;
+using KernelSkeleton = StageSkeleton::KernelSkeleton;
+
+/// Shard-invariant *structural* preparation of one gate against the
+/// stage layout: its qubits are remapped to physical bit positions and
+/// its shard-dependence is reduced to a list of shard-index bits plus
+/// how to react to them. Mirrors the case split of partial_evaluate(),
+/// evaluated once per stage *structure* — matrix values are filled at
+/// bind time.
+GateSlot prep_gate(const Gate& g, int gate_index, const Layout& layout,
+                   Index xor_before) {
+  GateSlot p;
+  p.gate = gate_index;
   bool any_nonlocal = false;
   for (Qubit q : g.qubits()) any_nonlocal |= !layout.is_local(q);
 
   if (!any_nonlocal) {
-    p.kind = GatePrep::Case::Local;
-    p.local.m = g.target_matrix_resolved(env);
-    for (Qubit q : g.targets())
-      p.local.targets.push_back(layout.phys_of_logical[q]);
+    p.kind = GateSlot::Case::Local;
+    for (Qubit q : g.targets()) p.targets.push_back(layout.phys_of_logical[q]);
     for (Qubit q : g.controls())
-      p.local.controls.push_back(layout.phys_of_logical[q]);
+      p.controls.push_back(layout.phys_of_logical[q]);
     return p;
   }
 
   if (g.fully_diagonal()) {
-    p.full = g.full_matrix_resolved(env);
     const int k = g.num_qubits();
     for (int pos = 0; pos < k; ++pos) {
       const Qubit q = g.qubits()[pos];
       if (layout.is_local(q)) {
         p.local_pos.push_back(pos);
-        p.local.targets.push_back(layout.phys_of_logical[q]);
+        p.targets.push_back(layout.phys_of_logical[q]);
       } else {
         const int sb = layout.phys_of_logical[q] - layout.num_local;
         if (test_bit(xor_before, sb))
@@ -70,37 +55,30 @@ GatePrep prep_gate(const Gate& g, const Layout& layout, Index xor_before,
         p.decision_bits.push_back(sb);
       }
     }
-    p.kind = p.local_pos.empty() ? GatePrep::Case::DiagScale
-                                 : GatePrep::Case::DiagRestrict;
+    p.kind = p.local_pos.empty() ? GateSlot::Case::DiagScale
+                                 : GateSlot::Case::DiagRestrict;
     return p;
   }
 
   if (g.antidiagonal_1q() && !layout.is_local(g.qubits()[0])) {
-    p.kind = GatePrep::Case::Antidiag;
-    const Matrix m = g.target_matrix_resolved(env);
-    // After the flip the shard represents value (1 - old_bit); its
-    // contents pick up u_{new,old}.
-    p.scale_bit0 = m(1, 0);
-    p.scale_bit1 = m(0, 1);
-    const int sb =
-        layout.phys_of_logical[g.qubits()[0]] - layout.num_local;
+    p.kind = GateSlot::Case::Antidiag;
+    const int sb = layout.phys_of_logical[g.qubits()[0]] - layout.num_local;
     if (test_bit(xor_before, sb)) p.xor_adjust |= bit(0);
     p.decision_bits.push_back(sb);
     return p;
   }
 
   // Controlled gate with non-local (insular) controls.
-  p.kind = GatePrep::Case::Ctrl;
-  p.local.m = g.target_matrix_resolved(env);
+  p.kind = GateSlot::Case::Ctrl;
   for (Qubit t : g.targets()) {
     ATLAS_CHECK(layout.is_local(t),
                 "non-insular qubit " << t << " of gate " << g.to_string()
                                      << " is not local (staging bug)");
-    p.local.targets.push_back(layout.phys_of_logical[t]);
+    p.targets.push_back(layout.phys_of_logical[t]);
   }
   for (Qubit c : g.controls()) {
     if (layout.is_local(c)) {
-      p.local.controls.push_back(layout.phys_of_logical[c]);
+      p.controls.push_back(layout.phys_of_logical[c]);
     } else {
       const int sb = layout.phys_of_logical[c] - layout.num_local;
       if (test_bit(xor_before, sb))
@@ -111,10 +89,11 @@ GatePrep prep_gate(const Gate& g, const Layout& layout, Index xor_before,
   return p;
 }
 
-KernelProgram compile_kernel(const std::vector<GatePrep>& preps,
-                             kernelize::KernelType type) {
-  KernelProgram kp;
-  for (const GatePrep& p : preps)
+KernelSkeleton compile_kernel_skeleton(std::vector<GateSlot> slots,
+                                       kernelize::KernelType type) {
+  KernelSkeleton kp;
+  kp.type = type;
+  for (const GateSlot& p : slots)
     kp.pattern_bits.insert(kp.pattern_bits.end(), p.decision_bits.begin(),
                            p.decision_bits.end());
   std::sort(kp.pattern_bits.begin(), kp.pattern_bits.end());
@@ -128,9 +107,9 @@ KernelProgram compile_kernel(const std::vector<GatePrep>& preps,
   const Index num_variants = Index{1} << kp.pattern_bits.size();
   kp.variants.reserve(num_variants);
   for (Index pattern = 0; pattern < num_variants; ++pattern) {
-    KernelVariant v;
-    std::vector<MatrixOp> ops;
-    for (const GatePrep& p : preps) {
+    VariantSkeleton v;
+    for (int si = 0; si < static_cast<int>(slots.size()); ++si) {
+      const GateSlot& p = slots[static_cast<std::size_t>(si)];
       const auto decide = [&](std::size_t i) -> bool {
         const int where =
             pos_of_bit[static_cast<std::size_t>(p.decision_bits[i])];
@@ -138,82 +117,212 @@ KernelProgram compile_kernel(const std::vector<GatePrep>& preps,
                test_bit(p.xor_adjust, static_cast<int>(i));
       };
       switch (p.kind) {
-        case GatePrep::Case::Local:
-          ops.push_back(p.local);
+        case GateSlot::Case::Local:
+          v.ops.push_back({si, 0});
           break;
-        case GatePrep::Case::DiagScale: {
+        case GateSlot::Case::DiagScale: {
           Index fixed = 0;
           for (std::size_t i = 0; i < p.decision_bits.size(); ++i)
             if (decide(i)) fixed |= bit(p.nonlocal_pos[i]);
-          const Amp entry =
-              p.full(static_cast<int>(fixed), static_cast<int>(fixed));
-          if (entry != Amp(1, 0)) v.scale *= entry;
+          v.scales.push_back({si, fixed});
           break;
         }
-        case GatePrep::Case::DiagRestrict: {
+        case GateSlot::Case::DiagRestrict: {
           Index fixed = 0;
           for (std::size_t i = 0; i < p.decision_bits.size(); ++i)
             if (decide(i)) fixed |= bit(p.nonlocal_pos[i]);
-          MatrixOp op = p.local;
-          op.m = restrict_diagonal(p.full, p.local_pos, fixed);
-          ops.push_back(std::move(op));
+          v.ops.push_back({si, fixed});
           break;
         }
-        case GatePrep::Case::Antidiag:
-          v.scale *= decide(0) ? p.scale_bit1 : p.scale_bit0;
+        case GateSlot::Case::Antidiag:
+          v.scales.push_back({si, decide(0) ? Index{1} : Index{0}});
           break;
-        case GatePrep::Case::Ctrl: {
+        case GateSlot::Case::Ctrl: {
           bool fires = true;
           for (std::size_t i = 0; i < p.decision_bits.size(); ++i)
             fires &= decide(i);
-          if (fires) ops.push_back(p.local);
+          if (fires) v.ops.push_back({si, 0});
           break;
         }
       }
     }
-    if (!ops.empty()) {
-      if (type == kernelize::KernelType::Fusion) {
-        MatrixOp fused;
-        fused.targets = bit_union(ops);
-        fused.m = fuse_matrix_ops(ops, fused.targets);
-        v.fused = prepare_gate(fused);
-        v.op = KernelVariant::Op::Fused;
-      } else {
-        v.shm = compile_shm_program(ops);
-        v.op = KernelVariant::Op::Shm;
+    if (!v.ops.empty()) {
+      // Matrix-free MatrixOps carry the bit structure the kernel-type
+      // lowering needs (fused span / shm gather maps).
+      std::vector<MatrixOp> shape;
+      shape.reserve(v.ops.size());
+      for (const auto& f : v.ops) {
+        const GateSlot& p = slots[static_cast<std::size_t>(f.slot)];
+        MatrixOp op;
+        op.targets = p.targets;
+        if (p.kind != GateSlot::Case::DiagRestrict) op.controls = p.controls;
+        shape.push_back(std::move(op));
       }
+      if (type == kernelize::KernelType::Fusion)
+        v.fused_targets = bit_union(shape);
+      else
+        v.shm = compile_shm_skeleton(shape);
     }
     kp.variants.push_back(std::move(v));
   }
+  kp.slots = std::move(slots);
   return kp;
 }
 
+/// Matrix values of one slot, resolved against the binding environment.
+struct SlotMatrices {
+  Matrix m;          ///< Local/Ctrl/Antidiag: target; Diag*: full matrix
+  Amp scale_bit0{1.0, 0.0};  ///< Antidiag: u_{10}
+  Amp scale_bit1{1.0, 0.0};  ///< Antidiag: u_{01}
+};
+
 }  // namespace
 
-StageProgram compile_stage_program(const Circuit& subcircuit,
-                                   const kernelize::Kernelization& kernels,
-                                   const Layout& layout,
-                                   const ParamEnv& env) {
-  StageProgram prog;
+std::uint64_t layout_digest(const Layout& layout) {
+  Fnv f;
+  f.mix(static_cast<std::uint64_t>(layout.num_local));
+  f.mix(layout.shard_xor);
+  f.mix(layout.phys_of_logical.size());
+  for (int p : layout.phys_of_logical) f.mix(static_cast<std::uint64_t>(p));
+  return f.value();
+}
+
+std::uint64_t stage_skeleton_compiles() {
+  return g_skeleton_compiles.load(std::memory_order_relaxed);
+}
+
+StageSkeleton compile_stage_skeleton(const Circuit& subcircuit,
+                                     const kernelize::Kernelization& kernels,
+                                     const Layout& layout) {
+  g_skeleton_compiles.fetch_add(1, std::memory_order_relaxed);
+  StageSkeleton skel;
+  skel.layout_digest = layout_digest(layout);
   // Pre-walk the shard_xor trajectory: anti-diagonal insular gates on
   // non-local qubits flip the shard-id mapping, and later gates must
   // observe the flipped mapping. The walk follows the kernel execution
   // order (topologically equivalent to the stage).
   Index cur = layout.shard_xor;
-  prog.kernels.reserve(kernels.kernels.size());
+  skel.kernels.reserve(kernels.kernels.size());
   for (const auto& kernel : kernels.kernels) {
-    std::vector<GatePrep> preps;
-    preps.reserve(kernel.gate_indices.size());
+    std::vector<GateSlot> slots;
+    slots.reserve(kernel.gate_indices.size());
     for (int gi : kernel.gate_indices) {
       const Gate& g = subcircuit.gate(gi);
-      preps.push_back(prep_gate(g, layout, cur, env));
+      slots.push_back(prep_gate(g, gi, layout, cur));
       if (g.antidiagonal_1q() && !layout.is_local(g.qubits()[0]))
         cur ^= bit(layout.phys_of_logical[g.qubits()[0]] - layout.num_local);
     }
-    prog.kernels.push_back(compile_kernel(preps, kernel.type));
+    skel.kernels.push_back(
+        compile_kernel_skeleton(std::move(slots), kernel.type));
   }
-  prog.final_xor = cur;
+  skel.final_xor = cur;
+  return skel;
+}
+
+StageProgram bind_stage_program(const Circuit& subcircuit,
+                                const StageSkeleton& skeleton,
+                                const ParamEnv& env) {
+  StageProgram prog;
+  prog.final_xor = skeleton.final_xor;
+  prog.kernels.reserve(skeleton.kernels.size());
+  for (const KernelSkeleton& ks : skeleton.kernels) {
+    KernelProgram kp;
+    kp.pattern_bits = ks.pattern_bits;
+
+    // Materialize each slot's matrix exactly once per bind, shared by
+    // every variant that reads it.
+    std::vector<SlotMatrices> values(ks.slots.size());
+    for (std::size_t si = 0; si < ks.slots.size(); ++si) {
+      const GateSlot& p = ks.slots[si];
+      const Gate& g = subcircuit.gate(p.gate);
+      switch (p.kind) {
+        case GateSlot::Case::Local:
+        case GateSlot::Case::Ctrl:
+          values[si].m = g.target_matrix_resolved(env);
+          break;
+        case GateSlot::Case::DiagScale:
+        case GateSlot::Case::DiagRestrict:
+          values[si].m = g.full_matrix_resolved(env);
+          break;
+        case GateSlot::Case::Antidiag: {
+          const Matrix m = g.target_matrix_resolved(env);
+          // After the flip the shard represents value (1 - old_bit);
+          // its contents pick up u_{new,old}.
+          values[si].scale_bit0 = m(1, 0);
+          values[si].scale_bit1 = m(0, 1);
+          break;
+        }
+      }
+    }
+
+    kp.variants.reserve(ks.variants.size());
+    for (const VariantSkeleton& vs : ks.variants) {
+      KernelVariant v;
+      for (const auto& term : vs.scales) {
+        const GateSlot& p = ks.slots[static_cast<std::size_t>(term.slot)];
+        if (p.kind == GateSlot::Case::Antidiag) {
+          v.scale *= term.sel ? values[static_cast<std::size_t>(term.slot)]
+                                    .scale_bit1
+                              : values[static_cast<std::size_t>(term.slot)]
+                                    .scale_bit0;
+        } else {
+          const Amp entry = values[static_cast<std::size_t>(term.slot)].m(
+              static_cast<int>(term.sel), static_cast<int>(term.sel));
+          if (entry != Amp(1, 0)) v.scale *= entry;
+        }
+      }
+      if (!vs.ops.empty()) {
+        std::vector<MatrixOp> ops;
+        ops.reserve(vs.ops.size());
+        for (const auto& f : vs.ops) {
+          const GateSlot& p = ks.slots[static_cast<std::size_t>(f.slot)];
+          MatrixOp op;
+          op.targets = p.targets;
+          if (p.kind == GateSlot::Case::DiagRestrict) {
+            op.m = restrict_diagonal(
+                values[static_cast<std::size_t>(f.slot)].m, p.local_pos,
+                f.fixed);
+          } else {
+            op.m = values[static_cast<std::size_t>(f.slot)].m;
+            op.controls = p.controls;
+          }
+          ops.push_back(std::move(op));
+        }
+        if (ks.type == kernelize::KernelType::Fusion) {
+          MatrixOp fused;
+          fused.targets = vs.fused_targets;
+          fused.m = fuse_matrix_ops(ops, fused.targets);
+          v.fused = prepare_gate(fused);
+          v.op = KernelVariant::Op::Fused;
+        } else {
+          std::vector<const Matrix*> matrices;
+          matrices.reserve(ops.size());
+          for (const MatrixOp& op : ops) matrices.push_back(&op.m);
+          v.shm = bind_shm_program(vs.shm, matrices);
+          v.op = KernelVariant::Op::Shm;
+        }
+      }
+      kp.variants.push_back(std::move(v));
+    }
+    prog.kernels.push_back(std::move(kp));
+  }
   return prog;
+}
+
+std::shared_ptr<const StageSkeleton> StageSkeletonCache::get_or_build(
+    const Layout& layout, const std::function<StageSkeleton()>& build) {
+  const std::uint64_t digest = layout_digest(layout);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!cached_ || cached_->layout_digest != digest)
+    cached_ = std::make_shared<const StageSkeleton>(build());
+  return cached_;
+}
+
+StageProgram compile_stage_program(const Circuit& subcircuit,
+                                   const kernelize::Kernelization& kernels,
+                                   const Layout& layout, const ParamEnv& env) {
+  return bind_stage_program(
+      subcircuit, compile_stage_skeleton(subcircuit, kernels, layout), env);
 }
 
 void run_stage_program(const StageProgram& prog, int shard, Amp* data,

@@ -31,6 +31,20 @@
 /// with very many tiny shards would want lazy per-pattern memoization
 /// instead.
 
+/// Stage compilation is itself two-phase: everything that depends only
+/// on gate *structure* and the layout — pattern bits, which gates fire
+/// per variant, diagonal restriction indices, shm actives/offsets,
+/// fused spans — lives in a StageSkeleton that sweeps and trajectory
+/// batches compile once and cache on the plan (StageSkeletonCache on
+/// PlannedStage); per binding only the matrix values are re-filled
+/// (bind_stage_program). stage_skeleton_compiles() counts skeleton
+/// builds process-wide so tests can prove a sweep compiles each stage's
+/// structure exactly once.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
 #include <vector>
 
 #include "exec/layout.h"
@@ -73,8 +87,106 @@ struct StageProgram {
   Index final_xor = 0;
 };
 
+/// The binding-independent half of a compiled stage. Every field is a
+/// pure function of gate structure (kinds, qubits, control counts —
+/// plus the numeric content of explicit Unitary matrices, which carry
+/// no parameters) and the layout; no gate parameter value enters, so
+/// one skeleton serves every binding of a slot-canonical plan.
+struct StageSkeleton {
+  /// Structural half of a gate preparation: its shard-specialization
+  /// case, physical bit positions, and shard-id decision bits — the
+  /// matrix values are filled at bind time.
+  struct GateSlot {
+    enum class Case { Local, DiagScale, DiagRestrict, Antidiag, Ctrl };
+    Case kind = Case::Local;
+    int gate = 0;  ///< index into the stage subcircuit
+    /// Local part: physical target/control bit positions (Local, Ctrl,
+    /// and DiagRestrict targets).
+    std::vector<int> targets, controls;
+    /// DiagScale/DiagRestrict: gate-index-space positions of non-local
+    /// and local qubits.
+    std::vector<int> nonlocal_pos, local_pos;
+    /// Shard-id bits this gate reads, plus the shard_xor correction in
+    /// effect before it.
+    std::vector<int> decision_bits;
+    Index xor_adjust = 0;
+  };
+  /// One lowered variant, structurally: which slots contribute ops (in
+  /// gate order, with the fixed non-local sub-index for diagonal
+  /// restriction), which contribute scalar factors, and the kernel-type
+  /// specific structure (fused span / shm skeleton).
+  struct VariantSkeleton {
+    struct Fired {
+      int slot = 0;
+      Index fixed = 0;  ///< DiagRestrict: non-local sub-index
+    };
+    std::vector<Fired> ops;
+    struct ScaleTerm {
+      int slot = 0;
+      /// DiagScale: the diagonal index of the scalar entry; Antidiag:
+      /// 0/1 selecting the m(1,0)/m(0,1) factor.
+      Index sel = 0;
+    };
+    std::vector<ScaleTerm> scales;
+    std::vector<int> fused_targets;  ///< Fusion kernels: bit_union span
+    ShmSkeleton shm;                 ///< Shm kernels: actives/offsets
+  };
+  struct KernelSkeleton {
+    std::vector<int> pattern_bits;
+    kernelize::KernelType type = kernelize::KernelType::Fusion;
+    std::vector<GateSlot> slots;
+    std::vector<VariantSkeleton> variants;  ///< size 2^|pattern_bits|
+  };
+  std::vector<KernelSkeleton> kernels;
+  Index final_xor = 0;
+  /// Digest of the layout this skeleton was compiled against (guards
+  /// cache reuse across runs entering the stage with different
+  /// layouts).
+  std::uint64_t layout_digest = 0;
+};
+
+/// Hash of everything a StageSkeleton reads from the layout: qubit
+/// positions, the local split, and the shard_xor correction.
+std::uint64_t layout_digest(const Layout& layout);
+
+/// Compiles the binding-independent skeleton of one planned stage.
+/// Throws atlas::Error when a non-insular qubit is not local (staging
+/// bug). Increments the stage_skeleton_compiles() probe.
+StageSkeleton compile_stage_skeleton(const Circuit& subcircuit,
+                                     const kernelize::Kernelization& kernels,
+                                     const Layout& layout);
+
+/// Fills a skeleton with matrix values resolved against `env`: gate
+/// matrices are materialized once per slot, fusion products multiplied
+/// out, and shm programs bound over the cached gather maps. Throws
+/// atlas::Error when a symbolic parameter cannot be resolved.
+StageProgram bind_stage_program(const Circuit& subcircuit,
+                                const StageSkeleton& skeleton,
+                                const ParamEnv& env);
+
+/// Process-wide count of compile_stage_skeleton() calls. Regression
+/// probe: an S-stage sweep over N points must compile exactly S
+/// skeletons, not N*S (the cache on PlannedStage re-binds values only).
+std::uint64_t stage_skeleton_compiles();
+
+/// Thread-safe lazy holder for one stage's skeleton, shared by every
+/// run of the owning plan. Rebuilds (and replaces) the skeleton when a
+/// run enters the stage under a different layout than the cached one —
+/// correctness first; the steady state of sweeps and trajectory batches
+/// is a single build.
+class StageSkeletonCache {
+ public:
+  std::shared_ptr<const StageSkeleton> get_or_build(
+      const Layout& layout, const std::function<StageSkeleton()>& build);
+
+ private:
+  std::mutex mu_;
+  std::shared_ptr<const StageSkeleton> cached_;
+};
+
 /// Compiles one planned stage (its subcircuit + kernelization) against
-/// `layout` and `env`. Throws atlas::Error when a symbolic parameter
+/// `layout` and `env`: compile_stage_skeleton + bind_stage_program in
+/// one uncached call. Throws atlas::Error when a symbolic parameter
 /// cannot be resolved or a non-insular qubit is not local (staging
 /// bug).
 StageProgram compile_stage_program(const Circuit& subcircuit,

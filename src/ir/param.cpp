@@ -54,14 +54,17 @@ std::uint64_t ParamBinding::probe_lookups() {
 Param Param::symbol(std::string name) {
   // Identifier syntax keeps every symbol printable and QASM
   // round-trippable; the '$' start is reserved for the engine's
-  // internal plan slots ("$0", "$1", ...).
+  // internal plan slots ("$0", "$1", ...) and the '~' start for the
+  // noise engine's trajectory slots ("~n<site>..."): QASM identifiers
+  // can produce neither, so user symbols never collide with engine
+  // symbols.
   ATLAS_CHECK(!name.empty(), "empty parameter symbol name");
   ATLAS_CHECK(std::isalpha(static_cast<unsigned char>(name[0])) != 0 ||
-                  name[0] == '_' || name[0] == '$',
+                  name[0] == '_' || name[0] == '$' || name[0] == '~',
               "bad parameter symbol '"
                   << name
-                  << "': must start with a letter, _ or $ ($ is reserved "
-                     "for engine plan slots)");
+                  << "': must start with a letter, _, $ or ~ ($ and ~ are "
+                     "reserved for engine slots)");
   for (std::size_t i = 1; i < name.size(); ++i) {
     ATLAS_CHECK(std::isalnum(static_cast<unsigned char>(name[i])) != 0 ||
                     name[i] == '_',

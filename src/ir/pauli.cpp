@@ -1,0 +1,41 @@
+#include "ir/pauli.h"
+
+#include <numbers>
+
+#include "common/error.h"
+
+namespace atlas {
+
+std::string pauli_name(Pauli p) {
+  switch (p) {
+    case Pauli::I: return "I";
+    case Pauli::X: return "X";
+    case Pauli::Y: return "Y";
+    case Pauli::Z: return "Z";
+  }
+  throw Error("unhandled Pauli");
+}
+
+Matrix pauli_matrix(Pauli p) {
+  const Amp i(0, 1);
+  switch (p) {
+    case Pauli::I: return Matrix::square(2, {1, 0, 0, 1});
+    case Pauli::X: return Matrix::square(2, {0, 1, 1, 0});
+    case Pauli::Y: return Matrix::square(2, {0, -i, i, 0});
+    case Pauli::Z: return Matrix::square(2, {1, 0, 0, -1});
+  }
+  throw Error("unhandled Pauli");
+}
+
+PauliAngles pauli_u3_angles(Pauli p) {
+  constexpr double pi = std::numbers::pi;
+  switch (p) {
+    case Pauli::I: return {0, 0, 0};
+    case Pauli::X: return {pi, 0, pi};
+    case Pauli::Y: return {pi, pi / 2, pi / 2};
+    case Pauli::Z: return {0, 0, pi};
+  }
+  throw Error("unhandled Pauli");
+}
+
+}  // namespace atlas

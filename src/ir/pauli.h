@@ -1,0 +1,42 @@
+#pragma once
+
+/// \file pauli.h
+/// The single-qubit Pauli group as a fast value type. Noise channels
+/// whose Kraus operators are (scaled) Pauli strings — depolarizing,
+/// bit/phase flip — unravel into *unitary* trajectories: each sampled
+/// outcome inserts Paulis as ordinary gates. The trajectory compiler
+/// lowers a sampled Pauli to a u3 gate whose three angles realize
+/// I/X/Y/Z exactly, so every trajectory of a batch shares one slot-
+/// parameterized circuit structure (and therefore one execution plan).
+
+#include <string>
+#include <vector>
+
+#include "ir/matrix.h"
+
+namespace atlas {
+
+enum class Pauli : unsigned char { I, X, Y, Z };
+
+/// "I", "X", "Y", "Z".
+std::string pauli_name(Pauli p);
+
+/// The 2x2 matrix of `p`.
+Matrix pauli_matrix(Pauli p);
+
+/// u3(theta, phi, lambda) angles realizing `p` (up to the ~1e-16
+/// rounding of the trig evaluation — far below any statistical
+/// tolerance of a trajectory estimate) under the convention
+///      u3 = [[cos(t/2), -e^{il} sin(t/2)],
+///                  [e^{ip} sin(t/2), e^{i(p+l)} cos(t/2)]]:
+///   I = u3(0, 0, 0)      X = u3(pi, 0, pi)
+///   Z = u3(0, 0, pi)     Y = u3(pi, pi/2, pi/2)
+struct PauliAngles {
+  double theta = 0, phi = 0, lambda = 0;
+};
+PauliAngles pauli_u3_angles(Pauli p);
+
+/// A Pauli on each of an ordered qubit subset (one channel outcome).
+using PauliTerm = std::vector<Pauli>;
+
+}  // namespace atlas

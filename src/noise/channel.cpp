@@ -1,0 +1,154 @@
+#include "noise/channel.h"
+
+#include <cmath>
+#include <utility>
+
+#include "common/error.h"
+
+namespace atlas::noise {
+namespace {
+
+void check_probability(const char* what, double p) {
+  ATLAS_CHECK(p >= 0.0 && p <= 1.0,
+              "" << what << " probability must be in [0, 1], got " << p);
+}
+
+Matrix scaled(const Matrix& m, double factor) {
+  Matrix out = m;
+  for (int r = 0; r < out.rows(); ++r)
+    for (int c = 0; c < out.cols(); ++c) out(r, c) *= factor;
+  return out;
+}
+
+/// Kraus matrix of a Pauli string (term[i] acts on matrix bit i).
+Matrix pauli_term_matrix(const PauliTerm& term) {
+  Matrix m = pauli_matrix(term[0]);
+  for (std::size_t i = 1; i < term.size(); ++i)
+    m = pauli_matrix(term[i]).kron(m);
+  return m;
+}
+
+}  // namespace
+
+KrausChannel KrausChannel::kraus(std::string name, std::vector<Matrix> ops) {
+  ATLAS_CHECK(!ops.empty(), "channel '" << name << "' has no Kraus operators");
+  const int dim = ops.front().rows();
+  ATLAS_CHECK(dim == 2 || dim == 4, "channel '"
+                                        << name << "' operators must be 2x2 "
+                                        << "or 4x4, got " << dim << "x"
+                                        << ops.front().cols());
+  KrausChannel ch;
+  ch.name_ = std::move(name);
+  ch.num_qubits_ = dim == 2 ? 1 : 2;
+  Matrix completeness(dim, dim);
+  for (const Matrix& k : ops) {
+    ATLAS_CHECK(k.rows() == dim && k.cols() == dim,
+                "channel '" << ch.name_ << "' has mixed operator shapes");
+    const Matrix kdk = k.dagger() * k;
+    for (int r = 0; r < dim; ++r)
+      for (int c = 0; c < dim; ++c) completeness(r, c) += kdk(r, c);
+  }
+  ATLAS_CHECK(
+      Matrix::max_abs_diff(completeness, Matrix::identity(dim)) < 1e-8,
+      "channel '" << ch.name_
+                  << "' is not trace preserving (sum K^dagger K != I)");
+  ch.weights_.reserve(ops.size());
+  for (const Matrix& k : ops) {
+    double tr = 0;
+    for (int r = 0; r < dim; ++r)
+      for (int c = 0; c < dim; ++c) tr += std::norm(k(r, c));
+    ch.weights_.push_back(tr / dim);
+  }
+  ch.ops_ = std::move(ops);
+  return ch;
+}
+
+KrausChannel KrausChannel::pauli(std::string name,
+                                 std::vector<PauliTerm> outcomes,
+                                 std::vector<double> probs) {
+  ATLAS_CHECK(!outcomes.empty(),
+              "Pauli channel '" << name << "' has no outcomes");
+  ATLAS_CHECK(outcomes.size() == probs.size(),
+              "Pauli channel '" << name << "': " << outcomes.size()
+                                << " outcomes but " << probs.size()
+                                << " probabilities");
+  const std::size_t arity = outcomes.front().size();
+  ATLAS_CHECK(arity == 1 || arity == 2,
+              "Pauli channel '" << name << "' must act on 1 or 2 qubits, got "
+                                << arity);
+  double total = 0;
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    ATLAS_CHECK(outcomes[i].size() == arity,
+                "Pauli channel '" << name << "' has mixed outcome arities");
+    check_probability(name.c_str(), probs[i]);
+    total += probs[i];
+  }
+  ATLAS_CHECK(std::abs(total - 1.0) < 1e-9,
+              "Pauli channel '" << name << "' probabilities sum to " << total
+                                << ", expected 1");
+
+  KrausChannel ch;
+  ch.name_ = std::move(name);
+  ch.num_qubits_ = static_cast<int>(arity);
+  ch.ops_.reserve(outcomes.size());
+  for (std::size_t i = 0; i < outcomes.size(); ++i)
+    ch.ops_.push_back(
+        scaled(pauli_term_matrix(outcomes[i]), std::sqrt(probs[i])));
+  ch.weights_ = probs;
+  ch.pauli_outcomes_ = std::move(outcomes);
+  ch.pauli_probs_ = std::move(probs);
+  return ch;
+}
+
+KrausChannel KrausChannel::depolarizing(double p) {
+  check_probability("depolarizing", p);
+  return pauli("depolarizing",
+               {{Pauli::I}, {Pauli::X}, {Pauli::Y}, {Pauli::Z}},
+               {1 - p, p / 3, p / 3, p / 3});
+}
+
+KrausChannel KrausChannel::depolarizing2(double p) {
+  check_probability("depolarizing2", p);
+  std::vector<PauliTerm> outcomes;
+  std::vector<double> probs;
+  const Pauli paulis[4] = {Pauli::I, Pauli::X, Pauli::Y, Pauli::Z};
+  for (Pauli a : paulis)
+    for (Pauli b : paulis) {
+      outcomes.push_back({a, b});
+      probs.push_back(a == Pauli::I && b == Pauli::I ? 1 - p : p / 15);
+    }
+  return pauli("depolarizing2", std::move(outcomes), std::move(probs));
+}
+
+KrausChannel KrausChannel::bit_flip(double p) {
+  check_probability("bit_flip", p);
+  return pauli("bit_flip", {{Pauli::I}, {Pauli::X}}, {1 - p, p});
+}
+
+KrausChannel KrausChannel::phase_flip(double p) {
+  check_probability("phase_flip", p);
+  return pauli("phase_flip", {{Pauli::I}, {Pauli::Z}}, {1 - p, p});
+}
+
+KrausChannel KrausChannel::bit_phase_flip(double p) {
+  check_probability("bit_phase_flip", p);
+  return pauli("bit_phase_flip", {{Pauli::I}, {Pauli::Y}}, {1 - p, p});
+}
+
+KrausChannel KrausChannel::amplitude_damping(double gamma) {
+  check_probability("amplitude_damping", gamma);
+  KrausChannel ch = kraus(
+      "amplitude_damping",
+      {Matrix::square(2, {1, 0, 0, std::sqrt(1 - gamma)}),
+       Matrix::square(2, {0, std::sqrt(gamma), 0, 0})});
+  return ch;
+}
+
+KrausChannel KrausChannel::phase_damping(double lambda) {
+  check_probability("phase_damping", lambda);
+  return kraus("phase_damping",
+               {Matrix::square(2, {1, 0, 0, std::sqrt(1 - lambda)}),
+                Matrix::square(2, {0, 0, 0, std::sqrt(lambda)})});
+}
+
+}  // namespace atlas::noise

@@ -1,0 +1,97 @@
+#pragma once
+
+/// \file channel.h
+/// Quantum noise channels in Kraus form: a completely-positive trace-
+/// preserving map rho -> sum_k K_k rho K_k^dagger. Channels are built
+/// either from explicit Kraus operators (validated for completeness
+/// sum K^dagger K = I) or as *Pauli channels* — every operator a
+/// scaled Pauli string — which the trajectory compiler unravels into
+/// purely unitary trajectories (the fast path: one shared execution
+/// plan for the whole batch). Built-ins cover the standard single-
+/// qubit menagerie plus two-qubit depolarizing.
+
+#include <string>
+#include <vector>
+
+#include "ir/matrix.h"
+#include "ir/pauli.h"
+
+namespace atlas::noise {
+
+class KrausChannel {
+ public:
+  /// General channel from explicit Kraus operators (all square
+  /// 2^arity, arity in {1, 2}). Throws atlas::Error when the operators
+  /// are malformed or violate completeness (sum K^dagger K = I within
+  /// 1e-8).
+  static KrausChannel kraus(std::string name, std::vector<Matrix> ops);
+
+  /// Pauli channel: outcome i applies the Pauli string `outcomes[i]`
+  /// (one Pauli per channel qubit) with probability `probs[i]`.
+  /// Probabilities must be in [0, 1] and sum to 1 within 1e-9.
+  static KrausChannel pauli(std::string name, std::vector<PauliTerm> outcomes,
+                            std::vector<double> probs);
+
+  /// \name Built-in channels (p / gamma / lambda validated to [0, 1])
+  /// @{
+  /// I with 1-p, else X/Y/Z uniformly: the single-qubit depolarizer.
+  static KrausChannel depolarizing(double p);
+  /// Two-qubit depolarizing: I (x) I with 1-p, else one of the 15
+  /// non-identity Pauli pairs uniformly.
+  static KrausChannel depolarizing2(double p);
+  static KrausChannel bit_flip(double p);          ///< X with p
+  static KrausChannel phase_flip(double p);        ///< Z with p
+  static KrausChannel bit_phase_flip(double p);    ///< Y with p
+  /// T1 decay: K0 = diag(1, sqrt(1-gamma)), K1 = sqrt(gamma)|0><1|.
+  /// Not a Pauli channel — trajectories fall back to norm-tracked
+  /// non-unitary resampling.
+  static KrausChannel amplitude_damping(double gamma);
+  /// Pure T2 dephasing: K0 = diag(1, sqrt(1-lambda)),
+  /// K1 = sqrt(lambda)|1><1|. Not a Pauli channel.
+  static KrausChannel phase_damping(double lambda);
+  /// @}
+
+  const std::string& name() const { return name_; }
+  /// Channel arity (qubits acted on): 1 or 2.
+  int num_qubits() const { return num_qubits_; }
+  int num_outcomes() const { return static_cast<int>(ops_.size()); }
+
+  /// True when every Kraus operator is a scaled Pauli string — the
+  /// unitary-unravelling fast path.
+  bool is_pauli() const { return !pauli_outcomes_.empty(); }
+
+  /// The Kraus operators (Pauli channels included: sqrt(p_i) * P_i).
+  const std::vector<Matrix>& kraus_ops() const { return ops_; }
+
+  /// Pauli channels only: outcome strings and their probabilities.
+  const std::vector<PauliTerm>& pauli_outcomes() const {
+    return pauli_outcomes_;
+  }
+  const std::vector<double>& pauli_probs() const { return pauli_probs_; }
+
+  /// Sampling weights for the general-Kraus unravelling: q_k =
+  /// tr(K_k^dagger K_k) / 2^arity (sums to 1 by completeness). The
+  /// trajectory inserts K_k / sqrt(q_k) and tracks the resulting state
+  /// norm as its weight, which keeps the estimator unbiased.
+  const std::vector<double>& outcome_weights() const { return weights_; }
+
+ private:
+  KrausChannel() = default;
+
+  std::string name_;
+  int num_qubits_ = 1;
+  std::vector<Matrix> ops_;
+  std::vector<double> weights_;
+  std::vector<PauliTerm> pauli_outcomes_;  // empty unless is_pauli()
+  std::vector<double> pauli_probs_;
+};
+
+/// Per-qubit classical readout confusion: P(read 1 | prepared 0) and
+/// P(read 0 | prepared 1).
+struct ReadoutError {
+  double p01 = 0;
+  double p10 = 0;
+  bool trivial() const { return p01 == 0 && p10 == 0; }
+};
+
+}  // namespace atlas::noise

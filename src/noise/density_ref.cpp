@@ -1,0 +1,136 @@
+#include "noise/density_ref.h"
+
+#include <cmath>
+
+#include "common/bits.h"
+#include "common/error.h"
+#include "sim/apply.h"
+
+namespace atlas::noise {
+namespace {
+
+Matrix conjugate(const Matrix& m) {
+  Matrix out = m;
+  for (int r = 0; r < out.rows(); ++r)
+    for (int c = 0; c < out.cols(); ++c) out(r, c) = std::conj(out(r, c));
+  return out;
+}
+
+/// rho -> A rho B^dagger over the flattened 2^(2n) buffer: A on the
+/// row bits [n, 2n), conj(B) on the column bits [0, n). `bits[i]` is
+/// the qubit matching matrix bit i.
+void apply_two_sided(std::vector<Amp>& data, int n, const Matrix& a,
+                     const Matrix& b, const std::vector<Qubit>& qubits) {
+  std::vector<int> row_bits, col_bits;
+  row_bits.reserve(qubits.size());
+  col_bits.reserve(qubits.size());
+  for (Qubit q : qubits) {
+    row_bits.push_back(n + q);
+    col_bits.push_back(q);
+  }
+  const Index size = Index{1} << (2 * n);
+  apply_matrix(data.data(), size, row_bits, a);
+  apply_matrix(data.data(), size, col_bits, conjugate(b));
+}
+
+}  // namespace
+
+DensityMatrix::DensityMatrix(int num_qubits) : num_qubits_(num_qubits) {
+  ATLAS_CHECK(num_qubits >= 1 && num_qubits <= kMaxDensityQubits,
+              "DensityMatrix supports 1.." << kMaxDensityQubits
+                                           << " qubits, got " << num_qubits);
+  data_.assign(Index{1} << (2 * num_qubits), Amp{});
+  data_[0] = Amp(1, 0);
+}
+
+DensityMatrix DensityMatrix::from_state(const StateVector& psi) {
+  DensityMatrix rho(psi.num_qubits());
+  const Index d = rho.dim();
+  for (Index r = 0; r < d; ++r)
+    for (Index c = 0; c < d; ++c) rho.at(r, c) = psi[r] * std::conj(psi[c]);
+  return rho;
+}
+
+void DensityMatrix::apply_gate(const Gate& g) {
+  const Matrix u = g.full_matrix();
+  apply_two_sided(data_, num_qubits_, u, u, g.qubits());
+}
+
+void DensityMatrix::apply_channel(const KrausChannel& channel,
+                                  const std::vector<Qubit>& qubits) {
+  ATLAS_CHECK(static_cast<int>(qubits.size()) == channel.num_qubits(),
+              "channel '" << channel.name() << "' acts on "
+                          << channel.num_qubits() << " qubits, got "
+                          << qubits.size());
+  for (Qubit q : qubits)
+    ATLAS_CHECK(q >= 0 && q < num_qubits_,
+                "channel qubit " << q << " out of range");
+  std::vector<Amp> sum(data_.size(), Amp{});
+  for (const Matrix& k : channel.kraus_ops()) {
+    std::vector<Amp> term = data_;
+    apply_two_sided(term, num_qubits_, k, k, qubits);
+    for (std::size_t i = 0; i < sum.size(); ++i) sum[i] += term[i];
+  }
+  data_ = std::move(sum);
+}
+
+void DensityMatrix::apply_circuit(const Circuit& circuit) {
+  ATLAS_CHECK(circuit.num_qubits() == num_qubits_,
+              "circuit has " << circuit.num_qubits() << " qubits, rho has "
+                             << num_qubits_);
+  for (const Gate& g : circuit.gates()) apply_gate(g);
+}
+
+double DensityMatrix::trace() const {
+  double tr = 0;
+  for (Index i = 0; i < dim(); ++i) tr += at(i, i).real();
+  return tr;
+}
+
+std::vector<double> DensityMatrix::probabilities() const {
+  std::vector<double> p(dim());
+  for (Index i = 0; i < dim(); ++i) p[i] = at(i, i).real();
+  return p;
+}
+
+std::vector<double> DensityMatrix::probabilities_with_readout(
+    const NoiseModel& model) const {
+  std::vector<double> p = probabilities();
+  for (Qubit q = 0; q < num_qubits_; ++q) {
+    const ReadoutError err = model.readout_for(q);
+    if (err.trivial()) continue;
+    for (Index i = 0; i < p.size(); ++i) {
+      if (test_bit(i, q)) continue;
+      const Index j = i | bit(q);
+      const double p0 = p[i], p1 = p[j];
+      p[i] = (1 - err.p01) * p0 + err.p10 * p1;
+      p[j] = err.p01 * p0 + (1 - err.p10) * p1;
+    }
+  }
+  return p;
+}
+
+double DensityMatrix::expectation_z(Qubit q) const {
+  ATLAS_CHECK(q >= 0 && q < num_qubits_, "qubit out of range");
+  double e = 0;
+  for (Index i = 0; i < dim(); ++i)
+    e += (test_bit(i, q) ? -1.0 : 1.0) * at(i, i).real();
+  return e;
+}
+
+DensityMatrix simulate_density(const Circuit& circuit,
+                               const NoiseModel& model) {
+  DensityMatrix rho(circuit.num_qubits());
+  const std::vector<NoiseSite> sites = model.sites_for(circuit);
+  std::size_t next = 0;
+  for (int gi = 0; gi < circuit.num_gates(); ++gi) {
+    rho.apply_gate(circuit.gate(gi));
+    while (next < sites.size() && sites[next].after_gate == gi) {
+      rho.apply_channel(*sites[next].channel, sites[next].qubits);
+      ++next;
+    }
+  }
+  return rho;
+}
+
+}  // namespace atlas::noise

@@ -1,0 +1,77 @@
+#pragma once
+
+/// \file density_ref.h
+/// Exact density-matrix reference simulator. The trusted oracle for
+/// noise: evolves rho = sum_k K_k rho K_k^dagger channel semantics
+/// exactly (no sampling), so trajectory averages can be tested for
+/// convergence against it. Dense 2^n x 2^n storage caps it at ~10
+/// qubits — a *test* oracle, deliberately simple, exactly like
+/// sim/reference.h is for the unitary engine.
+///
+/// Representation: rho is stored row-major as a 2^(2n) amplitude
+/// buffer; a gate U is applied as U (row axis, bit positions n..2n-1)
+/// followed by conj(U) (column axis, bits 0..n-1), reusing the
+/// engine's own apply kernels.
+
+#include <vector>
+
+#include "common/types.h"
+#include "ir/circuit.h"
+#include "noise/model.h"
+#include "sim/state_vector.h"
+
+namespace atlas::noise {
+
+/// Hard cap on the reference's qubit count (16 MiB of amplitudes).
+inline constexpr int kMaxDensityQubits = 10;
+
+class DensityMatrix {
+ public:
+  /// |0...0><0...0| on n qubits (n <= kMaxDensityQubits).
+  explicit DensityMatrix(int num_qubits);
+
+  /// |psi><psi| of a pure state.
+  static DensityMatrix from_state(const StateVector& psi);
+
+  int num_qubits() const { return num_qubits_; }
+  Index dim() const { return Index{1} << num_qubits_; }
+
+  Amp& at(Index row, Index col) { return data_[(row << num_qubits_) | col]; }
+  const Amp& at(Index row, Index col) const {
+    return data_[(row << num_qubits_) | col];
+  }
+
+  /// rho <- U rho U^dagger for a (possibly controlled) gate.
+  void apply_gate(const Gate& g);
+
+  /// rho <- sum_k K_k rho K_k^dagger with the channel acting on
+  /// `qubits` (channel matrix bit i = qubits[i]).
+  void apply_channel(const KrausChannel& channel,
+                     const std::vector<Qubit>& qubits);
+
+  /// Applies every gate of `circuit` (no noise).
+  void apply_circuit(const Circuit& circuit);
+
+  double trace() const;
+
+  /// Diagonal of rho: exact basis-state probabilities.
+  std::vector<double> probabilities() const;
+
+  /// probabilities() pushed through per-qubit readout confusion.
+  std::vector<double> probabilities_with_readout(
+      const NoiseModel& model) const;
+
+  /// tr(rho Z_q).
+  double expectation_z(Qubit q) const;
+
+ private:
+  int num_qubits_ = 0;
+  std::vector<Amp> data_;  // row-major: index = (row << n) | col
+};
+
+/// Exact noisy evolution from |0...0>: every gate of `circuit`
+/// followed by the model's channel sites for that gate.
+DensityMatrix simulate_density(const Circuit& circuit,
+                               const NoiseModel& model);
+
+}  // namespace atlas::noise

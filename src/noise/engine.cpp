@@ -1,0 +1,160 @@
+// The trajectory engine behind Session::run_noisy()/sample_noisy():
+// fans trajectories across the session's dispatch pool, streams each
+// final state into a small per-trajectory partial (weight, raw Z sums,
+// measurement samples, optional exact distribution) so N states are
+// never resident at once, and reduces the partials in trajectory-index
+// order — floating-point accumulation is deterministic no matter how
+// the pool interleaves. Lives in noise/ but defines Session members,
+// so the general-Kraus path can reach build_plan() directly and keep
+// its per-trajectory plans out of the session's LRU cache.
+
+#include <numeric>
+#include <unordered_map>
+#include <utility>
+
+#include "common/bits.h"
+#include "common/error.h"
+#include "core/session.h"
+#include "exec/queries.h"
+#include "noise/model.h"
+#include "noise/trajectory.h"
+
+namespace atlas {
+namespace {
+
+/// Salt separating the measurement-shot streams from the channel-
+/// outcome streams of the same trajectory.
+constexpr std::uint64_t kMeasureSalt = 0x6d65617375726531ull;
+
+struct TrajectoryPartial {
+  double weight = 1.0;
+  std::vector<double> raw_z;
+  std::vector<Index> samples;
+  std::vector<double> probs;
+};
+
+/// The non-trivial per-qubit readout confusions of a model, resolved
+/// once per run — readout_for() is a linear scan that must stay out of
+/// the shots-by-qubits inner loop of every trajectory.
+std::vector<std::pair<Qubit, noise::ReadoutError>> readout_plan(
+    const noise::NoiseModel& model, int num_qubits) {
+  std::vector<std::pair<Qubit, noise::ReadoutError>> plan;
+  for (Qubit q = 0; q < num_qubits; ++q) {
+    const noise::ReadoutError err = model.readout_for(q);
+    if (!err.trivial()) plan.emplace_back(q, err);
+  }
+  return plan;
+}
+
+/// Streams one finished trajectory state into its partial.
+TrajectoryPartial partial_of(
+    const exec::DistState& state,
+    const std::vector<std::pair<Qubit, noise::ReadoutError>>& readout,
+    int shots, bool accumulate_probs, std::uint64_t seed, std::uint64_t t) {
+  const int n = state.num_qubits();
+  TrajectoryPartial p;
+  exec::StateMoments moments = exec::state_moments(state);
+  p.weight = moments.norm_sq;
+  p.raw_z = std::move(moments.z);
+  if (shots > 0) {
+    Rng rng = Rng::for_stream(seed ^ kMeasureSalt, t);
+    p.samples = exec::sample(state, shots, rng, p.weight);
+    for (Index& s : p.samples)
+      for (const auto& [q, err] : readout) {
+        const double flip = test_bit(s, q) ? err.p10 : err.p01;
+        if (flip > 0 && rng.uniform() < flip) s ^= bit(q);
+      }
+  }
+  if (accumulate_probs) {
+    std::vector<Qubit> all(static_cast<std::size_t>(n));
+    std::iota(all.begin(), all.end(), 0);
+    p.probs = exec::marginal_distribution(state, all);
+  }
+  return p;
+}
+
+}  // namespace
+
+noise::NoisyResult Session::run_noisy(
+    const Circuit& circuit, const noise::NoiseModel& model,
+    const noise::NoisyRunOptions& options) const {
+  ATLAS_CHECK(options.trajectories >= 1,
+              "run_noisy needs trajectories >= 1, got "
+                  << options.trajectories);
+  ATLAS_CHECK(options.shots >= 0,
+              "run_noisy shots is negative: " << options.shots);
+  if (options.accumulate_probabilities)
+    ATLAS_CHECK(circuit.num_qubits() <= noise::kMaxProbabilityQubits,
+                "accumulate_probabilities is capped at "
+                    << noise::kMaxProbabilityQubits << " qubits, circuit has "
+                    << circuit.num_qubits());
+
+  const std::uint64_t seed = options.seed ? options.seed : config_.seed;
+  const noise::TrajectoryProgram prog =
+      noise::TrajectoryProgram::build(circuit, model);
+  const auto readout = readout_plan(model, circuit.num_qubits());
+  const std::size_t count = static_cast<std::size_t>(options.trajectories);
+  std::vector<TrajectoryPartial> partials(count);
+
+  if (prog.pauli_fast_path()) {
+    // One compile, one plan-cache entry; every trajectory re-binds the
+    // same CompiledCircuit through the dense slot table.
+    const CompiledCircuit compiled = compile(prog.twirled());
+    std::unordered_map<std::string, std::size_t> flat_index;
+    for (std::size_t j = 0; j < prog.noise_symbols().size(); ++j)
+      flat_index[prog.noise_symbols()[j]] = j;
+    std::vector<int> positions(prog.noise_symbols().size(), -1);
+    std::vector<double> base(compiled.symbols().size(), 0.0);
+    for (std::size_t i = 0; i < compiled.symbols().size(); ++i) {
+      const std::string& sym = compiled.symbols()[i];
+      const auto it = flat_index.find(sym);
+      if (it != flat_index.end())
+        positions[it->second] = static_cast<int>(i);
+      else
+        base[i] = options.binding.at(sym);  // throws naming the symbol
+    }
+    dispatch_each(count, [&](std::size_t t) {
+      std::vector<double> values = base;
+      prog.sample_pauli_angles(seed, t, positions, values);
+      const SimulationResult r = run(compiled, values);
+      partials[t] = partial_of(r.state, readout, options.shots,
+                               options.accumulate_probabilities, seed, t);
+    });
+  } else {
+    // General Kraus: each trajectory carries its own sampled operator
+    // matrices, so it is lowered and planned individually — bypassing
+    // the LRU plan cache on purpose (N structurally distinct entries
+    // would evict the session's real plans). The final norm^2 is the
+    // trajectory's weight; partial_of() threads it through sampling
+    // and the Builder keeps the mixture estimator unbiased.
+    dispatch_each(count, [&](std::size_t t) {
+      Circuit lowered = prog.lower(seed, t);
+      if (lowered.is_parameterized())
+        lowered = lowered.bind(options.binding);
+      const auto plan =
+          std::make_shared<const exec::ExecutionPlan>(build_plan(lowered));
+      exec::DistState state = executor_->initial_state(*plan, cluster_);
+      executor_->execute(*plan, cluster_, state, ParamEnv{});
+      partials[t] = partial_of(state, readout, options.shots,
+                               options.accumulate_probabilities, seed, t);
+    });
+  }
+
+  noise::NoisyResultBuilder builder(circuit.num_qubits(),
+                                      prog.pauli_fast_path(), options.shots,
+                                      options.accumulate_probabilities);
+  for (const TrajectoryPartial& p : partials)
+    builder.add(p.weight, p.raw_z, p.samples, p.probs);
+  return builder.finish();
+}
+
+noise::NoisyResult Session::sample_noisy(const Circuit& circuit,
+                                         const noise::NoiseModel& model,
+                                         int shots,
+                                         noise::NoisyRunOptions options) const {
+  ATLAS_CHECK(shots >= 1, "sample_noisy needs shots >= 1, got " << shots);
+  options.shots = shots;
+  return run_noisy(circuit, model, options);
+}
+
+}  // namespace atlas

@@ -1,0 +1,152 @@
+#include "noise/model.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/error.h"
+#include "ir/circuit.h"
+
+namespace atlas::noise {
+namespace {
+
+const std::vector<std::string>& known_gate_names() {
+  static const std::vector<std::string> names = [] {
+    std::vector<std::string> out;
+    for (int k = 0; k <= static_cast<int>(GateKind::Unitary); ++k)
+      out.push_back(gate_kind_name(static_cast<GateKind>(k)));
+    return out;
+  }();
+  return names;
+}
+
+void check_readout(double p01, double p10) {
+  ATLAS_CHECK(p01 >= 0 && p01 <= 1,
+              "readout p01 must be in [0, 1], got " << p01);
+  ATLAS_CHECK(p10 >= 0 && p10 <= 1,
+              "readout p10 must be in [0, 1], got " << p10);
+}
+
+}  // namespace
+
+NoiseModel& NoiseModel::after_all_gates(KrausChannel ch) {
+  Rule r(std::move(ch));
+  r.trigger = Rule::Trigger::AllGates;
+  rules_.push_back(std::move(r));
+  return *this;
+}
+
+NoiseModel& NoiseModel::after_gate(const std::string& gate_name,
+                                   KrausChannel ch) {
+  const auto& names = known_gate_names();
+  ATLAS_CHECK(std::find(names.begin(), names.end(), gate_name) != names.end(),
+              "unknown gate name '" << gate_name
+                                    << "' in NoiseModel::after_gate");
+  Rule r(std::move(ch));
+  r.trigger = Rule::Trigger::GateKind;
+  r.gate_name = gate_name;
+  rules_.push_back(std::move(r));
+  return *this;
+}
+
+NoiseModel& NoiseModel::on_qubit(Qubit q, KrausChannel ch) {
+  ATLAS_CHECK(q >= 0, "negative qubit id " << q << " in NoiseModel::on_qubit");
+  ATLAS_CHECK(ch.num_qubits() == 1,
+              "NoiseModel::on_qubit takes a single-qubit channel; '"
+                  << ch.name() << "' acts on " << ch.num_qubits());
+  Rule r(std::move(ch));
+  r.trigger = Rule::Trigger::OnQubit;
+  r.qubit = q;
+  rules_.push_back(std::move(r));
+  return *this;
+}
+
+NoiseModel& NoiseModel::readout_error(Qubit q, double p01, double p10) {
+  ATLAS_CHECK(q >= 0, "negative qubit id " << q
+                                           << " in NoiseModel::readout_error");
+  check_readout(p01, p10);
+  for (auto& [qubit, err] : readout_)
+    if (qubit == q) {
+      err = ReadoutError{p01, p10};
+      return *this;
+    }
+  readout_.push_back({q, ReadoutError{p01, p10}});
+  return *this;
+}
+
+NoiseModel& NoiseModel::readout_error_all(double p01, double p10) {
+  check_readout(p01, p10);
+  readout_all_ = ReadoutError{p01, p10};
+  has_readout_all_ = true;
+  return *this;
+}
+
+bool NoiseModel::empty() const {
+  return rules_.empty() && !has_readout_error();
+}
+
+bool NoiseModel::has_readout_error() const {
+  if (has_readout_all_ && !readout_all_.trivial()) return true;
+  for (const auto& [q, err] : readout_)
+    if (!err.trivial()) return true;
+  return false;
+}
+
+ReadoutError NoiseModel::readout_for(Qubit q) const {
+  for (const auto& [qubit, err] : readout_)
+    if (qubit == q) return err;
+  return has_readout_all_ ? readout_all_ : ReadoutError{};
+}
+
+bool NoiseModel::all_pauli() const {
+  for (const Rule& r : rules_)
+    if (!r.channel.is_pauli()) return false;
+  return true;
+}
+
+std::vector<NoiseSite> NoiseModel::sites_for(const Circuit& circuit) const {
+  std::vector<NoiseSite> sites;
+  for (int gi = 0; gi < circuit.num_gates(); ++gi) {
+    const Gate& g = circuit.gate(gi);
+    for (const Rule& r : rules_) {
+      bool fires = false;
+      switch (r.trigger) {
+        case Rule::Trigger::AllGates:
+          fires = true;
+          break;
+        case Rule::Trigger::GateKind:
+          fires = gate_kind_name(g.kind()) == r.gate_name;
+          break;
+        case Rule::Trigger::OnQubit:
+          fires = g.acts_on(r.qubit);
+          break;
+      }
+      if (!fires) continue;
+      if (r.channel.num_qubits() == 1) {
+        if (r.trigger == Rule::Trigger::OnQubit) {
+          sites.push_back(NoiseSite{&r.channel, {r.qubit}, gi});
+        } else {
+          for (Qubit q : g.qubits())
+            sites.push_back(NoiseSite{&r.channel, {q}, gi});
+        }
+      } else {
+        ATLAS_CHECK(g.num_qubits() == 2,
+                    "two-qubit channel '"
+                        << r.channel.name() << "' triggered by gate '"
+                        << g.to_string() << "' with " << g.num_qubits()
+                        << " qubits");
+        sites.push_back(
+            NoiseSite{&r.channel, {g.qubits()[0], g.qubits()[1]}, gi});
+      }
+    }
+  }
+  return sites;
+}
+
+std::vector<const KrausChannel*> NoiseModel::channels() const {
+  std::vector<const KrausChannel*> out;
+  out.reserve(rules_.size());
+  for (const Rule& r : rules_) out.push_back(&r.channel);
+  return out;
+}
+
+}  // namespace atlas::noise

@@ -1,0 +1,97 @@
+#pragma once
+
+/// \file model.h
+/// Attaches Kraus channels to a circuit. A NoiseModel is a set of
+/// rules — after every gate, after gates of one kind, after gates
+/// touching one qubit — plus per-qubit readout confusion; sites_for()
+/// expands the rules against a concrete circuit into the ordered list
+/// of channel applications the trajectory compiler (noise/trajectory.h)
+/// and the exact density reference (noise/density_ref.h) both consume,
+/// so the two semantics can never drift apart.
+///
+/// Rules with single-qubit channels apply the channel independently to
+/// every qubit the triggering gate acts on; two-qubit channels require
+/// a two-qubit trigger and act on its qubit pair.
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+#include "noise/channel.h"
+
+namespace atlas {
+class Circuit;
+}
+
+namespace atlas::noise {
+
+/// One concrete channel application: `channel` (owned by the model —
+/// valid while the model is alive and no further rules are added)
+/// acting on `qubits` right after circuit gate `after_gate`.
+struct NoiseSite {
+  const KrausChannel* channel = nullptr;
+  std::vector<Qubit> qubits;
+  int after_gate = 0;
+};
+
+class NoiseModel {
+ public:
+  /// Applies `ch` after every gate (see file comment for arity rules).
+  NoiseModel& after_all_gates(KrausChannel ch);
+
+  /// Applies `ch` after every gate whose kind name is `gate_name`
+  /// ("h", "cx", ...; validated against the gate library).
+  NoiseModel& after_gate(const std::string& gate_name, KrausChannel ch);
+
+  /// Applies the single-qubit `ch` to qubit `q` after every gate that
+  /// acts on `q`. Throws for multi-qubit channels.
+  NoiseModel& on_qubit(Qubit q, KrausChannel ch);
+
+  /// Classical readout confusion on qubit `q`: p01 = P(read 1 |
+  /// prepared 0), p10 = P(read 0 | prepared 1). Applied to measurement
+  /// samples (counts), not to amplitude-level observables.
+  NoiseModel& readout_error(Qubit q, double p01, double p10);
+
+  /// Readout confusion applied to every qubit not covered by a
+  /// per-qubit entry.
+  NoiseModel& readout_error_all(double p01, double p10);
+
+  /// True when no rule and no readout error is attached.
+  bool empty() const;
+
+  bool has_readout_error() const;
+  /// The confusion for qubit `q` (per-qubit entry, else the _all
+  /// default, else trivial).
+  ReadoutError readout_for(Qubit q) const;
+
+  /// True when every attached channel is a Pauli channel — the whole
+  /// model unravels into unitary trajectories sharing one plan.
+  bool all_pauli() const;
+
+  /// Expands the rules against `circuit` into execution-ordered sites.
+  /// Throws atlas::Error when a rule cannot apply (two-qubit channel
+  /// triggered by a gate without exactly two qubits, qubit id out of
+  /// range).
+  std::vector<NoiseSite> sites_for(const Circuit& circuit) const;
+
+  /// The distinct channels reachable through the rules (diagnostics).
+  std::vector<const KrausChannel*> channels() const;
+
+ private:
+  struct Rule {
+    enum class Trigger { AllGates, GateKind, OnQubit };
+    explicit Rule(KrausChannel ch) : channel(std::move(ch)) {}
+    Trigger trigger = Trigger::AllGates;
+    std::string gate_name;  // GateKind trigger
+    Qubit qubit = 0;        // OnQubit trigger
+    KrausChannel channel;
+  };
+
+  std::vector<Rule> rules_;
+  std::vector<std::pair<Qubit, ReadoutError>> readout_;
+  ReadoutError readout_all_;
+  bool has_readout_all_ = false;
+};
+
+}  // namespace atlas::noise

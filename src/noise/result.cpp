@@ -1,0 +1,102 @@
+#include "noise/result.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace atlas::noise {
+namespace {
+
+Estimate estimate_of(double sum, double sum_sq, std::uint64_t n) {
+  Estimate e;
+  if (n == 0) return e;
+  const double mean = sum / static_cast<double>(n);
+  e.value = mean;
+  if (n > 1) {
+    const double var =
+        (sum_sq - static_cast<double>(n) * mean * mean) /
+        static_cast<double>(n - 1);
+    e.std_error = std::sqrt(std::max(0.0, var) / static_cast<double>(n));
+  }
+  return e;
+}
+
+}  // namespace
+
+Estimate NoisyResult::expectation_z(Qubit q) const {
+  ATLAS_CHECK(q >= 0 && q < num_qubits_, "qubit " << q << " out of range");
+  return estimate_of(z_sum_[static_cast<std::size_t>(q)],
+                     z_sum_sq_[static_cast<std::size_t>(q)], trajectories_);
+}
+
+double NoisyResult::total_shots() const {
+  return static_cast<double>(trajectories_) * shots_;
+}
+
+double NoisyResult::shot_probability(Index basis) const {
+  ATLAS_CHECK(shots_ > 0, "run had no measurement shots; set "
+                          "NoisyRunOptions::shots or use sample_noisy()");
+  const auto it = counts_.find(basis);
+  return it == counts_.end() ? 0.0 : it->second / total_shots();
+}
+
+Estimate NoisyResult::probability(Index basis) const {
+  ATLAS_CHECK(!prob_sum_.empty(),
+              "probabilities were not accumulated; set "
+              "NoisyRunOptions::accumulate_probabilities");
+  ATLAS_CHECK(basis < prob_sum_.size(), "basis state out of range");
+  return estimate_of(prob_sum_[basis], prob_sum_sq_[basis], trajectories_);
+}
+
+std::vector<double> NoisyResult::probabilities() const {
+  std::vector<double> out(prob_sum_.size());
+  for (std::size_t i = 0; i < out.size(); ++i)
+    out[i] = prob_sum_[i] / static_cast<double>(trajectories_);
+  return out;
+}
+
+double NoisyResult::mean_weight() const {
+  double total = 0;
+  for (double w : weights_) total += w;
+  return weights_.empty() ? 0.0 : total / static_cast<double>(weights_.size());
+}
+
+NoisyResultBuilder::NoisyResultBuilder(int num_qubits, bool pauli_fast_path,
+                                       int shots,
+                                       bool accumulate_probabilities)
+    : accumulate_probabilities_(accumulate_probabilities) {
+  result_.num_qubits_ = num_qubits;
+  result_.pauli_fast_path_ = pauli_fast_path;
+  result_.shots_ = shots;
+  result_.z_sum_.assign(static_cast<std::size_t>(num_qubits), 0.0);
+  result_.z_sum_sq_.assign(static_cast<std::size_t>(num_qubits), 0.0);
+  if (accumulate_probabilities) {
+    const std::size_t dim = std::size_t{1} << num_qubits;
+    result_.prob_sum_.assign(dim, 0.0);
+    result_.prob_sum_sq_.assign(dim, 0.0);
+  }
+}
+
+void NoisyResultBuilder::add(double weight, const std::vector<double>& raw_z,
+                             const std::vector<Index>& samples,
+                             const std::vector<double>& raw_probabilities) {
+  ++result_.trajectories_;
+  result_.weights_.push_back(weight);
+  for (std::size_t q = 0; q < raw_z.size(); ++q) {
+    result_.z_sum_[q] += raw_z[q];
+    result_.z_sum_sq_[q] += raw_z[q] * raw_z[q];
+  }
+  for (Index s : samples) result_.counts_[s] += weight;
+  if (accumulate_probabilities_) {
+    ATLAS_CHECK(raw_probabilities.size() == result_.prob_sum_.size(),
+                "trajectory distribution size mismatch");
+    for (std::size_t i = 0; i < raw_probabilities.size(); ++i) {
+      result_.prob_sum_[i] += raw_probabilities[i];
+      result_.prob_sum_sq_[i] += raw_probabilities[i] * raw_probabilities[i];
+    }
+  }
+}
+
+NoisyResult NoisyResultBuilder::finish() { return std::move(result_); }
+
+}  // namespace atlas::noise

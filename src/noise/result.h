@@ -1,0 +1,116 @@
+#pragma once
+
+/// \file result.h
+/// Options and aggregate result of trajectory-based noisy simulation
+/// (Session::run_noisy / sample_noisy). A NoisyResult is a Monte-Carlo
+/// aggregate: per-qubit Z expectations and (opt-in) basis-state
+/// probabilities carry standard errors from the trajectory spread, and
+/// measurement counts are weighted by each trajectory's norm so the
+/// general-Kraus unravelling stays unbiased.
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/types.h"
+#include "ir/param.h"
+
+namespace atlas::noise {
+
+/// Hard cap for NoisyRunOptions::accumulate_probabilities (the
+/// accumulator is a dense 2^n vector per trajectory partial).
+inline constexpr int kMaxProbabilityQubits = 14;
+
+/// A Monte-Carlo estimate with its standard error (sample standard
+/// deviation of the per-trajectory values over sqrt(N)).
+struct Estimate {
+  double value = 0;
+  double std_error = 0;
+};
+
+/// Knobs for Session::run_noisy()/sample_noisy().
+struct NoisyRunOptions {
+  /// Trajectories to average. Standard errors shrink as 1/sqrt(N).
+  int trajectories = 256;
+  /// Measurement shots drawn per trajectory (0 = no counts). Readout
+  /// confusion from the NoiseModel applies to these samples only —
+  /// expectation_z/probability stay pre-readout observables.
+  int shots = 0;
+  /// Accumulate the exact per-trajectory basis-state distribution
+  /// (sampling-noise-free probability estimates); allowed up to
+  /// kMaxProbabilityQubits qubits.
+  bool accumulate_probabilities = false;
+  /// Binding for the circuit's own free symbols, if any.
+  ParamBinding binding;
+  /// Nonzero: override SessionConfig::seed for this run.
+  std::uint64_t seed = 0;
+};
+
+class NoisyResult {
+ public:
+  int num_qubits() const { return num_qubits_; }
+  std::uint64_t trajectories() const { return trajectories_; }
+  /// True when the model unraveled through the shared-plan Pauli-twirl
+  /// path (every trajectory weight exactly 1).
+  bool pauli_fast_path() const { return pauli_fast_path_; }
+  int shots_per_trajectory() const { return shots_; }
+
+  /// tr(rho Z_q) estimate with standard error.
+  Estimate expectation_z(Qubit q) const;
+
+  /// Norm-weighted measurement counts (readout confusion applied).
+  /// Each of the N*S samples contributes its trajectory's weight;
+  /// divide by total_shots() for probability estimates.
+  const std::map<Index, double>& counts() const { return counts_; }
+  /// N * shots_per_trajectory — the denominator of count estimates.
+  double total_shots() const;
+  /// counts()[basis] / total_shots(): the post-readout probability
+  /// estimate of one basis state.
+  double shot_probability(Index basis) const;
+
+  /// Pre-readout probability estimate of one basis state (requires
+  /// accumulate_probabilities).
+  Estimate probability(Index basis) const;
+  /// All accumulated mean probabilities (empty unless opted in).
+  std::vector<double> probabilities() const;
+
+  /// Per-trajectory norm^2 weights; their mean estimates tr(rho) (~1).
+  const std::vector<double>& weights() const { return weights_; }
+  double mean_weight() const;
+
+ private:
+  friend class NoisyResultBuilder;
+
+  int num_qubits_ = 0;
+  std::uint64_t trajectories_ = 0;
+  bool pauli_fast_path_ = false;
+  int shots_ = 0;
+  std::vector<double> weights_;
+  std::vector<double> z_sum_, z_sum_sq_;        // per qubit
+  std::vector<double> prob_sum_, prob_sum_sq_;  // per basis state (opt-in)
+  std::map<Index, double> counts_;
+};
+
+/// Assembles a NoisyResult from per-trajectory partials in
+/// deterministic (trajectory-index) order — the accumulation side of
+/// the engine, exposed so tests can build results directly.
+class NoisyResultBuilder {
+ public:
+  NoisyResultBuilder(int num_qubits, bool pauli_fast_path, int shots,
+                     bool accumulate_probabilities);
+
+  /// Folds one trajectory in: its weight, raw per-qubit Z sums, the
+  /// drawn (readout-corrected) samples, and its exact distribution
+  /// (empty unless accumulating).
+  void add(double weight, const std::vector<double>& raw_z,
+           const std::vector<Index>& samples,
+           const std::vector<double>& raw_probabilities);
+
+  NoisyResult finish();
+
+ private:
+  NoisyResult result_;
+  bool accumulate_probabilities_ = false;
+};
+
+}  // namespace atlas::noise

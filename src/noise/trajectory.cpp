@@ -1,0 +1,152 @@
+#include "noise/trajectory.h"
+
+#include <cmath>
+#include <utility>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "ir/pauli.h"
+
+namespace atlas::noise {
+namespace {
+
+std::string noise_symbol(int site, int qubit_pos, int angle) {
+  static const char suffix[3] = {'a', 'b', 'c'};
+  return std::string(kNoiseSymbolPrefix) + std::to_string(site) + "q" +
+         std::to_string(qubit_pos) + suffix[angle];
+}
+
+/// Draws one outcome index from the channel's sampling weights.
+int draw_outcome(const KrausChannel& ch, Rng& rng) {
+  const std::vector<double>& w = ch.outcome_weights();
+  const double u = rng.uniform();
+  double cum = 0;
+  int last_positive = -1;
+  for (int k = 0; k < static_cast<int>(w.size()); ++k) {
+    if (w[k] <= 0) continue;
+    cum += w[k];
+    last_positive = k;
+    if (u < cum) return k;
+  }
+  // Numerical slack (weights sum to 1 within rounding): the last
+  // positive-weight outcome absorbs the residual tail.
+  ATLAS_CHECK(last_positive >= 0,
+              "channel '" << ch.name() << "' has no positive-weight outcome");
+  return last_positive;
+}
+
+Matrix scaled(const Matrix& m, double factor) {
+  Matrix out = m;
+  for (int r = 0; r < out.rows(); ++r)
+    for (int c = 0; c < out.cols(); ++c) out(r, c) *= factor;
+  return out;
+}
+
+}  // namespace
+
+TrajectoryProgram TrajectoryProgram::build(const Circuit& circuit,
+                                           const NoiseModel& model) {
+  TrajectoryProgram prog;
+  prog.circuit_ = &circuit;
+  prog.sites_ = model.sites_for(circuit);
+  prog.pauli_fast_path_ = model.all_pauli();
+  if (!prog.pauli_fast_path_) return prog;
+
+  // Build the shared twirl circuit: one u3 per (site, qubit), its
+  // angles fresh engine-reserved symbols filled per trajectory.
+  Circuit twirled(circuit.num_qubits(), circuit.name().empty()
+                                            ? "noisy"
+                                            : circuit.name() + "+noise");
+  std::size_t next = 0;
+  for (int gi = 0; gi < circuit.num_gates(); ++gi) {
+    twirled.add(circuit.gate(gi));
+    for (; next < prog.sites_.size() && prog.sites_[next].after_gate == gi;
+         ++next) {
+      const NoiseSite& site = prog.sites_[next];
+      for (std::size_t k = 0; k < site.qubits.size(); ++k) {
+        Param angles[3];
+        for (int a = 0; a < 3; ++a) {
+          prog.noise_symbols_.push_back(noise_symbol(
+              static_cast<int>(next), static_cast<int>(k), a));
+          angles[a] = Param::symbol(prog.noise_symbols_.back());
+        }
+        twirled.add(
+            Gate::u3(site.qubits[k], angles[0], angles[1], angles[2]));
+      }
+    }
+  }
+  prog.twirled_ = std::move(twirled);
+  return prog;
+}
+
+const Circuit& TrajectoryProgram::twirled() const {
+  ATLAS_CHECK(pauli_fast_path_,
+              "twirled() is only available on the Pauli fast path");
+  return twirled_;
+}
+
+std::vector<int> TrajectoryProgram::sample_outcomes(std::uint64_t seed,
+                                                    std::uint64_t t) const {
+  Rng rng = Rng::for_stream(seed, t);
+  std::vector<int> outcomes;
+  outcomes.reserve(sites_.size());
+  for (const NoiseSite& site : sites_)
+    outcomes.push_back(draw_outcome(*site.channel, rng));
+  return outcomes;
+}
+
+void TrajectoryProgram::sample_pauli_angles(
+    std::uint64_t seed, std::uint64_t t, const std::vector<int>& positions,
+    std::vector<double>& values) const {
+  ATLAS_CHECK(pauli_fast_path_,
+              "sample_pauli_angles() is only available on the Pauli path");
+  ATLAS_CHECK(positions.size() == noise_symbols_.size(),
+              "positions size mismatch: " << positions.size() << " vs "
+                                          << noise_symbols_.size());
+  const std::vector<int> outcomes = sample_outcomes(seed, t);
+  std::size_t j = 0;
+  for (std::size_t s = 0; s < sites_.size(); ++s) {
+    const PauliTerm& term =
+        sites_[s].channel->pauli_outcomes()[static_cast<std::size_t>(
+            outcomes[s])];
+    for (std::size_t k = 0; k < sites_[s].qubits.size(); ++k) {
+      const PauliAngles a = pauli_u3_angles(term[k]);
+      values[static_cast<std::size_t>(positions[j++])] = a.theta;
+      values[static_cast<std::size_t>(positions[j++])] = a.phi;
+      values[static_cast<std::size_t>(positions[j++])] = a.lambda;
+    }
+  }
+}
+
+Circuit TrajectoryProgram::lower(std::uint64_t seed, std::uint64_t t) const {
+  const std::vector<int> outcomes = sample_outcomes(seed, t);
+  Circuit out(circuit_->num_qubits(), circuit_->name().empty()
+                                          ? "noisy"
+                                          : circuit_->name() + "+noise");
+  std::size_t next = 0;
+  for (int gi = 0; gi < circuit_->num_gates(); ++gi) {
+    out.add(circuit_->gate(gi));
+    for (; next < sites_.size() && sites_[next].after_gate == gi; ++next) {
+      const NoiseSite& site = sites_[next];
+      const int k = outcomes[next];
+      if (site.channel->is_pauli()) {
+        const PauliTerm& term =
+            site.channel->pauli_outcomes()[static_cast<std::size_t>(k)];
+        for (std::size_t qi = 0; qi < site.qubits.size(); ++qi) {
+          const PauliAngles a = pauli_u3_angles(term[qi]);
+          out.add(Gate::u3(site.qubits[qi], a.theta, a.phi, a.lambda));
+        }
+      } else {
+        const double q =
+            site.channel->outcome_weights()[static_cast<std::size_t>(k)];
+        out.add(Gate::unitary(
+            site.qubits,
+            scaled(site.channel->kraus_ops()[static_cast<std::size_t>(k)],
+                   1.0 / std::sqrt(q))));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace atlas::noise

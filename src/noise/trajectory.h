@@ -1,0 +1,88 @@
+#pragma once
+
+/// \file trajectory.h
+/// Stochastic unravelling of a noisy circuit into per-trajectory
+/// concrete circuits.
+///
+/// Fast path (every channel Pauli): sampled Paulis are *unitary*, so a
+/// trajectory differs from its siblings only in which Pauli landed at
+/// each noise site. The compiler inserts one u3 gate per (site, qubit)
+/// whose three angles are fresh engine-reserved symbols; all
+/// trajectories share that single twirled circuit — and therefore one
+/// CompiledCircuit and one plan-cache entry — and binding a trajectory
+/// is just filling the sampled angles into the dense slot table
+/// (ir/pauli.h maps Pauli -> u3 angles).
+///
+/// General path (any non-Pauli channel, e.g. amplitude damping):
+/// outcome k of a site is drawn with the channel's a-priori weight
+/// q_k = tr(K_k^dagger K_k)/2^a and K_k/sqrt(q_k) is inserted as an
+/// explicit (non-unitary) Unitary gate. The trajectory's final norm^2
+/// — its *tracked weight* — makes the mixture estimator unbiased:
+/// E_q[|phi><phi|] = sum_k K_k rho K_k^dagger exactly. Each trajectory
+/// carries its own matrices, so this path re-plans per trajectory (the
+/// documented cost of leaving the Pauli family).
+///
+/// Trajectory t always draws from the counter-based stream
+/// rng_stream_seed(seed, t): results are independent of dispatch-pool
+/// interleaving.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/circuit.h"
+#include "noise/model.h"
+
+namespace atlas::noise {
+
+/// Prefix of engine-reserved trajectory symbols ("~n<site>q<k><a|b|c>").
+/// QASM identifiers cannot produce '~'; programmatic user symbols must
+/// not start with it.
+inline constexpr const char* kNoiseSymbolPrefix = "~n";
+
+class TrajectoryProgram {
+ public:
+  /// Expands `model` against `circuit` (validating the rules) and
+  /// selects the unravelling path. The model must outlive the program.
+  static TrajectoryProgram build(const Circuit& circuit,
+                                 const NoiseModel& model);
+
+  bool pauli_fast_path() const { return pauli_fast_path_; }
+  int num_sites() const { return static_cast<int>(sites_.size()); }
+  const std::vector<NoiseSite>& sites() const { return sites_; }
+
+  /// Fast path only: the shared slot-parameterized twirl circuit.
+  const Circuit& twirled() const;
+
+  /// Fast path only: the inserted noise symbols, three per (site,
+  /// qubit) in sampling order (theta, phi, lambda triples).
+  const std::vector<std::string>& noise_symbols() const {
+    return noise_symbols_;
+  }
+
+  /// Fast path only: samples trajectory `t` and writes the u3 angles
+  /// into `values`: the j-th noise symbol lands at
+  /// values[positions[j]]. Deterministic in (seed, t).
+  void sample_pauli_angles(std::uint64_t seed, std::uint64_t t,
+                           const std::vector<int>& positions,
+                           std::vector<double>& values) const;
+
+  /// Lowers trajectory `t` into a concrete circuit (both paths; the
+  /// fast path inserts u3 gates with the sampled angles as constants,
+  /// so every lowered trajectory shares the twirled circuit's
+  /// *structural* fingerprint). Gate parameters of the source circuit
+  /// are left as-is; bind user symbols before executing.
+  Circuit lower(std::uint64_t seed, std::uint64_t t) const;
+
+  /// The sampled outcome index per site for trajectory `t`.
+  std::vector<int> sample_outcomes(std::uint64_t seed, std::uint64_t t) const;
+
+ private:
+  const Circuit* circuit_ = nullptr;
+  std::vector<NoiseSite> sites_;
+  bool pauli_fast_path_ = false;
+  Circuit twirled_;
+  std::vector<std::string> noise_symbols_;
+};
+
+}  // namespace atlas::noise

@@ -351,6 +351,12 @@ Circuit parse(const std::string& source) {
       ++i;
       continue;
     }
+    if (c == '#') {
+      // Pragma lines carry no ';' and are invisible to the base
+      // parser; parse_with_noise() reads the atlas noise ones.
+      in_comment = true;
+      continue;
+    }
     if (c == ';') {
       raw.emplace_back(stmt, line_no);
       stmt.clear();
@@ -414,6 +420,191 @@ Circuit parse_file(const std::string& path) {
   Circuit c = parse(os.str());
   c.set_name(path);
   return c;
+}
+
+namespace {
+
+/// Cursor over one pragma line's tail (after "#pragma atlas noise").
+class PragmaParser {
+ public:
+  PragmaParser(const std::string& text, int line_no)
+      : text_(text), line_no_(line_no) {}
+
+  void parse_into(noise::NoiseModel& model) {
+    const std::string channel = identifier("channel name");
+    expect('(');
+    const double arg0 = number();
+    double arg1 = 0;
+    const bool two_args = consume(',');
+    if (two_args) arg1 = number();
+    expect(')');
+
+    if (channel == "readout") {
+      ATLAS_CHECK(two_args, "line " << line_no_
+                                    << ": readout takes (p01, p10)");
+      apply_readout(model, arg0, arg1);
+      return;
+    }
+    ATLAS_CHECK(!two_args, "line " << line_no_ << ": channel '" << channel
+                                   << "' takes one argument");
+    apply_channel(model, make_channel(channel, arg0));
+  }
+
+ private:
+  noise::KrausChannel make_channel(const std::string& name, double p) {
+    if (name == "depolarizing") return noise::KrausChannel::depolarizing(p);
+    if (name == "depolarizing2") return noise::KrausChannel::depolarizing2(p);
+    if (name == "bit_flip") return noise::KrausChannel::bit_flip(p);
+    if (name == "phase_flip") return noise::KrausChannel::phase_flip(p);
+    if (name == "bit_phase_flip")
+      return noise::KrausChannel::bit_phase_flip(p);
+    if (name == "amplitude_damping")
+      return noise::KrausChannel::amplitude_damping(p);
+    if (name == "phase_damping")
+      return noise::KrausChannel::phase_damping(p);
+    throw Error("line " + std::to_string(line_no_) +
+                ": unknown noise channel '" + name + "'");
+  }
+
+  void apply_channel(noise::NoiseModel& model, noise::KrausChannel ch) {
+    const std::string target = identifier("target (all/gate/qubit)");
+    if (target == "all") {
+      model.after_all_gates(std::move(ch));
+    } else if (target == "gate") {
+      model.after_gate(identifier("gate name"), std::move(ch));
+    } else if (target == "qubit") {
+      model.on_qubit(integer(), std::move(ch));
+    } else {
+      throw Error("line " + std::to_string(line_no_) +
+                  ": bad noise target '" + target +
+                  "' (expected all, gate <name> or qubit <k>)");
+    }
+    end();
+  }
+
+  void apply_readout(noise::NoiseModel& model, double p01, double p10) {
+    const std::string target = identifier("target (all/qubit)");
+    if (target == "all") {
+      model.readout_error_all(p01, p10);
+    } else if (target == "qubit") {
+      model.readout_error(integer(), p01, p10);
+    } else {
+      throw Error("line " + std::to_string(line_no_) +
+                  ": bad readout target '" + target +
+                  "' (expected all or qubit <k>)");
+    }
+    end();
+  }
+
+  std::string identifier(const char* what) {
+    skip_ws();
+    std::string s;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '_'))
+      s += text_[pos_++];
+    ATLAS_CHECK(!s.empty(),
+                "line " << line_no_ << ": expected " << what
+                        << " in noise pragma");
+    return s;
+  }
+
+  double number() {
+    skip_ws();
+    std::size_t used = 0;
+    double v = 0;
+    try {
+      v = std::stod(text_.substr(pos_), &used);
+    } catch (const std::exception&) {
+      throw Error("line " + std::to_string(line_no_) +
+                  ": bad number in noise pragma");
+    }
+    pos_ += used;
+    return v;
+  }
+
+  int integer() {
+    const double v = number();
+    ATLAS_CHECK(v >= 0 && v == static_cast<int>(v),
+                "line " << line_no_
+                        << ": qubit index must be a non-negative integer");
+    return static_cast<int>(v);
+  }
+
+  void expect(char c) {
+    ATLAS_CHECK(consume(c), "line " << line_no_ << ": expected '" << c
+                                    << "' in noise pragma");
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  void end() {
+    skip_ws();
+    ATLAS_CHECK(pos_ == text_.size(), "line "
+                                          << line_no_
+                                          << ": trailing characters in noise "
+                                             "pragma: '"
+                                          << text_.substr(pos_) << "'");
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0)
+      ++pos_;
+  }
+
+  std::string text_;  // owned: callers pass substr temporaries
+  int line_no_;
+  std::size_t pos_ = 0;
+};
+
+std::string trimmed(const std::string& s) {
+  const std::size_t b = s.find_first_not_of(" \t\r");
+  if (b == std::string::npos) return "";
+  const std::size_t e = s.find_last_not_of(" \t\r");
+  return s.substr(b, e - b + 1);
+}
+
+}  // namespace
+
+NoisyParse parse_with_noise(const std::string& source) {
+  NoisyParse out;
+  std::istringstream lines(source);
+  std::string line;
+  int line_no = 0;
+  constexpr const char* kPrefix = "#pragma atlas noise";
+  while (std::getline(lines, line)) {
+    ++line_no;
+    const std::string t = trimmed(line);
+    if (t.rfind(kPrefix, 0) == 0) {
+      PragmaParser(t.substr(std::string(kPrefix).size()), line_no)
+          .parse_into(out.noise);
+    } else if (t.rfind("#pragma atlas", 0) == 0) {
+      throw Error("line " + std::to_string(line_no) +
+                  ": unknown atlas pragma (expected '#pragma atlas noise "
+                  "...')");
+    }
+    // Other pragmas fall through to parse(), which skips '#' lines.
+  }
+  out.circuit = parse(source);
+  return out;
+}
+
+NoisyParse parse_file_with_noise(const std::string& path) {
+  std::ifstream in(path);
+  ATLAS_CHECK(in.good(), "cannot open " << path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  NoisyParse out = parse_with_noise(os.str());
+  out.circuit.set_name(path);
+  return out;
 }
 
 std::string to_qasm(const Circuit& circuit) {

@@ -15,19 +15,49 @@
 /// products are rejected). Parameterized circuits export as OpenQASM 3
 /// with their `input float` declarations and round-trip through
 /// parse().
+///
+/// Noise attachment rides along as pragma lines (one per line, no
+/// semicolon), read by parse_with_noise() and ignored by parse():
+///
+///   #pragma atlas noise depolarizing(0.01) all
+///   #pragma atlas noise amplitude_damping(0.05) gate cx
+///   #pragma atlas noise bit_flip(0.02) qubit 3
+///   #pragma atlas noise readout(0.01, 0.03) all
+///   #pragma atlas noise readout(0.1, 0.2) qubit 0
+///
+/// Channels: depolarizing, depolarizing2, bit_flip, phase_flip,
+/// bit_phase_flip, amplitude_damping, phase_damping (one probability
+/// argument each) and readout (p01, p10). Targets: `all`,
+/// `gate <name>`, `qubit <k>` (readout: `all` or `qubit <k>`).
 
 #include <string>
 
 #include "ir/circuit.h"
+#include "noise/model.h"
 
 namespace atlas::qasm {
 
 /// Parses QASM source text into a circuit. Throws atlas::Error with a
-/// line number on malformed input.
+/// line number on malformed input. `#pragma` lines are skipped (use
+/// parse_with_noise to honor noise pragmas).
 Circuit parse(const std::string& source);
 
 /// Reads and parses a .qasm file.
 Circuit parse_file(const std::string& path);
+
+/// A parsed circuit together with its pragma-attached noise model.
+struct NoisyParse {
+  Circuit circuit;
+  noise::NoiseModel noise;
+};
+
+/// As parse(), additionally honoring `#pragma atlas noise` lines.
+/// Throws atlas::Error (with the line number) on a malformed noise
+/// pragma; pragmas outside the `atlas` namespace are ignored.
+NoisyParse parse_with_noise(const std::string& source);
+
+/// Reads and parses a .qasm file with its noise pragmas.
+NoisyParse parse_file_with_noise(const std::string& path);
 
 /// Serializes a circuit as OpenQASM 2.0.
 std::string to_qasm(const Circuit& circuit);

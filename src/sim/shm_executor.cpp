@@ -37,34 +37,59 @@ std::vector<int> active_bits(const std::vector<Gate>& gates,
   return active_bits_of(ops);
 }
 
-ShmProgram compile_shm_program(const std::vector<MatrixOp>& ops) {
-  ShmProgram prog;
-  prog.active = active_bits_of(ops);
-  const int a = static_cast<int>(prog.active.size());
+ShmSkeleton compile_shm_skeleton(const std::vector<MatrixOp>& ops) {
+  ShmSkeleton skel;
+  skel.active = active_bits_of(ops);
+  const int a = static_cast<int>(skel.active.size());
   const Index batch = Index{1} << a;
 
   // Scratch-space position of each buffer bit: a direct inverse-index
   // fill (O(bits)) instead of a per-qubit linear scan of `active`.
-  const std::vector<int> pos_of_bit = inverse_index(prog.active);
+  const std::vector<int> pos_of_bit = inverse_index(skel.active);
 
   // Buffer offset of each scratch index (the gather/scatter map).
-  prog.offset.resize(batch);
+  skel.offset.resize(batch);
   for (Index v = 0; v < batch; ++v)
-    prog.offset[v] = spread_bits(v, prog.active);
+    skel.offset[v] = spread_bits(v, skel.active);
 
-  prog.gates.reserve(ops.size());
+  skel.ops.reserve(ops.size());
   for (const MatrixOp& op : ops) {
-    MatrixOp remapped;
-    remapped.m = op.m;
-    remapped.targets.reserve(op.targets.size());
+    ShmSkeleton::OpSlots slots;
+    slots.targets.reserve(op.targets.size());
     for (int b : op.targets)
-      remapped.targets.push_back(pos_of_bit[static_cast<std::size_t>(b)]);
-    remapped.controls.reserve(op.controls.size());
+      slots.targets.push_back(pos_of_bit[static_cast<std::size_t>(b)]);
+    slots.controls.reserve(op.controls.size());
     for (int b : op.controls)
-      remapped.controls.push_back(pos_of_bit[static_cast<std::size_t>(b)]);
+      slots.controls.push_back(pos_of_bit[static_cast<std::size_t>(b)]);
+    skel.ops.push_back(std::move(slots));
+  }
+  return skel;
+}
+
+ShmProgram bind_shm_program(const ShmSkeleton& skeleton,
+                            const std::vector<const Matrix*>& matrices) {
+  ATLAS_CHECK(matrices.size() == skeleton.ops.size(),
+              "shm bind: " << matrices.size() << " matrices for "
+                           << skeleton.ops.size() << " ops");
+  ShmProgram prog;
+  prog.active = skeleton.active;
+  prog.offset = skeleton.offset;
+  prog.gates.reserve(skeleton.ops.size());
+  for (std::size_t i = 0; i < skeleton.ops.size(); ++i) {
+    MatrixOp remapped;
+    remapped.m = *matrices[i];
+    remapped.targets = skeleton.ops[i].targets;
+    remapped.controls = skeleton.ops[i].controls;
     prog.gates.push_back(prepare_gate(remapped));
   }
   return prog;
+}
+
+ShmProgram compile_shm_program(const std::vector<MatrixOp>& ops) {
+  std::vector<const Matrix*> matrices;
+  matrices.reserve(ops.size());
+  for (const MatrixOp& op : ops) matrices.push_back(&op.m);
+  return bind_shm_program(compile_shm_skeleton(ops), matrices);
 }
 
 Index run_shm_program(Amp* data, Index size, const ShmProgram& prog,

@@ -36,6 +36,29 @@ struct ShmProgram {
   std::vector<PreparedGate> gates;  ///< lowered to scratch bit positions
 };
 
+/// The bit-structure half of a ShmProgram — everything except matrix
+/// values: active bits, the gather/scatter offset table, and each op's
+/// scratch-space target/control positions. Binding-independent, so
+/// sweeps and trajectory batches compile it once and only re-fill the
+/// matrices per point (bind_shm_program).
+struct ShmSkeleton {
+  std::vector<int> active;    ///< active buffer bit positions, ascending
+  std::vector<Index> offset;  ///< gather/scatter map, size 2^|active|
+  struct OpSlots {
+    std::vector<int> targets, controls;  ///< scratch bit positions
+  };
+  std::vector<OpSlots> ops;
+};
+
+/// Compiles the bit-structure of `ops` (matrices ignored). Throws if
+/// more than kShmQubits bits would be active.
+ShmSkeleton compile_shm_skeleton(const std::vector<MatrixOp>& ops);
+
+/// Fills a skeleton with matrix values (positionally aligned with the
+/// ops the skeleton was compiled from) into a runnable ShmProgram.
+ShmProgram bind_shm_program(const ShmSkeleton& skeleton,
+                            const std::vector<const Matrix*>& matrices);
+
 /// Compiles buffer-bit-space ops into a ShmProgram. Throws if more than
 /// kShmQubits bits would be active.
 ShmProgram compile_shm_program(const std::vector<MatrixOp>& ops);

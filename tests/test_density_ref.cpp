@@ -1,0 +1,155 @@
+// The exact density-matrix reference must agree with the state-vector
+// oracle on noiseless circuits, preserve trace under every built-in
+// channel, and reproduce the textbook analytic action of each channel
+// on simple states — it is the yardstick the trajectory engine is
+// measured against, so it gets its own direct validation.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuits/families.h"
+#include "noise/density_ref.h"
+#include "sim/measure.h"
+#include "sim/reference.h"
+
+namespace atlas {
+namespace {
+
+using noise::DensityMatrix;
+using noise::KrausChannel;
+using noise::NoiseModel;
+
+TEST(DensityRef, NoiselessCircuitMatchesStateVector) {
+  for (const char* family : {"ghz", "qft", "wstate"}) {
+    const Circuit c = circuits::make_family(family, 5);
+    DensityMatrix rho(5);
+    rho.apply_circuit(c);
+    const StateVector psi = simulate_reference(c);
+    const auto probs = rho.probabilities();
+    for (Index i = 0; i < psi.size(); ++i)
+      EXPECT_NEAR(probs[i], probability(psi, i), 1e-10)
+          << family << " basis " << i;
+    EXPECT_NEAR(rho.trace(), 1.0, 1e-10);
+  }
+}
+
+TEST(DensityRef, FromStateMatchesOuterProduct) {
+  const StateVector psi = simulate_reference(circuits::ghz(3));
+  const DensityMatrix rho = DensityMatrix::from_state(psi);
+  EXPECT_NEAR(std::abs(rho.at(0, 0) - Amp(0.5, 0)), 0.0, 1e-12);
+  EXPECT_NEAR(std::abs(rho.at(0, 7) - Amp(0.5, 0)), 0.0, 1e-12);
+  EXPECT_NEAR(rho.trace(), 1.0, 1e-12);
+}
+
+TEST(DensityRef, ChannelsPreserveTrace) {
+  // A mixed-ish state from a couple of gates, then every built-in
+  // channel: trace must stay 1 (CPTP).
+  Circuit c(2);
+  c.add(Gate::h(0));
+  c.add(Gate::cx(0, 1));
+  c.add(Gate::ry(1, 0.7));
+  for (const KrausChannel& ch :
+       {KrausChannel::depolarizing(0.2), KrausChannel::bit_flip(0.3),
+        KrausChannel::phase_flip(0.15), KrausChannel::bit_phase_flip(0.25),
+        KrausChannel::amplitude_damping(0.4),
+        KrausChannel::phase_damping(0.35)}) {
+    DensityMatrix rho(2);
+    rho.apply_circuit(c);
+    rho.apply_channel(ch, {0});
+    rho.apply_channel(ch, {1});
+    EXPECT_NEAR(rho.trace(), 1.0, 1e-10) << ch.name();
+  }
+  DensityMatrix rho(2);
+  rho.apply_circuit(c);
+  rho.apply_channel(KrausChannel::depolarizing2(0.3), {0, 1});
+  EXPECT_NEAR(rho.trace(), 1.0, 1e-10) << "depolarizing2";
+}
+
+TEST(DensityRef, BitFlipOnZero) {
+  const double p = 0.23;
+  DensityMatrix rho(2);
+  rho.apply_channel(KrausChannel::bit_flip(p), {0});
+  const auto probs = rho.probabilities();
+  EXPECT_NEAR(probs[0], 1 - p, 1e-12);
+  EXPECT_NEAR(probs[1], p, 1e-12);
+}
+
+TEST(DensityRef, DepolarizingShrinksZ) {
+  // <Z> of |0> under depolarizing(p) is 1 - 4p/3.
+  const double p = 0.3;
+  DensityMatrix rho(1);
+  rho.apply_channel(KrausChannel::depolarizing(p), {0});
+  EXPECT_NEAR(rho.expectation_z(0), 1 - 4 * p / 3, 1e-12);
+}
+
+TEST(DensityRef, AmplitudeDampingDecaysExcitedState) {
+  // |1> under amplitude damping: P(1) = 1 - gamma.
+  const double gamma = 0.37;
+  Circuit c(1);
+  c.add(Gate::x(0));
+  DensityMatrix rho(1);
+  rho.apply_circuit(c);
+  rho.apply_channel(KrausChannel::amplitude_damping(gamma), {0});
+  const auto probs = rho.probabilities();
+  EXPECT_NEAR(probs[1], 1 - gamma, 1e-12);
+  EXPECT_NEAR(probs[0], gamma, 1e-12);
+}
+
+TEST(DensityRef, PhaseDampingKillsCoherenceKeepsPopulations) {
+  // H|0> under phase damping: diagonal stays 1/2, off-diagonal scales
+  // by sqrt(1 - lambda).
+  const double lambda = 0.4;
+  Circuit c(1);
+  c.add(Gate::h(0));
+  DensityMatrix rho(1);
+  rho.apply_circuit(c);
+  rho.apply_channel(KrausChannel::phase_damping(lambda), {0});
+  EXPECT_NEAR(rho.at(0, 0).real(), 0.5, 1e-12);
+  EXPECT_NEAR(rho.at(1, 1).real(), 0.5, 1e-12);
+  EXPECT_NEAR(rho.at(0, 1).real(), 0.5 * std::sqrt(1 - lambda), 1e-12);
+}
+
+TEST(DensityRef, ReadoutConfusionOnKnownDiagonal) {
+  // |10>: qubit 0 reads 0 (flips up with p01), qubit 1 reads 1 (flips
+  // down with p10).
+  Circuit c(2);
+  c.add(Gate::x(1));
+  DensityMatrix rho(2);
+  rho.apply_circuit(c);
+  NoiseModel model;
+  model.readout_error(0, 0.1, 0.2).readout_error(1, 0.05, 0.3);
+  const auto probs = rho.probabilities_with_readout(model);
+  EXPECT_NEAR(probs[0b10], 0.9 * 0.7, 1e-12);
+  EXPECT_NEAR(probs[0b11], 0.1 * 0.7, 1e-12);
+  EXPECT_NEAR(probs[0b00], 0.9 * 0.3, 1e-12);
+  EXPECT_NEAR(probs[0b01], 0.1 * 0.3, 1e-12);
+}
+
+TEST(DensityRef, SimulateDensityInterleavesSites) {
+  // Noise after the H but before the CX is *not* the same as after
+  // both; simulate_density must apply sites at their gate positions.
+  Circuit c(2, "ghz2");
+  c.add(Gate::h(0));
+  c.add(Gate::cx(0, 1));
+  NoiseModel after_h;
+  after_h.after_gate("h", KrausChannel::bit_flip(0.5));
+  const DensityMatrix rho = noise::simulate_density(c, after_h);
+  // X error on qubit 0 before CX still produces a GHZ-correlated pair:
+  // outcomes 00 and 11 only.
+  const auto probs = rho.probabilities();
+  EXPECT_NEAR(probs[0b00] + probs[0b11], 1.0, 1e-10);
+  EXPECT_NEAR(probs[0b01] + probs[0b10], 0.0, 1e-10);
+}
+
+TEST(DensityRef, QubitCapAndValidation) {
+  EXPECT_THROW(DensityMatrix(noise::kMaxDensityQubits + 1), Error);
+  DensityMatrix rho(2);
+  EXPECT_THROW(rho.apply_channel(KrausChannel::depolarizing(0.1), {0, 1}),
+               Error);  // arity mismatch
+  EXPECT_THROW(rho.apply_channel(KrausChannel::depolarizing(0.1), {5}),
+               Error);  // qubit out of range
+}
+
+}  // namespace
+}  // namespace atlas

@@ -53,6 +53,104 @@ TEST(Measure, SamplingMatchesDistribution) {
   }
 }
 
+// Chi-square goodness of fit for the inverse-CDF sampler: 20000 shots
+// from a known 3-qubit distribution. With 7 degrees of freedom the
+// 1e-6 critical value is ~35.3; the fixed seed makes the draw (and so
+// the statistic) deterministic, so this cannot flake — it fails only
+// if the sampler's distribution drifts.
+TEST(Measure, ChiSquareAgainstKnownDistribution) {
+  Circuit c(3);
+  c.add(Gate::h(0));
+  c.add(Gate::cx(0, 1));
+  c.add(Gate::ry(2, 0.9));
+  const StateVector sv = simulate_reference(c);
+  const int shots = 20000;
+  Rng rng(1234);
+  const auto samples = sample(sv, shots, rng);
+  std::vector<double> observed(8, 0.0);
+  for (Index s : samples) observed[s] += 1.0;
+  double chi_sq = 0;
+  for (Index i = 0; i < 8; ++i) {
+    const double expected = probability(sv, i) * shots;
+    if (expected < 1e-9) {
+      EXPECT_EQ(observed[i], 0.0) << "impossible outcome " << i << " drawn";
+      continue;
+    }
+    const double d = observed[i] - expected;
+    chi_sq += d * d / expected;
+  }
+  EXPECT_LT(chi_sq, 35.3);
+}
+
+// The distributed sampler must pass the same test through a sharded
+// layout, and the weighted overload must sample the *normalized*
+// distribution of a scaled state.
+TEST(DistQueries, ChiSquareAndWeightedSampling) {
+  const int n = 5;
+  SimulatorConfig cfg;
+  cfg.cluster.local_qubits = 3;
+  cfg.cluster.regional_qubits = 1;
+  cfg.cluster.global_qubits = 1;
+  cfg.cluster.gpus_per_node = 2;
+  const Simulator sim(cfg);
+  Circuit c(n);
+  for (Qubit q = 0; q < n; ++q) c.add(Gate::h(q));
+  c.add(Gate::cx(0, 4));
+  const auto result = sim.simulate(c);
+  const StateVector gathered = result.state.gather();
+
+  const int shots = 20000;
+  Rng rng(77);
+  const auto samples = exec::sample(result.state, shots, rng);
+  std::vector<double> observed(Index{1} << n, 0.0);
+  for (Index s : samples) observed[s] += 1.0;
+  double chi_sq = 0;
+  int dof = -1;
+  for (Index i = 0; i < observed.size(); ++i) {
+    const double expected = probability(gathered, i) * shots;
+    if (expected < 1e-9) continue;
+    const double d = observed[i] - expected;
+    chi_sq += d * d / expected;
+    ++dof;
+  }
+  // 1e-6 critical value for 31 dof is ~78.
+  EXPECT_EQ(dof, 31);
+  EXPECT_LT(chi_sq, 78.0);
+
+  // Weighted overload: scale the state by 1/2 (norm^2 = 1/4) and
+  // sample with the norm passed through — same distribution.
+  exec::DistState scaled = result.state;
+  for (int s = 0; s < scaled.num_shards(); ++s)
+    for (Amp& a : scaled.shard(s)) a *= 0.5;
+  Rng rng_a(99), rng_b(99);
+  EXPECT_EQ(exec::sample(scaled, 200, rng_a, 0.25),
+            exec::sample(result.state, 200, rng_b, 1.0));
+}
+
+// Counter-based streams: the per-result sample() overload is
+// deterministic, distinct across calls, and replays exactly.
+TEST(Measure, ResultSampleStreamsAreDeterministic) {
+  SessionConfig cfg;
+  cfg.cluster.local_qubits = 5;
+  cfg.cluster.gpus_per_node = 1;
+  cfg.seed = 42;
+  const Session session(cfg);
+  const Circuit c = circuits::ghz(5);
+  const SimulationResult r1 = session.simulate(c);
+  const SimulationResult r2 = session.simulate(c);
+  ASSERT_NE(r1.seed, 0u);
+  EXPECT_EQ(r1.seed, r2.seed);  // same run identity -> same stream
+  const auto a = r1.sample(100);
+  const auto b = r1.sample(100);  // next call, next stream
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a, r2.sample(100));  // replays on an identical run
+
+  SessionConfig other = cfg;
+  other.seed = 43;
+  const SimulationResult r3 = Session(other).simulate(c);
+  EXPECT_NE(r3.seed, r1.seed);  // session seed feeds the stream
+}
+
 TEST(Measure, ExpectationZ) {
   // |0>: <Z>=+1. X|0>=|1>: <Z>=-1. H|0>: <Z>=0.
   StateVector a(1);

@@ -201,5 +201,78 @@ TEST(Qasm, RandomCircuitRoundTrip) {
   EXPECT_LT(a.max_abs_diff(b), 1e-10);
 }
 
+// --------------------------------------------------------------------------
+// Pragma-style noise attachment.
+
+constexpr const char* kNoisyProgram = R"(
+OPENQASM 2.0;
+include "qelib1.inc";
+#pragma atlas noise depolarizing(0.01) all
+#pragma atlas noise amplitude_damping(0.05) gate cx
+#pragma atlas noise bit_flip(0.02) qubit 1
+#pragma atlas noise readout(0.01, 0.03) all
+#pragma atlas noise readout(0.1, 0.2) qubit 0
+qreg q[3];
+h q[0];
+cx q[0], q[1];
+cx q[1], q[2];
+)";
+
+TEST(QasmNoise, PragmasBuildTheNoiseModel) {
+  const qasm::NoisyParse parsed = qasm::parse_with_noise(kNoisyProgram);
+  EXPECT_EQ(parsed.circuit.num_gates(), 3);
+  EXPECT_FALSE(parsed.noise.empty());
+  EXPECT_FALSE(parsed.noise.all_pauli());  // amplitude damping attached
+  EXPECT_TRUE(parsed.noise.has_readout_error());
+  EXPECT_NEAR(parsed.noise.readout_for(0).p01, 0.1, 1e-15);
+  EXPECT_NEAR(parsed.noise.readout_for(2).p01, 0.01, 1e-15);
+  const auto sites = parsed.noise.sites_for(parsed.circuit);
+  // depolarizing: every gate qubit (1 + 2 + 2); amplitude damping on
+  // both cx (2 sites of 2 qubits... one per acted qubit: 2 + 2);
+  // bit_flip on qubit 1 after cx(0,1) and cx(1,2).
+  int depol = 0, damp = 0, flip = 0;
+  for (const auto& s : sites) {
+    if (s.channel->name() == "depolarizing") ++depol;
+    if (s.channel->name() == "amplitude_damping") ++damp;
+    if (s.channel->name() == "bit_flip") ++flip;
+  }
+  EXPECT_EQ(depol, 5);
+  EXPECT_EQ(damp, 4);
+  EXPECT_EQ(flip, 2);
+}
+
+TEST(QasmNoise, PlainParseIgnoresPragmas) {
+  const Circuit c = qasm::parse(kNoisyProgram);
+  EXPECT_EQ(c.num_gates(), 3);
+  EXPECT_EQ(c.num_qubits(), 3);
+}
+
+TEST(QasmNoise, MalformedPragmasThrowWithLineNumbers) {
+  const auto expect_throw_containing = [](const std::string& src,
+                                          const std::string& needle) {
+    try {
+      qasm::parse_with_noise(src);
+      FAIL() << "expected throw for: " << src;
+    } catch (const Error& e) {
+      EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+          << e.what();
+    }
+  };
+  const std::string prelude = "qreg q[2];\nh q[0];\n";
+  expect_throw_containing(
+      prelude + "#pragma atlas noise warp_drive(0.1) all\n", "warp_drive");
+  expect_throw_containing(
+      prelude + "#pragma atlas noise depolarizing(0.1) nowhere\n", "nowhere");
+  expect_throw_containing(
+      prelude + "#pragma atlas noise depolarizing(1.7) all\n", "[0, 1]");
+  expect_throw_containing(
+      prelude + "#pragma atlas noise readout(0.1) all\n", "p01, p10");
+  expect_throw_containing(prelude + "#pragma atlas teleport\n",
+                          "unknown atlas pragma");
+  expect_throw_containing(
+      prelude + "#pragma atlas noise depolarizing(0.1) gate warp\n",
+      "unknown gate name");
+}
+
 }  // namespace
 }  // namespace atlas

@@ -486,10 +486,11 @@ TEST(SimulationResult, ReturnedPlanReExecutesWithItsParams) {
   const Session session(small_config());
   const Circuit c = circuits::ising(7);  // carries rotation parameters
   const SimulationResult r = session.simulate(c);
-  ASSERT_FALSE(r.params.empty());
+  ASSERT_FALSE(r.slot_values.empty());
+  ASSERT_FALSE(r.params().empty());
   exec::DistState fresh = session.executor().initial_state(*r.plan,
                                                            session.cluster());
-  session.execute(*r.plan, fresh, r.params);
+  session.execute(*r.plan, fresh, r.params());
   EXPECT_EQ(fresh.gather().amplitudes(), r.state.gather().amplitudes());
 }
 

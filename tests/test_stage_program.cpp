@@ -153,6 +153,48 @@ TEST(StageProgram, DensePointRunsDoZeroParamBindingLookups) {
   EXPECT_EQ(ParamBinding::probe_lookups() - before, 0u);
 }
 
+// The skeleton-cache regression: the binding-independent half of stage
+// compilation (pattern bits, fired-gate sets, shm gather maps, fused
+// spans) is cached on the plan, so an N-point sweep compiles each
+// stage's skeleton exactly once and only re-fills matrix values per
+// point.
+TEST(StageProgram, SweepCompilesEachStageSkeletonOnce) {
+  const int n = 7, layers = 2, points = 32;
+  const Circuit ansatz = make_ansatz(n, layers);
+  const Session session(shaped(4, 2, 1));
+  const CompiledCircuit compiled = session.compile(ansatz);
+  std::vector<std::vector<double>> dense;
+  for (int i = 0; i < points; ++i)
+    dense.push_back({0.1 * i, 0.2 * i, 0.3 * i, 0.4 * i});
+
+  const std::uint64_t before = exec::stage_skeleton_compiles();
+  (void)session.sweep(compiled, dense);
+  const std::uint64_t first_sweep = exec::stage_skeleton_compiles() - before;
+  EXPECT_EQ(first_sweep, compiled.plan()->stages.size())
+      << "expected one skeleton build per stage for the whole sweep";
+
+  // A second sweep over the same compiled handle re-binds values only.
+  (void)session.sweep(compiled, dense);
+  EXPECT_EQ(exec::stage_skeleton_compiles() - before, first_sweep);
+}
+
+// Lazily-built SimulationResult::params(): the dense slot record is
+// the source of truth; the string-keyed view only materializes on
+// demand and matches it.
+TEST(StageProgram, ResultParamsBuildLazilyFromSlotValues) {
+  const Circuit ansatz = make_ansatz(6, 1);
+  const Session session(shaped(4, 1, 1));
+  const CompiledCircuit compiled = session.compile(ansatz);
+  const SimulationResult r = session.run(compiled, {0.3, 0.9});
+  ASSERT_EQ(r.slot_values.size(), compiled.param_slots().size());
+  const ParamBinding& named = r.params();
+  ASSERT_EQ(named.size(), r.slot_values.size());
+  for (std::size_t k = 0; k < r.slot_values.size(); ++k)
+    EXPECT_EQ(named.at(slot_symbol_name(static_cast<int>(k))),
+              r.slot_values[k]);
+  EXPECT_EQ(&named, &r.params());  // cached, not rebuilt
+}
+
 TEST(StageProgram, BindingRunsDoOneLookupPerSymbolOnly) {
   const int n = 6, layers = 2;
   const Circuit ansatz = make_ansatz(n, layers);

@@ -1,0 +1,192 @@
+// bench_opt — gate-level optimizer payoff on the benchmark families.
+//
+// For every Table-I family (circuits/families.h) plus a few fixed-seed
+// random circuits, runs the level-2 pass pipeline and reports the
+// gate-count ratio, the staged-plan stage-count ratio (opt_level 0 vs
+// 2 sessions over the same cluster shape), and the per-pass breakdown.
+// Three gates:
+//   * statevector equivalence (up to global phase — the passes are
+//     exact, so the measured residual is roundoff) <= 1e-8 everywhere;
+//   * geomean gate-count ratio over the 11 families <= 0.85 (the
+//     ISSUE-5 acceptance bar: >= 15% reduction);
+//   * stage counts never regress, and at least one circuit in the set
+//     strictly improves (the commutation-aware reorder payoff).
+//
+// --smoke shrinks the instances; --json PATH emits BENCH_opt.json.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "opt/pass_manager.h"
+#include "sim/reference.h"
+#include "util.h"
+
+namespace atlas::bench {
+namespace {
+
+/// Max |a_i - e^{ia} b_i| after aligning b's global phase on a's
+/// largest amplitude.
+double phase_aligned_diff(const StateVector& a, const StateVector& b) {
+  Index best = 0;
+  double mag = 0;
+  for (Index i = 0; i < a.size(); ++i)
+    if (std::abs(a[i]) > mag) {
+      mag = std::abs(a[i]);
+      best = i;
+    }
+  if (std::abs(b[best]) < 1e-12) return 1e9;
+  const Amp phase =
+      (a[best] / std::abs(a[best])) / (b[best] / std::abs(b[best]));
+  double d = 0;
+  for (Index i = 0; i < a.size(); ++i)
+    d = std::max(d, std::abs(a[i] - phase * b[i]));
+  return d;
+}
+
+struct Row {
+  std::string name;
+  int gates_before = 0;
+  int gates_after = 0;
+  std::size_t stages_before = 0;
+  std::size_t stages_after = 0;
+  double equiv_diff = 0;
+  bool family = false;  // counts toward the gate-ratio geomean
+};
+
+int run(bool smoke, const char* json_path) {
+  const int n = smoke ? 8 : 10;
+  const int local = 5;
+
+  print_header(
+      "Gate-level optimizer: count / stage reduction at opt_level 2",
+      "staged-partitioning cost scales per gate (Eq. 2 + kernel model)",
+      (std::to_string(n) + "-qubit Table-I families + random circuits, "
+                           "local=" + std::to_string(local))
+          .c_str());
+
+  SessionConfig base{scaled_config(local, n - local, /*threads=*/1)};
+  SessionConfig optimized = base;
+  optimized.opt_level = 2;
+  const Session s0(base), s2(optimized);
+
+  opt::OptOptions oo;
+  oo.level = 2;
+  const opt::PassManager passes(oo);
+  opt::PassContext ctx;
+  ctx.num_local_qubits = local;
+
+  std::vector<Row> rows;
+  auto measure = [&](const std::string& name, const Circuit& c, bool family) {
+    opt::OptReport rep;
+    const Circuit oc = passes.run(c, ctx, &rep);
+    Row r;
+    r.name = name;
+    r.family = family;
+    r.gates_before = rep.gates_before;
+    r.gates_after = rep.gates_after;
+    r.stages_before = s0.compile(c).plan()->stages.size();
+    r.stages_after = s2.compile(c).plan()->stages.size();
+    r.equiv_diff = phase_aligned_diff(simulate_reference(c),
+                                      simulate_reference(oc));
+    rows.push_back(r);
+  };
+
+  for (const std::string& name : circuits::family_names())
+    measure(name, circuits::make_family(name, n), /*family=*/true);
+  const int random_gates = smoke ? 60 : 80;
+  for (std::uint64_t seed : {std::uint64_t{1}, std::uint64_t{3},
+                             std::uint64_t{5}})
+    measure("random" + std::to_string(seed),
+            circuits::random_circuit(n, random_gates, seed),
+            /*family=*/false);
+
+  std::printf("\n%-12s %8s %8s %7s %8s %8s %10s\n", "circuit", "gates",
+              "opt", "ratio", "stages", "opt", "|diff|");
+  bool equiv_ok = true, stage_regressed = false, stage_improved = false;
+  std::vector<double> family_ratios;
+  for (const Row& r : rows) {
+    const double ratio =
+        static_cast<double>(r.gates_after) / r.gates_before;
+    if (r.family) family_ratios.push_back(ratio);
+    if (r.equiv_diff > 1e-8) equiv_ok = false;
+    if (r.stages_after > r.stages_before) stage_regressed = true;
+    if (r.stages_after < r.stages_before) stage_improved = true;
+    std::printf("%-12s %8d %8d %7.3f %8zu %8zu %10.2e\n", r.name.c_str(),
+                r.gates_before, r.gates_after, ratio, r.stages_before,
+                r.stages_after, r.equiv_diff);
+  }
+  const double gate_geomean = geomean(family_ratios);
+  std::printf("\ngeomean gate ratio over the %zu families: %.4f "
+              "(gate: <= 0.85)\n",
+              family_ratios.size(), gate_geomean);
+  std::printf("stage counts: %s regressions, %s strict reduction\n",
+              stage_regressed ? "HAS" : "no",
+              stage_improved ? "has a" : "NO");
+
+  if (json_path != nullptr) {
+    std::FILE* f = std::fopen(json_path, "w");
+    if (f == nullptr) {
+      std::printf("FAIL: cannot write %s\n", json_path);
+      return 1;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"opt\",\n  \"smoke\": %s,\n",
+                 smoke ? "true" : "false");
+    std::fprintf(f, "  \"qubits\": %d,\n", n);
+    std::fprintf(f, "  \"geomean_gate_ratio\": %.4f,\n", gate_geomean);
+    std::fprintf(f, "  \"circuits\": {");
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const Row& r = rows[i];
+      std::fprintf(f,
+                   "%s\n    \"%s\": {\"gates\": %d, \"gates_opt\": %d, "
+                   "\"stages\": %zu, \"stages_opt\": %zu}",
+                   i == 0 ? "" : ",", r.name.c_str(), r.gates_before,
+                   r.gates_after, r.stages_before, r.stages_after);
+    }
+    std::fprintf(f, "\n  },\n");
+    std::fprintf(f, "  \"equivalence_ok\": %s,\n  \"stage_improved\": %s\n}\n",
+                 equiv_ok ? "true" : "false",
+                 stage_improved ? "true" : "false");
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path);
+  }
+
+  if (!equiv_ok) {
+    std::printf("FAIL: an optimized circuit drifted off its reference\n");
+    return 1;
+  }
+  if (gate_geomean > 0.85) {
+    std::printf("FAIL: geomean gate ratio %.4f above the 0.85 gate\n",
+                gate_geomean);
+    return 1;
+  }
+  if (stage_regressed) {
+    std::printf("FAIL: opt_level 2 increased a stage count\n");
+    return 1;
+  }
+  if (!stage_improved) {
+    std::printf("FAIL: no circuit in the set improved its stage count\n");
+    return 1;
+  }
+  std::printf("check: equivalent, >= 15%% geomean gate reduction, stages "
+              "never worse and once strictly better — %s\n",
+              smoke ? "SMOKE PASS" : "PASS");
+  return 0;
+}
+
+}  // namespace
+}  // namespace atlas::bench
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  const char* json_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc)
+      json_path = argv[++i];
+  }
+  return atlas::bench::run(smoke, json_path);
+}

@@ -16,7 +16,7 @@
 #include "circuits/families.h"
 #include "core/atlas.h"
 #include "exec/queries.h"
-#include "ir/transform.h"
+#include "opt/rewrite.h"
 #include "qasm/qasm.h"
 
 namespace {

@@ -42,4 +42,14 @@ class Fnv {
   std::uint64_t h_;
 };
 
+/// FNV-1a folding of `v` into basis `h` — the shared salting step of
+/// every plan-cache key (session.cpp value keys, pipeline.cpp
+/// structural keys). One definition so the two key spaces can never
+/// drift apart.
+inline std::uint64_t fnv_mix(std::uint64_t h, std::uint64_t v) {
+  Fnv f(h);
+  f.mix(v);
+  return f.value();
+}
+
 }  // namespace atlas

@@ -5,8 +5,21 @@
 #include <unordered_map>
 
 #include "common/error.h"
+#include "core/pipeline.h"
 
 namespace atlas {
+
+const Circuit& CompiledCircuit::optimized_circuit() const {
+  ATLAS_CHECK(optimized_ != nullptr,
+              "invalid CompiledCircuit; use Session::compile()");
+  return *optimized_;
+}
+
+const CompileDiagnostics& CompiledCircuit::diagnostics() const {
+  ATLAS_CHECK(diagnostics_ != nullptr,
+              "invalid CompiledCircuit; use Session::compile()");
+  return *diagnostics_;
+}
 
 std::string slot_symbol_name(int index) {
   // Built by append (not "$" + ...) to dodge GCC 12's -Wrestrict false

@@ -26,12 +26,16 @@
 namespace atlas {
 
 class Session;
+class CompilePipeline;
+struct CompileDiagnostics;
 
 class CompiledCircuit {
  public:
   /// One canonicalized parameter: slot `index` (symbol "$index" in the
   /// plan's gates) holds the value of `expr` at bind time. `gate` and
-  /// `param` locate the originating parameter in the source circuit.
+  /// `param` locate the originating parameter in optimized_circuit()
+  /// (== circuit() at opt_level 0; the optimizer may have merged
+  /// several authored parameters into one affine `expr`).
   struct Slot {
     int index = 0;
     int gate = 0;
@@ -51,6 +55,17 @@ class CompiledCircuit {
                 "invalid CompiledCircuit; use Session::compile()");
     return *circuit_;
   }
+
+  /// The post-optimization circuit the plan was built from — what the
+  /// slot table's gate/param indices reference. Identical to circuit()
+  /// when SessionConfig::opt_level is 0 or no pass fired. Throws
+  /// atlas::Error on an invalid handle.
+  const Circuit& optimized_circuit() const;
+
+  /// Per-phase compile timings, optimizer pass accounting, and the
+  /// plan-cache outcome of the compile() that built this handle.
+  /// Throws atlas::Error on an invalid handle.
+  const CompileDiagnostics& diagnostics() const;
 
   /// The shared, immutable execution plan (canonical slot symbols).
   const std::shared_ptr<const exec::ExecutionPlan>& plan() const {
@@ -86,6 +101,7 @@ class CompiledCircuit {
 
  private:
   friend class Session;
+  friend class CompilePipeline;
 
   /// One slot expression lowered to symbol indices: constant +
   /// sum(coeff * symbol_values[sym]). Built once at compile() so
@@ -102,6 +118,8 @@ class CompiledCircuit {
   void build_slot_programs();
 
   std::shared_ptr<const Circuit> circuit_;
+  std::shared_ptr<const Circuit> optimized_;
+  std::shared_ptr<const CompileDiagnostics> diagnostics_;
   std::shared_ptr<const exec::ExecutionPlan> plan_;
   std::vector<std::string> symbols_;
   std::vector<Slot> slots_;

@@ -1,0 +1,155 @@
+#include "core/pipeline.h"
+
+#include <utility>
+
+#include "common/error.h"
+#include "common/fnv.h"
+#include "common/timer.h"
+#include "staging/stage.h"
+
+namespace atlas {
+namespace {
+
+/// Slot canonicalization: every parameter — concrete or symbolic —
+/// becomes a slot symbol, so the cached plan is valid for any binding
+/// and two structurally equal circuits build the exact same canonical
+/// circuit. `slots` receives the table mapping slot k back to the
+/// originating (gate, param) and the caller's expression.
+Circuit canonicalize(const Circuit& circuit,
+                     std::vector<CompiledCircuit::Slot>& slots) {
+  Circuit canonical(circuit.num_qubits(), circuit.name());
+  for (int gi = 0; gi < circuit.num_gates(); ++gi) {
+    const Gate& g = circuit.gate(gi);
+    if (g.params().empty()) {
+      canonical.add(g);
+      continue;
+    }
+    std::vector<Param> slot_params;
+    slot_params.reserve(g.params().size());
+    for (int pi = 0; pi < static_cast<int>(g.params().size()); ++pi) {
+      const int index = static_cast<int>(slots.size());
+      slots.push_back(CompiledCircuit::Slot{index, gi, pi, g.param(pi)});
+      slot_params.push_back(Param::symbol(slot_symbol_name(index)));
+    }
+    canonical.add(g.with_params(std::move(slot_params)));
+  }
+  return canonical;
+}
+
+}  // namespace
+
+CompilePipeline::CompilePipeline(
+    Config config, std::shared_ptr<const staging::Stager> stager,
+    std::shared_ptr<const kernelize::Kernelizer> kernelizer)
+    : config_(std::move(config)),
+      passes_(config_.opt),
+      stager_(std::move(stager)),
+      kernelizer_(std::move(kernelizer)) {
+  pass_ctx_.num_local_qubits = config_.shape.num_local;
+  pass_ctx_.options = config_.opt.pass;
+}
+
+void CompilePipeline::dump(CompileDump payload) const {
+  if (config_.dump) config_.dump(payload);
+}
+
+Circuit CompilePipeline::optimize(const Circuit& circuit,
+                                  opt::OptReport* report) const {
+  return passes_.run(circuit, pass_ctx_, report);
+}
+
+std::uint64_t CompilePipeline::plan_key(const Circuit& circuit,
+                                        std::uint64_t shape_salt) const {
+  // Canonicalization replaces parameters with slot symbols but keeps
+  // kinds, qubits, and parameter counts, so the canonical circuit's
+  // structural fingerprint equals the optimized circuit's — the key
+  // can skip building the canonical form.
+  return fnv_mix(shape_salt, optimize(circuit).structural_fingerprint());
+}
+
+exec::ExecutionPlan CompilePipeline::build_plan(const Circuit& circuit,
+                                                CompileDiagnostics* diag) const {
+  ATLAS_CHECK(circuit.num_qubits() == config_.shape.total(),
+              "circuit has " << circuit.num_qubits()
+                             << " qubits but the cluster shape totals "
+                             << config_.shape.total());
+  Timer t;
+  const staging::StagedCircuit staged =
+      stager_->stage(circuit, config_.shape, config_.staging);
+  staging::validate_staging(circuit, staged, config_.shape);
+  if (diag != nullptr) {
+    diag->phases.push_back({"stage", t.seconds(), circuit.num_gates(),
+                            circuit.num_gates()});
+    diag->num_stages = staged.stages.size();
+  }
+  dump({"stage", &circuit, &staged, nullptr});
+
+  t.reset();
+  exec::ExecutionPlan plan;
+  plan.staging_comm_cost = staged.comm_cost;
+  for (const auto& stage : staged.stages) {
+    exec::PlannedStage ps;
+    ps.original_indices = stage.gate_indices;
+    ps.partition = stage.partition;
+    ps.subcircuit = circuit.subcircuit(stage.gate_indices);
+    ps.kernels = kernelizer_->kernelize(ps.subcircuit, config_.cost_model,
+                                        config_.kernelize);
+    kernelize::validate_kernelization(ps.subcircuit, ps.kernels,
+                                      config_.cost_model);
+    plan.kernel_cost_total += ps.kernels.total_cost;
+    plan.stages.push_back(std::move(ps));
+  }
+  if (diag != nullptr)
+    diag->phases.push_back({"kernelize", t.seconds(), circuit.num_gates(),
+                            circuit.num_gates()});
+  dump({"kernelize", nullptr, nullptr, &plan});
+  return plan;
+}
+
+CompiledCircuit CompilePipeline::compile(const Circuit& circuit,
+                                         std::uint64_t shape_salt,
+                                         const PlanResolver& resolver) const {
+  CompiledCircuit cc;
+  auto diag = std::make_shared<CompileDiagnostics>();
+  Timer total;
+
+  // Phase 1: optimize (a no-op pipeline at level 0 — bit-identical).
+  Timer t;
+  Circuit optimized = passes_.run(circuit, pass_ctx_, &diag->opt);
+  diag->phases.push_back({"optimize", t.seconds(), circuit.num_gates(),
+                          optimized.num_gates()});
+  dump({"optimize", &optimized, nullptr, nullptr});
+
+  // Phase 2: canonicalize (parameters -> dense slots).
+  t.reset();
+  auto optimized_shared = std::make_shared<const Circuit>(std::move(optimized));
+  Circuit canonical = canonicalize(*optimized_shared, cc.slots_);
+  diag->phases.push_back({"canonicalize", t.seconds(),
+                          optimized_shared->num_gates(),
+                          canonical.num_gates()});
+  dump({"canonicalize", &canonical, nullptr, nullptr});
+
+  cc.circuit_ = std::make_shared<const Circuit>(circuit);
+  cc.optimized_ = optimized_shared;
+  cc.symbols_ = optimized_shared->symbols();
+  cc.shape_salt_ = shape_salt;
+  cc.plan_key_ = fnv_mix(shape_salt, canonical.structural_fingerprint());
+
+  // Phases 3+4: stage + kernelize, through the plan cache.
+  cc.plan_ = resolver(cc.plan_key_, canonical, *diag);
+  ATLAS_CHECK(cc.plan_ != nullptr, "plan resolver returned null");
+
+  // Phase 5: program — slot-program compilation + handle assembly.
+  t.reset();
+  cc.build_slot_programs();
+  diag->num_stages = cc.plan_->stages.size();
+  diag->phases.push_back({"program", t.seconds(), canonical.num_gates(),
+                          canonical.num_gates()});
+  dump({"program", nullptr, nullptr, cc.plan_.get()});
+
+  diag->total_seconds = total.seconds();
+  cc.diagnostics_ = std::move(diag);
+  return cc;
+}
+
+}  // namespace atlas

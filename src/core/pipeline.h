@@ -1,0 +1,131 @@
+#pragma once
+
+/// \file pipeline.h
+/// The explicit multi-phase compile pipeline behind Session::compile():
+///
+///   optimize ──▶ canonicalize ──▶ stage ──▶ kernelize ──▶ program
+///
+/// * **optimize** — the opt/ pass pipeline (level from
+///   SessionConfig::opt_level) rewrites the authored circuit exactly
+///   (global phase included). It runs *before* slot canonicalization on
+///   purpose: value-aware passes (constant run resynthesis, diagonal
+///   folding) need the authored constants, and keying the plan cache on
+///   the *post-optimization* structure lets equivalent authored
+///   circuits — rz(a) rz(b) vs rz(a+b) — share one plan.
+/// * **canonicalize** — every remaining rotation parameter (constant or
+///   symbolic) becomes a dense slot symbol "$k"; the slot table maps
+///   each slot back to the caller's affine expression.
+/// * **stage / kernelize** — PARTITION on the canonical circuit,
+///   memoized through the session's plan cache (these phases are
+///   skipped entirely on a cache hit; diagnostics record that).
+/// * **program** — slot-program compilation and handle assembly.
+///
+/// Each phase is timed into CompileDiagnostics (retrievable from the
+/// returned CompiledCircuit) and reported to the optional dump hook,
+/// which sees the circuit/staging/plan snapshot after the phase — the
+/// debugging seam for "what did the optimizer do to my circuit".
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/compiled.h"
+#include "exec/executor.h"
+#include "ir/circuit.h"
+#include "kernelize/kernelizer.h"
+#include "opt/pass_manager.h"
+#include "staging/registry.h"
+
+namespace atlas {
+
+struct CompilePhaseTiming {
+  std::string phase;
+  double seconds = 0;
+  int gates_in = 0;
+  int gates_out = 0;
+};
+
+struct CompileDiagnostics {
+  /// One entry per executed phase, in order. stage/kernelize are
+  /// absent when the plan cache already held the plan.
+  std::vector<CompilePhaseTiming> phases;
+  /// Per-pass optimizer accounting (empty pass list at opt_level 0).
+  opt::OptReport opt;
+  /// True when stage/kernelize were skipped via the plan cache.
+  bool plan_cached = false;
+  std::size_t num_stages = 0;
+  double total_seconds = 0;
+};
+
+/// Snapshot handed to the dump hook after each phase; only the
+/// pointers relevant to that phase are non-null, and none outlive the
+/// hook invocation.
+struct CompileDump {
+  std::string phase;
+  const Circuit* circuit = nullptr;                // optimize, canonicalize
+  const staging::StagedCircuit* staged = nullptr;  // stage
+  const exec::ExecutionPlan* plan = nullptr;       // kernelize, program
+};
+using CompileDumpHook = std::function<void(const CompileDump&)>;
+
+class CompilePipeline {
+ public:
+  struct Config {
+    staging::MachineShape shape;
+    staging::StagingOptions staging;
+    kernelize::CostModel cost_model = kernelize::CostModel::default_model();
+    kernelize::DpOptions kernelize;
+    opt::OptOptions opt;
+    /// Invoked after every phase when set; exceptions propagate.
+    CompileDumpHook dump;
+  };
+
+  /// The plan-cache seam: compile() hands the post-optimization key and
+  /// the canonical circuit to the resolver, which returns the cached
+  /// plan or calls back into build_plan() and records the miss.
+  using PlanResolver =
+      std::function<std::shared_ptr<const exec::ExecutionPlan>(
+          std::uint64_t key, const Circuit& canonical,
+          CompileDiagnostics& diag)>;
+
+  CompilePipeline(Config config,
+                  std::shared_ptr<const staging::Stager> stager,
+                  std::shared_ptr<const kernelize::Kernelizer> kernelizer);
+
+  /// Runs every phase over `circuit` and assembles the immutable
+  /// handle. Thread-safe and deterministic.
+  CompiledCircuit compile(const Circuit& circuit, std::uint64_t shape_salt,
+                          const PlanResolver& resolver) const;
+
+  /// The key compile() will use for `circuit`: the structural
+  /// fingerprint of the *post-optimization* circuit, salted with the
+  /// cluster shape.
+  std::uint64_t plan_key(const Circuit& circuit,
+                         std::uint64_t shape_salt) const;
+
+  /// The stage -> kernelize -> assemble back half, usable for any
+  /// circuit (the value-keyed Session::plan() path and the noise
+  /// engine's per-trajectory plans skip the front phases). `diag` may
+  /// be null.
+  exec::ExecutionPlan build_plan(const Circuit& circuit,
+                                 CompileDiagnostics* diag) const;
+
+  /// Just the optimize phase (introspection for tests and benches).
+  Circuit optimize(const Circuit& circuit,
+                   opt::OptReport* report = nullptr) const;
+
+  const opt::PassManager& passes() const { return passes_; }
+
+ private:
+  void dump(CompileDump payload) const;
+
+  Config config_;
+  opt::PassManager passes_;
+  opt::PassContext pass_ctx_;
+  std::shared_ptr<const staging::Stager> stager_;
+  std::shared_ptr<const kernelize::Kernelizer> kernelizer_;
+};
+
+}  // namespace atlas

@@ -23,13 +23,6 @@ staging::MachineShape shape_of(const SessionConfig& config) {
   return shape;
 }
 
-/// FNV-1a folding of `v` into `h` (same mixing as Circuit::fingerprint).
-std::uint64_t fnv_mix(std::uint64_t h, std::uint64_t v) {
-  Fnv f(h);
-  f.mix(v);
-  return f.value();
-}
-
 /// Hash of everything about the machine shape a plan depends on. Mixed
 /// into every plan-cache key so two sessions with different shapes can
 /// never alias, even if their caches were ever shared or a
@@ -138,6 +131,8 @@ void validate_session_config(const SessionConfig& config) {
                   config.cost_model.max_fusion_qubits + 1 ==
                       static_cast<int>(config.cost_model.fusion_cost.size()),
               "cost_model.fusion_cost does not match max_fusion_qubits");
+  ATLAS_CHECK(config.opt_level >= 0 && config.opt_level <= 2,
+              "opt_level must be in [0, 2], got " << config.opt_level);
 }
 
 /// LRU plan cache. One map holds two disjoint key spaces (distinct FNV
@@ -229,6 +224,17 @@ Session::Session(SessionConfig config)
       stager_(staging::stager_registry().create(config_.stager)),
       kernelizer_(kernelize::kernelizer_registry().create(config_.kernelizer)),
       executor_(exec::executor_registry().create(config_.executor)),
+      pipeline_([this] {
+        CompilePipeline::Config pc;
+        pc.shape = shape_of(config_);
+        pc.staging = config_.staging;
+        pc.cost_model = config_.cost_model;
+        pc.kernelize = config_.kernelize;
+        pc.opt.level = config_.opt_level;
+        pc.dump = config_.compile_dump;
+        return std::make_unique<CompilePipeline>(std::move(pc), stager_,
+                                                 kernelizer_);
+      }()),
       plan_cache_(std::make_unique<PlanCache>(config_.plan_cache_capacity)),
       dispatch_pool_(std::make_unique<ThreadPool>(
           config_.dispatch_threads > 0
@@ -247,31 +253,10 @@ Session::~Session() {
 }
 
 exec::ExecutionPlan Session::build_plan(const Circuit& circuit) const {
-  const auto& cc = config_.cluster;
-  ATLAS_CHECK(circuit.num_qubits() == cc.total_qubits(),
-              "circuit has " << circuit.num_qubits()
-                             << " qubits but the cluster shape totals "
-                             << cc.total_qubits());
-  const staging::MachineShape shape = shape_of(config_);
-  const staging::StagedCircuit staged =
-      stager_->stage(circuit, shape, config_.staging);
-  staging::validate_staging(circuit, staged, shape);
-
-  exec::ExecutionPlan plan;
-  plan.staging_comm_cost = staged.comm_cost;
-  for (const auto& stage : staged.stages) {
-    exec::PlannedStage ps;
-    ps.original_indices = stage.gate_indices;
-    ps.partition = stage.partition;
-    ps.subcircuit = circuit.subcircuit(stage.gate_indices);
-    ps.kernels = kernelizer_->kernelize(ps.subcircuit, config_.cost_model,
-                                        config_.kernelize);
-    kernelize::validate_kernelization(ps.subcircuit, ps.kernels,
-                                      config_.cost_model);
-    plan.kernel_cost_total += ps.kernels.total_cost;
-    plan.stages.push_back(std::move(ps));
-  }
-  return plan;
+  // The back half of the compile pipeline (stage -> kernelize ->
+  // assemble); the value-keyed plan() path and the noise engine's
+  // per-trajectory plans skip the optimize/canonicalize phases.
+  return pipeline_->build_plan(circuit, nullptr);
 }
 
 std::shared_ptr<const exec::ExecutionPlan> Session::plan_memoized(
@@ -289,39 +274,23 @@ std::shared_ptr<const exec::ExecutionPlan> Session::plan(
 }
 
 std::uint64_t Session::plan_key(const Circuit& circuit) const {
-  return fnv_mix(shape_salt_, circuit.structural_fingerprint());
+  return pipeline_->plan_key(circuit, shape_salt_);
 }
 
 CompiledCircuit Session::compile(const Circuit& circuit) const {
-  CompiledCircuit cc;
-  cc.circuit_ = std::make_shared<const Circuit>(circuit);
-  cc.symbols_ = circuit.symbols();
-  cc.plan_key_ = plan_key(circuit);
-  cc.shape_salt_ = shape_salt_;
-
-  // Canonicalize: every rotation-family parameter — concrete or
-  // symbolic — becomes a slot symbol, so the cached plan is valid for
-  // any binding and two structurally equal circuits build the exact
-  // same canonical circuit.
-  Circuit canonical(circuit.num_qubits(), circuit.name());
-  for (int gi = 0; gi < circuit.num_gates(); ++gi) {
-    const Gate& g = circuit.gate(gi);
-    if (g.params().empty()) {
-      canonical.add(g);
-      continue;
-    }
-    std::vector<Param> slot_params;
-    slot_params.reserve(g.params().size());
-    for (int pi = 0; pi < static_cast<int>(g.params().size()); ++pi) {
-      const int index = static_cast<int>(cc.slots_.size());
-      cc.slots_.push_back(CompiledCircuit::Slot{index, gi, pi, g.param(pi)});
-      slot_params.push_back(Param::symbol(slot_symbol_name(index)));
-    }
-    canonical.add(g.with_params(std::move(slot_params)));
-  }
-  cc.build_slot_programs();
-  cc.plan_ = plan_memoized(cc.plan_key_, canonical);
-  return cc;
+  return pipeline_->compile(
+      circuit, shape_salt_,
+      [this](std::uint64_t key, const Circuit& canonical,
+             CompileDiagnostics& diag) {
+        if (auto cached = plan_cache_->find(key, canonical)) {
+          diag.plan_cached = true;
+          return cached;
+        }
+        auto built = std::make_shared<const exec::ExecutionPlan>(
+            pipeline_->build_plan(canonical, &diag));
+        plan_cache_->insert(key, canonical, built);
+        return built;
+      });
 }
 
 void Session::check_compiled(const CompiledCircuit& compiled,

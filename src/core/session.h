@@ -38,6 +38,7 @@
 
 #include "common/rng.h"
 #include "core/compiled.h"
+#include "core/pipeline.h"
 #include "device/cluster.h"
 #include "exec/backend.h"
 #include "ir/circuit.h"
@@ -81,6 +82,29 @@ struct SessionConfig : SimulatorConfig {
   /// (0 = min(hardware, 4)). Distinct from cluster.num_threads, which
   /// sizes the per-shard compute pool.
   int dispatch_threads = 0;
+  /// Gate-level optimization level for the compile pipeline
+  /// (core/pipeline.h) behind compile()/simulate() and the noise
+  /// engine's twirl compile:
+  ///   0  off (default) — bit-identical to the pre-optimizer pipeline;
+  ///   1  local cleanups: inverse-pair cancellation, rotation merging
+  ///      across commuting diagonals (affine, symbolic-safe), identity
+  ///      elimination;
+  ///   2  + CX-conjugated diagonal resynthesis, constant single-qubit
+  ///      run resynthesis, and commutation-aware reordering that packs
+  ///      gates to cut stage count.
+  /// Every pass preserves the operator exactly (global phase included)
+  /// and is valid for any binding of symbolic parameters; the plan
+  /// cache keys on the *post-optimization* structure, so equivalent
+  /// authored circuits share one plan. The default stays 0 because the
+  /// engine's regression contracts (sweep() bit-identical to
+  /// per-binding simulate(), per-trajectory plan sharing of lowered
+  /// twirl circuits) are stated at the unoptimized structure; opt in
+  /// per session for standalone simulation workloads.
+  int opt_level = 0;
+  /// Optional per-phase dump hook: invoked after every compile phase
+  /// (optimize, canonicalize, stage, kernelize, program) with the
+  /// phase's snapshot. Cache-hit compiles skip stage/kernelize.
+  CompileDumpHook compile_dump;
   /// Base seed for every sampling path the session owns: noise
   /// trajectories, readout-error draws, and SimulationResult::sample()
   /// without an explicit Rng. All of them derive counter-based streams
@@ -176,14 +200,20 @@ class Session {
   const staging::Stager& stager() const { return *stager_; }
   const kernelize::Kernelizer& kernelizer() const { return *kernelizer_; }
   const exec::ExecutorBackend& executor() const { return *executor_; }
+  /// The session's compile pipeline (optimizer introspection; the
+  /// phases compile() runs are documented in core/pipeline.h).
+  const CompilePipeline& pipeline() const { return *pipeline_; }
 
   /// \name Compile-once / bind-many
   /// @{
-  /// Canonicalizes the circuit's rotation-family parameters into slot
-  /// symbols, stages + kernelizes the canonical form once (memoized on
-  /// the *structural* fingerprint plus the cluster shape, so rx(0.3),
-  /// rx(0.7) and rx(theta) all share one plan), and returns an
-  /// immutable handle carrying the plan and the parameter slot table.
+  /// Runs the compile pipeline (optimize at config().opt_level, then
+  /// canonicalize rotation-family parameters into slot symbols, then
+  /// stage + kernelize the canonical form — memoized on the
+  /// *post-optimization* structural fingerprint plus the cluster
+  /// shape, so rx(0.3), rx(0.7), rx(theta), and optimizer-equivalent
+  /// authored variants all share one plan) and returns an immutable
+  /// handle carrying the plan, the parameter slot table, and the
+  /// compile diagnostics.
   CompiledCircuit compile(const Circuit& circuit) const;
 
   /// Executes a compiled circuit under `binding`; staging and
@@ -267,7 +297,9 @@ class Session {
   /// All-Pauli models ride the fast path: every trajectory binds the
   /// same CompiledCircuit (one plan-cache entry for the whole batch);
   /// general Kraus channels fall back to norm-tracked per-trajectory
-  /// lowering. Deterministic in SessionConfig::seed (or the per-run
+  /// lowering, with plans memoized on the sampled outcome *pattern*
+  /// when the model has few noise sites (equal patterns lower to
+  /// identical circuits). Deterministic in SessionConfig::seed (or the per-run
   /// override) regardless of dispatch parallelism. Implemented in
   /// noise/engine.cpp.
   /// @{
@@ -319,6 +351,9 @@ class Session {
   std::shared_ptr<const staging::Stager> stager_;
   std::shared_ptr<const kernelize::Kernelizer> kernelizer_;
   std::shared_ptr<const exec::ExecutorBackend> executor_;
+  /// Owns phases optimize -> canonicalize -> stage -> kernelize ->
+  /// program; compile()/plan()/build_plan() all route through it.
+  std::unique_ptr<CompilePipeline> pipeline_;
   std::unique_ptr<PlanCache> plan_cache_;
   /// Runs submit() jobs; must be distinct from the cluster pool (whose
   /// wait_idle() a job calls transitively via execute_plan) and must be

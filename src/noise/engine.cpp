@@ -8,6 +8,8 @@
 // so the general-Kraus path can reach build_plan() directly and keep
 // its per-trajectory plans out of the session's LRU cache.
 
+#include <map>
+#include <mutex>
 #include <numeric>
 #include <unordered_map>
 #include <utility>
@@ -25,6 +27,27 @@ namespace {
 /// Salt separating the measurement-shot streams from the channel-
 /// outcome streams of the same trajectory.
 constexpr std::uint64_t kMeasureSalt = 0x6d65617375726531ull;
+
+/// General-Kraus trajectory plans are memoized on the sampled outcome
+/// *pattern* when the whole pattern space — prod over sites of the
+/// channel's outcome count — is at most this large: equal patterns
+/// lower to identical circuits, so a batch of N trajectories then
+/// builds at most this many plans instead of N. Gating on the product
+/// (not the site count) also bounds the memo's memory: a larger
+/// pattern space means repeats are rare and the map would accumulate
+/// one full ExecutionPlan per trajectory as dead weight.
+constexpr std::uint64_t kKrausPatternMemoMaxPatterns = 512;
+
+/// The pattern-space size of `sites`, saturating at `cap + 1`.
+std::uint64_t pattern_space(const std::vector<noise::NoiseSite>& sites,
+                            std::uint64_t cap) {
+  std::uint64_t total = 1;
+  for (const noise::NoiseSite& site : sites) {
+    total *= static_cast<std::uint64_t>(site.channel->outcome_weights().size());
+    if (total > cap) return cap + 1;
+  }
+  return total;
+}
 
 struct TrajectoryPartial {
   double weight = 1.0;
@@ -122,17 +145,42 @@ noise::NoisyResult Session::run_noisy(
     });
   } else {
     // General Kraus: each trajectory carries its own sampled operator
-    // matrices, so it is lowered and planned individually — bypassing
-    // the LRU plan cache on purpose (N structurally distinct entries
-    // would evict the session's real plans). The final norm^2 is the
-    // trajectory's weight; partial_of() threads it through sampling
-    // and the Builder keeps the mixture estimator unbiased.
+    // matrices, so it is lowered and planned per outcome *pattern* —
+    // bypassing the LRU plan cache on purpose (N structurally distinct
+    // entries would evict the session's real plans). Equal patterns
+    // lower to identical circuits, so a run-local memo (small pattern
+    // spaces only — the bound caps the memo's plan count) collapses N
+    // trajectory plans to the number of distinct patterns actually
+    // drawn; a racing rebuild of the same pattern is harmless — both
+    // plans are identical — and the first insertion wins. The final
+    // norm^2 is the trajectory's weight; partial_of() threads it
+    // through sampling and the Builder keeps the mixture estimator
+    // unbiased.
+    const bool memoize =
+        pattern_space(prog.sites(), kKrausPatternMemoMaxPatterns) <=
+        kKrausPatternMemoMaxPatterns;
+    std::mutex memo_mu;
+    std::map<std::vector<int>, std::shared_ptr<const exec::ExecutionPlan>>
+        memo;
     dispatch_each(count, [&](std::size_t t) {
-      Circuit lowered = prog.lower(seed, t);
-      if (lowered.is_parameterized())
-        lowered = lowered.bind(options.binding);
-      const auto plan =
-          std::make_shared<const exec::ExecutionPlan>(build_plan(lowered));
+      const std::vector<int> outcomes = prog.sample_outcomes(seed, t);
+      std::shared_ptr<const exec::ExecutionPlan> plan;
+      if (memoize) {
+        std::lock_guard<std::mutex> lock(memo_mu);
+        const auto it = memo.find(outcomes);
+        if (it != memo.end()) plan = it->second;
+      }
+      if (!plan) {
+        Circuit lowered = prog.lower_outcomes(outcomes);
+        if (lowered.is_parameterized())
+          lowered = lowered.bind(options.binding);
+        plan = std::make_shared<const exec::ExecutionPlan>(
+            build_plan(lowered));
+        if (memoize) {
+          std::lock_guard<std::mutex> lock(memo_mu);
+          plan = memo.emplace(outcomes, std::move(plan)).first->second;
+        }
+      }
       exec::DistState state = executor_->initial_state(*plan, cluster_);
       executor_->execute(*plan, cluster_, state, ParamEnv{});
       partials[t] = partial_of(state, readout, options.shots,
@@ -142,7 +190,8 @@ noise::NoisyResult Session::run_noisy(
 
   noise::NoisyResultBuilder builder(circuit.num_qubits(),
                                       prog.pauli_fast_path(), options.shots,
-                                      options.accumulate_probabilities);
+                                      options.accumulate_probabilities,
+                                      readout);
   for (const TrajectoryPartial& p : partials)
     builder.add(p.weight, p.raw_z, p.samples, p.probs);
   return builder.finish();

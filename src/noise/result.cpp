@@ -1,7 +1,9 @@
 #include "noise/result.h"
 
+#include <array>
 #include <cmath>
 
+#include "common/bits.h"
 #include "common/error.h"
 
 namespace atlas::noise {
@@ -40,6 +42,58 @@ double NoisyResult::shot_probability(Index basis) const {
   return it == counts_.end() ? 0.0 : it->second / total_shots();
 }
 
+double NoisyResult::corrected_probability(Index basis) const {
+  ATLAS_CHECK(shots_ > 0, "run had no measurement shots; set "
+                          "NoisyRunOptions::shots or use sample_noisy()");
+  // Per-qubit inverse confusion: C^{-1} = [[1-p10, -p10], [-p01,
+  // 1-p01]] / (1 - p01 - p10); entry [true][measured].
+  std::vector<std::array<std::array<double, 2>, 2>> inv;
+  inv.reserve(readout_.size());
+  Index modeled = 0;
+  for (const auto& [q, err] : readout_) {
+    const double det = 1.0 - err.p01 - err.p10;
+    ATLAS_CHECK(std::abs(det) > 1e-9,
+                "readout confusion on qubit "
+                    << q << " is singular (p01 + p10 = 1); the inverse "
+                    << "correction is undefined");
+    inv.push_back({{{(1.0 - err.p10) / det, -err.p10 / det},
+                    {-err.p01 / det, (1.0 - err.p01) / det}}});
+    modeled |= bit(q);
+  }
+  double acc = 0;
+  for (const auto& [s, w] : counts_) {
+    // Unmodeled qubits carry no confusion: their measured bits must
+    // already match the queried basis state.
+    if ((s ^ basis) & ~modeled) continue;
+    double f = w;
+    for (std::size_t i = 0; i < readout_.size(); ++i) {
+      const Qubit q = readout_[i].first;
+      f *= inv[i][test_bit(basis, q) ? 1 : 0][test_bit(s, q) ? 1 : 0];
+    }
+    acc += f;
+  }
+  return acc / total_shots();
+}
+
+double NoisyResult::corrected_expectation_z(Qubit q) const {
+  ATLAS_CHECK(q >= 0 && q < num_qubits_, "qubit " << q << " out of range");
+  ATLAS_CHECK(shots_ > 0, "run had no measurement shots; set "
+                          "NoisyRunOptions::shots or use sample_noisy()");
+  double z = 0;
+  for (const auto& [s, w] : counts_) z += w * (test_bit(s, q) ? -1.0 : 1.0);
+  z /= total_shots();
+  for (const auto& [rq, err] : readout_) {
+    if (rq != q) continue;
+    const double det = 1.0 - err.p01 - err.p10;
+    ATLAS_CHECK(std::abs(det) > 1e-9,
+                "readout confusion on qubit "
+                    << q << " is singular (p01 + p10 = 1); the inverse "
+                    << "correction is undefined");
+    return (z + err.p01 - err.p10) / det;
+  }
+  return z;  // no modeled confusion on q: counts are already unbiased
+}
+
 Estimate NoisyResult::probability(Index basis) const {
   ATLAS_CHECK(!prob_sum_.empty(),
               "probabilities were not accumulated; set "
@@ -61,13 +115,15 @@ double NoisyResult::mean_weight() const {
   return weights_.empty() ? 0.0 : total / static_cast<double>(weights_.size());
 }
 
-NoisyResultBuilder::NoisyResultBuilder(int num_qubits, bool pauli_fast_path,
-                                       int shots,
-                                       bool accumulate_probabilities)
+NoisyResultBuilder::NoisyResultBuilder(
+    int num_qubits, bool pauli_fast_path, int shots,
+    bool accumulate_probabilities,
+    std::vector<std::pair<Qubit, ReadoutError>> readout)
     : accumulate_probabilities_(accumulate_probabilities) {
   result_.num_qubits_ = num_qubits;
   result_.pauli_fast_path_ = pauli_fast_path;
   result_.shots_ = shots;
+  result_.readout_ = std::move(readout);
   result_.z_sum_.assign(static_cast<std::size_t>(num_qubits), 0.0);
   result_.z_sum_sq_.assign(static_cast<std::size_t>(num_qubits), 0.0);
   if (accumulate_probabilities) {

@@ -10,10 +10,12 @@
 
 #include <cstdint>
 #include <map>
+#include <utility>
 #include <vector>
 
 #include "common/types.h"
 #include "ir/param.h"
+#include "noise/channel.h"
 
 namespace atlas::noise {
 
@@ -68,6 +70,31 @@ class NoisyResult {
   /// estimate of one basis state.
   double shot_probability(Index basis) const;
 
+  /// \name Readout-confusion-corrected count queries
+  /// Counts carry the model's readout confusion; these variants undo
+  /// it by applying the *inverse* per-qubit confusion matrices
+  /// C_q^{-1}, C_q = [[1-p01, p10], [p01, 1-p10]], to the sampled
+  /// counts — estimating the pre-readout observable from post-readout
+  /// shots (the standard measurement-mitigation estimator; unbiased,
+  /// though individual corrected probabilities may leave [0, 1] at
+  /// finite shots). They statistically match probability() /
+  /// expectation_z() without requiring accumulate_probabilities.
+  /// Both throw when the run drew no shots or a qubit's confusion
+  /// matrix is singular (p01 + p10 = 1); qubits without modeled
+  /// readout error are passed through unchanged.
+  /// @{
+  /// Corrected probability estimate of one basis state.
+  double corrected_probability(Index basis) const;
+  /// Corrected <Z_q> from the counts: (<Z_q>_counts + p01 - p10) /
+  /// (1 - p01 - p10).
+  double corrected_expectation_z(Qubit q) const;
+  /// The per-qubit confusion the correction inverts (non-trivial
+  /// entries only, as recorded by the run).
+  const std::vector<std::pair<Qubit, ReadoutError>>& readout() const {
+    return readout_;
+  }
+  /// @}
+
   /// Pre-readout probability estimate of one basis state (requires
   /// accumulate_probabilities).
   Estimate probability(Index basis) const;
@@ -89,6 +116,9 @@ class NoisyResult {
   std::vector<double> z_sum_, z_sum_sq_;        // per qubit
   std::vector<double> prob_sum_, prob_sum_sq_;  // per basis state (opt-in)
   std::map<Index, double> counts_;
+  /// Non-trivial per-qubit readout confusion the counts were drawn
+  /// under (what corrected_* inverts).
+  std::vector<std::pair<Qubit, ReadoutError>> readout_;
 };
 
 /// Assembles a NoisyResult from per-trajectory partials in
@@ -96,8 +126,12 @@ class NoisyResult {
 /// the engine, exposed so tests can build results directly.
 class NoisyResultBuilder {
  public:
+  /// `readout` records the non-trivial per-qubit confusion applied to
+  /// the samples being folded in (empty = none), enabling the
+  /// corrected_* queries on the finished result.
   NoisyResultBuilder(int num_qubits, bool pauli_fast_path, int shots,
-                     bool accumulate_probabilities);
+                     bool accumulate_probabilities,
+                     std::vector<std::pair<Qubit, ReadoutError>> readout = {});
 
   /// Folds one trajectory in: its weight, raw per-qubit Z sums, the
   /// drawn (readout-corrected) samples, and its exact distribution

@@ -119,7 +119,15 @@ void TrajectoryProgram::sample_pauli_angles(
 }
 
 Circuit TrajectoryProgram::lower(std::uint64_t seed, std::uint64_t t) const {
-  const std::vector<int> outcomes = sample_outcomes(seed, t);
+  return lower_outcomes(sample_outcomes(seed, t));
+}
+
+Circuit TrajectoryProgram::lower_outcomes(
+    const std::vector<int>& outcomes) const {
+  ATLAS_CHECK(outcomes.size() == sites_.size(),
+              "outcome pattern has " << outcomes.size() << " entries but the "
+                                     << "program has " << sites_.size()
+                                     << " noise sites");
   Circuit out(circuit_->num_qubits(), circuit_->name().empty()
                                           ? "noisy"
                                           : circuit_->name() + "+noise");

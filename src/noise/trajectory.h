@@ -74,6 +74,12 @@ class TrajectoryProgram {
   /// are left as-is; bind user symbols before executing.
   Circuit lower(std::uint64_t seed, std::uint64_t t) const;
 
+  /// As lower(), from an explicit per-site outcome pattern (one index
+  /// per site, as produced by sample_outcomes()). Two trajectories
+  /// with equal patterns lower to *identical* circuits — the property
+  /// the engine's general-Kraus plan memoization keys on.
+  Circuit lower_outcomes(const std::vector<int>& outcomes) const;
+
   /// The sampled outcome index per site for trajectory `t`.
   std::vector<int> sample_outcomes(std::uint64_t seed, std::uint64_t t) const;
 

@@ -1,0 +1,225 @@
+#include "opt/rewrite.h"
+
+#include <algorithm>
+#include <numbers>
+
+#include "common/error.h"
+#include "ir/matrix.h"
+
+namespace atlas {
+
+Gate inverse_gate(const Gate& g) {
+  switch (g.kind()) {
+    // Self-inverse gates.
+    case GateKind::H: case GateKind::X: case GateKind::Y: case GateKind::Z:
+    case GateKind::CX: case GateKind::CY: case GateKind::CZ:
+    case GateKind::CH: case GateKind::SWAP: case GateKind::CCX:
+    case GateKind::CCZ: case GateKind::CSWAP:
+      return g;
+    case GateKind::S:
+      return Gate::sdg(g.qubits()[0]);
+    case GateKind::Sdg:
+      return Gate::s(g.qubits()[0]);
+    case GateKind::T:
+      return Gate::tdg(g.qubits()[0]);
+    case GateKind::Tdg:
+      return Gate::t(g.qubits()[0]);
+    case GateKind::SX:
+      // SX^-1 = SX^dagger, expressible as a custom unitary.
+      return Gate::unitary({g.qubits()[0]}, g.target_matrix().dagger());
+    case GateKind::RX:
+      return Gate::rx(g.qubits()[0], -g.params()[0]);
+    case GateKind::RY:
+      return Gate::ry(g.qubits()[0], -g.params()[0]);
+    case GateKind::RZ:
+      return Gate::rz(g.qubits()[0], -g.params()[0]);
+    case GateKind::P:
+      return Gate::p(g.qubits()[0], -g.params()[0]);
+    case GateKind::U2:
+      // u2(phi,lam) = u3(pi/2, phi, lam) and u3(t,phi,lam)^-1 =
+      // u3(-t,-lam,-phi); staying parametric keeps symbolic circuits
+      // invertible.
+      return Gate::u3(g.qubits()[0], -std::numbers::pi / 2, -g.param(1),
+                      -g.param(0));
+    case GateKind::U3:
+      return Gate::u3(g.qubits()[0], -g.param(0), -g.param(2), -g.param(1));
+    case GateKind::CP:
+      return Gate::cp(g.qubits()[0], g.qubits()[1], -g.params()[0]);
+    case GateKind::CRX:
+      return Gate::crx(g.control(0), g.target(0), -g.params()[0]);
+    case GateKind::CRY:
+      return Gate::cry(g.control(0), g.target(0), -g.params()[0]);
+    case GateKind::CRZ:
+      return Gate::crz(g.control(0), g.target(0), -g.params()[0]);
+    case GateKind::RZZ:
+      return Gate::rzz(g.qubits()[0], g.qubits()[1], -g.params()[0]);
+    case GateKind::RXX:
+      return Gate::rxx(g.qubits()[0], g.qubits()[1], -g.params()[0]);
+    case GateKind::Unitary:
+      return Gate::controlled_unitary(g.controls(), g.targets(),
+                                      g.target_matrix().dagger());
+  }
+  throw Error("unhandled gate kind in inverse_gate");
+}
+
+Circuit inverse(const Circuit& circuit) {
+  Circuit inv(circuit.num_qubits(), circuit.name() + "_inv");
+  for (int i = circuit.num_gates() - 1; i >= 0; --i)
+    inv.add(inverse_gate(circuit.gate(i)));
+  return inv;
+}
+
+int depth(const Circuit& circuit) {
+  std::vector<int> level(circuit.num_qubits(), 0);
+  int d = 0;
+  for (const Gate& g : circuit.gates()) {
+    int l = 0;
+    for (Qubit q : g.qubits()) l = std::max(l, level[q]);
+    ++l;
+    for (Qubit q : g.qubits()) level[q] = l;
+    d = std::max(d, l);
+  }
+  return d;
+}
+
+CircuitStats statistics(const Circuit& circuit) {
+  CircuitStats s;
+  s.num_qubits = circuit.num_qubits();
+  s.num_gates = circuit.num_gates();
+  s.depth = depth(circuit);
+  s.multi_qubit_gates = circuit.num_multi_qubit_gates();
+  for (const Gate& g : circuit.gates()) {
+    ++s.gate_histogram[gate_kind_name(g.kind())];
+    if (g.non_insular_qubits().empty()) ++s.fully_insular_gates;
+  }
+  return s;
+}
+
+namespace opt {
+namespace {
+
+/// True iff `g` acts block-diagonally on qubit `q` (which must be one
+/// of its qubits): fully diagonal gates are block-diagonal on every
+/// qubit; controlled gates are jointly block-diagonal on any subset of
+/// their control qubits.
+bool block_diagonal_on(const Gate& g, Qubit q) {
+  if (g.fully_diagonal()) return true;
+  for (int pos = g.num_targets(); pos < g.num_qubits(); ++pos)
+    if (g.qubits()[static_cast<std::size_t>(pos)] == q) return true;
+  return false;
+}
+
+/// Is the parameter expression syntactically the exact constant 0?
+bool zero_param(const Param& p) {
+  return p.is_constant() && p.constant_term() == 0.0;
+}
+
+std::vector<Qubit> sorted_qubits(const std::vector<Qubit>& qs) {
+  std::vector<Qubit> out = qs;
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace
+
+bool gates_commute(const Gate& a, const Gate& b) {
+  for (Qubit q : a.qubits()) {
+    if (!b.acts_on(q)) continue;
+    if (!block_diagonal_on(a, q) || !block_diagonal_on(b, q)) return false;
+  }
+  // Disjoint supports always commute; shared qubits passed the joint
+  // block-diagonality test, and the remainders are disjoint by
+  // construction, so the operators commute exactly.
+  return true;
+}
+
+bool same_qubits_up_to_symmetry(GateKind kind, const Gate& a, const Gate& b) {
+  switch (kind) {
+    // Fully symmetric kinds: any qubit permutation is the same gate.
+    case GateKind::CZ:
+    case GateKind::CP:
+    case GateKind::SWAP:
+    case GateKind::RZZ:
+    case GateKind::RXX:
+    case GateKind::CCZ:
+      return sorted_qubits(a.qubits()) == sorted_qubits(b.qubits());
+    // Controls of a Toffoli are interchangeable; the target is not.
+    case GateKind::CCX:
+      return a.target(0) == b.target(0) &&
+             sorted_qubits(a.controls()) == sorted_qubits(b.controls());
+    // Fredkin: swap targets are interchangeable under the one control.
+    case GateKind::CSWAP:
+      return a.control(0) == b.control(0) &&
+             sorted_qubits(a.targets()) == sorted_qubits(b.targets());
+    default:
+      return a.qubits() == b.qubits();
+  }
+}
+
+bool mergeable_rotation(GateKind kind) {
+  switch (kind) {
+    case GateKind::RX: case GateKind::RY: case GateKind::RZ:
+    case GateKind::P: case GateKind::CP:
+    case GateKind::CRX: case GateKind::CRY: case GateKind::CRZ:
+    case GateKind::RZZ: case GateKind::RXX:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_inverse_pair(const Gate& a, const Gate& b) {
+  const GateKind k = a.kind();
+  if (mergeable_rotation(k)) {
+    return b.kind() == k && same_qubits_up_to_symmetry(k, a, b) &&
+           zero_param(a.param(0) + b.param(0));
+  }
+  switch (k) {
+    // Self-inverse, parameter-free.
+    case GateKind::H: case GateKind::X: case GateKind::Y: case GateKind::Z:
+    case GateKind::CX: case GateKind::CY: case GateKind::CZ:
+    case GateKind::CH: case GateKind::SWAP: case GateKind::CCX:
+    case GateKind::CCZ: case GateKind::CSWAP:
+      return b.kind() == k && same_qubits_up_to_symmetry(k, a, b);
+    case GateKind::S:
+      return b.kind() == GateKind::Sdg && a.qubits() == b.qubits();
+    case GateKind::Sdg:
+      return b.kind() == GateKind::S && a.qubits() == b.qubits();
+    case GateKind::T:
+      return b.kind() == GateKind::Tdg && a.qubits() == b.qubits();
+    case GateKind::Tdg:
+      return b.kind() == GateKind::T && a.qubits() == b.qubits();
+    case GateKind::U3:
+      // u3(t,phi,lam)^-1 = u3(-t,-lam,-phi).
+      return b.kind() == GateKind::U3 && a.qubits() == b.qubits() &&
+             zero_param(a.param(0) + b.param(0)) &&
+             zero_param(a.param(1) + b.param(2)) &&
+             zero_param(a.param(2) + b.param(1));
+    default:
+      // SX/U2/Unitary: either no exact-kind inverse in the library or
+      // (Unitary) possibly non-unitary trajectory operators whose
+      // dagger is not an inverse. Leave them to run resynthesis.
+      return false;
+  }
+}
+
+bool is_identity_gate(const Gate& g, double tol) {
+  if (mergeable_rotation(g.kind()))
+    return !g.params().empty() && zero_param(g.param(0));
+  if (g.kind() == GateKind::U3)
+    return zero_param(g.param(0)) && zero_param(g.param(1)) &&
+           zero_param(g.param(2));
+  if (g.kind() == GateKind::Unitary && g.num_controls() == 0) {
+    const Matrix& m = g.target_matrix();
+    return Matrix::max_abs_diff(m, Matrix::identity(m.rows())) <= tol;
+  }
+  return false;
+}
+
+bool constant_1q_gate(const Gate& g) {
+  return g.num_qubits() == 1 && g.num_controls() == 0 &&
+         !g.is_parameterized();
+}
+
+}  // namespace opt
+}  // namespace atlas

@@ -1,0 +1,83 @@
+#pragma once
+
+/// \file rewrite.h
+/// Circuit- and gate-level rewrite primitives shared by the optimizer
+/// passes (opt/passes.cpp) plus the general circuit toolbox that used
+/// to live in ir/transform.h — inversion, depth, and summary
+/// statistics. Consolidated here so every structural rewrite (and its
+/// soundness argument) lives next to the pass framework that applies
+/// it; the toolbox entry points keep their old names in namespace
+/// atlas, callers only change the include.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ir/circuit.h"
+
+namespace atlas {
+
+/// The inverse circuit: gates reversed, each replaced by its dagger.
+/// inverse(c) applied after c maps any state back to itself.
+Circuit inverse(const Circuit& circuit);
+
+/// The dagger of a single gate.
+Gate inverse_gate(const Gate& gate);
+
+/// Circuit depth: longest dependency chain (layers of parallel gates).
+int depth(const Circuit& circuit);
+
+struct CircuitStats {
+  int num_qubits = 0;
+  int num_gates = 0;
+  int depth = 0;
+  int multi_qubit_gates = 0;
+  int fully_insular_gates = 0;
+  std::map<std::string, int> gate_histogram;
+};
+
+CircuitStats statistics(const Circuit& circuit);
+
+namespace opt {
+
+/// True iff the two gates provably commute as operators. Conservative
+/// and purely structural (never numeric on rotation parameters, so the
+/// answer is valid for every binding): gates on disjoint qubits
+/// commute; otherwise both gates must act *block-diagonally* on every
+/// shared qubit — i.e. be fully diagonal, or hold the shared qubit as
+/// a control. Two operators that are simultaneously block-diagonal
+/// over the shared qubits and act on disjoint remainders commute
+/// exactly.
+bool gates_commute(const Gate& a, const Gate& b);
+
+/// True iff the gates have the same qubit tuple, honoring each kind's
+/// qubit symmetry: cz/cp/swap/rzz/rxx/ccz are invariant under any
+/// permutation of their qubits, ccx under swapping its controls, cswap
+/// under swapping its targets; every other kind is order-sensitive.
+/// Both gates must be of kind `kind`.
+bool same_qubits_up_to_symmetry(GateKind kind, const Gate& a, const Gate& b);
+
+/// True iff `b` is syntactically the inverse of `a`: self-inverse
+/// parameter-free pairs (h/x/.../ccx), s<->sdg, t<->tdg, and
+/// rotation-family pairs whose parameter expressions sum to the exact
+/// constant 0 (symbolic-safe: rz(theta) cancels rz(-theta)). Opaque
+/// Unitary gates are never matched — their matrices may be non-unitary
+/// (Kraus trajectory operators), where dagger != inverse.
+bool is_inverse_pair(const Gate& a, const Gate& b);
+
+/// True for the rotation-family kinds the merge pass accumulates:
+/// rx/ry/rz/p/cp/crx/cry/crz/rzz/rxx (one angle, same-kind products
+/// compose by parameter addition, exactly and including global phase).
+bool mergeable_rotation(GateKind kind);
+
+/// True iff the gate is exactly the identity (global phase included):
+/// a mergeable rotation at the syntactic constant 0, or an uncontrolled
+/// Unitary within `tol` of I. u3(0,0,0) also qualifies.
+bool is_identity_gate(const Gate& g, double tol);
+
+/// True iff the gate is a constant (no free symbols) uncontrolled
+/// single-qubit gate — the raw material of 1q run resynthesis.
+bool constant_1q_gate(const Gate& g);
+
+}  // namespace opt
+}  // namespace atlas

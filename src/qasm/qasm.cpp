@@ -607,6 +607,48 @@ NoisyParse parse_file_with_noise(const std::string& path) {
   return out;
 }
 
+namespace {
+
+/// Serializes an uncontrolled Unitary gate (the optimizer's resynthesis
+/// products) as standard qelib1 gates, exact up to a global phase —
+/// QASM 2 cannot express one. Single-qubit unitaries become one u3;
+/// two-qubit *diagonal* unitaries become p/p/cp. Anything else (and
+/// non-unitary trajectory operators) still refuses.
+void emit_unitary(std::ostringstream& os, const Gate& g) {
+  ATLAS_CHECK(g.num_controls() == 0 &&
+                  (g.num_qubits() == 1 ||
+                   (g.num_qubits() == 2 && g.fully_diagonal())),
+              "cannot serialize opaque unitary gate '"
+                  << g.to_string()
+                  << "' to QASM (supported: uncontrolled 1q unitaries and "
+                  << "2q diagonals, up to global phase)");
+  const Matrix m = g.target_matrix();
+  ATLAS_CHECK(m.is_unitary(1e-9), "cannot serialize non-unitary gate '"
+                                      << g.to_string() << "' to QASM");
+  if (g.num_qubits() == 1) {
+    const Amp a = m(0, 0), b = m(0, 1), c = m(1, 0), d = m(1, 1);
+    const double theta = 2.0 * std::atan2(std::abs(c), std::abs(a));
+    // Global phase alpha normalizes the first nonzero column entry.
+    const double alpha = std::abs(a) > 1e-12 ? std::arg(a) : 0.0;
+    const double phi = std::abs(c) > 1e-12 ? std::arg(c) - alpha : 0.0;
+    const double lambda = std::abs(b) > 1e-12 ? std::arg(-b) - alpha
+                                              : std::arg(d) - alpha - phi;
+    os << "u3(" << theta << "," << phi << "," << lambda << ") q["
+       << g.qubits()[0] << "];\n";
+    return;
+  }
+  // diag(d0,d1,d2,d3) over bits (q1,q0) = e^{i arg d0} * p(q0, arg
+  // d1/d0) p(q1, arg d2/d0) cp(q0, q1, arg d0*d3/(d1*d2)).
+  const Amp d0 = m(0, 0), d1 = m(1, 1), d2 = m(2, 2), d3 = m(3, 3);
+  const Qubit q0 = g.qubits()[0], q1 = g.qubits()[1];
+  os << "p(" << std::arg(d1 / d0) << ") q[" << q0 << "];\n";
+  os << "p(" << std::arg(d2 / d0) << ") q[" << q1 << "];\n";
+  os << "cp(" << std::arg((d0 * d3) / (d1 * d2)) << ") q[" << q0 << "],q["
+     << q1 << "];\n";
+}
+
+}  // namespace
+
 std::string to_qasm(const Circuit& circuit) {
   std::ostringstream os;
   const std::vector<std::string> symbols = circuit.symbols();
@@ -631,8 +673,10 @@ std::string to_qasm(const Circuit& circuit) {
   os << "qreg q[" << circuit.num_qubits() << "];\n";
   os.precision(17);
   for (const Gate& g : circuit.gates()) {
-    ATLAS_CHECK(g.kind() != GateKind::Unitary,
-                "cannot serialize opaque unitary gates to QASM 2");
+    if (g.kind() == GateKind::Unitary) {
+      emit_unitary(os, g);
+      continue;
+    }
     os << gate_kind_name(g.kind());
     if (!g.params().empty()) {
       os << "(";

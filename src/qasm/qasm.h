@@ -59,7 +59,12 @@ NoisyParse parse_with_noise(const std::string& source);
 /// Reads and parses a .qasm file with its noise pragmas.
 NoisyParse parse_file_with_noise(const std::string& path);
 
-/// Serializes a circuit as OpenQASM 2.0.
+/// Serializes a circuit as OpenQASM 2.0. Opaque Unitary gates (the
+/// optimizer's resynthesis products) are lowered to standard gates —
+/// single-qubit unitaries to one u3, two-qubit diagonals to p/p/cp —
+/// exact up to a global phase QASM 2 cannot express, so optimized
+/// circuits round-trip as rays; other Unitary shapes (and non-unitary
+/// trajectory operators) throw atlas::Error.
 std::string to_qasm(const Circuit& circuit);
 
 }  // namespace atlas::qasm

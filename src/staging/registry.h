@@ -19,6 +19,18 @@ namespace atlas::staging {
 /// validate_staging() for the given shape, and throw atlas::Error when
 /// none exists (e.g. a gate with more non-insular qubits than local
 /// capacity).
+///
+/// Entry contract (the compile pipeline, core/pipeline.h): the circuit
+/// a stager sees is *post-optimization and slot-canonical* — gate-level
+/// rewrites (merging, resynthesis, commutation-aware reordering) have
+/// already run at the session's opt_level, and every rotation-family
+/// parameter is an engine slot symbol ("$k"), never a concrete value.
+/// Stagers must therefore decide insularity/diagonality per gate kind
+/// (paper Definition 2), never numerically — the same staging serves
+/// every binding of the slots. Circuits from the value-keyed plan()
+/// path and per-trajectory noise lowerings skip both front phases, so
+/// concrete parameters (and non-unitary trajectory operators) remain
+/// legal inputs; only the *canonical* form is guaranteed slot-pure.
 class Stager {
  public:
   virtual ~Stager() = default;

@@ -9,7 +9,7 @@
 #include "circuits/families.h"
 #include "core/atlas.h"
 #include "exec/queries.h"
-#include "ir/transform.h"
+#include "opt/rewrite.h"
 #include "sim/measure.h"
 #include "sim/reference.h"
 

@@ -11,12 +11,16 @@
 #include <string>
 #include <vector>
 
+#include <atomic>
+#include <set>
+
 #include "core/session.h"
 #include "noise/channel.h"
 #include "noise/density_ref.h"
 #include "noise/model.h"
 #include "noise/trajectory.h"
 #include "sim/reference.h"
+#include "staging/snuqs.h"
 
 namespace atlas {
 namespace {
@@ -429,6 +433,150 @@ TEST(Convergence, ReadoutErrorMatchesConfusedDensityDiagonal) {
   // The estimate must actually reflect the confusion, not just sit
   // within a loose band of both references.
   EXPECT_LT(l1_confused, l1_unconfused);
+}
+
+// --------------------------------------------------------------------------
+// General-Kraus trajectory plans memoize on the sampled outcome pattern.
+
+std::atomic<int> kraus_memo_stager_calls{0};
+
+class KrausMemoCountingStager final : public staging::Stager {
+ public:
+  std::string name() const override { return "kraus-memo-counting"; }
+  staging::StagedCircuit stage(const Circuit& circuit,
+                               const staging::MachineShape& shape,
+                               const staging::StagingOptions&) const override {
+    ++kraus_memo_stager_calls;
+    return staging::stage_with_snuqs(circuit, shape);
+  }
+};
+
+TEST(KrausPlanMemo, BatchPlansOncePerDistinctOutcomePattern) {
+  staging::stager_registry().add("kraus-memo-counting", [] {
+    return std::make_shared<KrausMemoCountingStager>();
+  });
+  // One amplitude-damping site (after the single h) with two Kraus
+  // outcomes: a 24-trajectory batch draws at most 2 distinct patterns,
+  // so the engine must build at most 2 plans instead of 24.
+  NoiseModel model;
+  model.after_gate("h", KrausChannel::amplitude_damping(0.3));
+  Circuit single(4, "one_h");
+  single.add(Gate::h(0));
+  for (Qubit q = 0; q + 1 < 4; ++q) single.add(Gate::cx(q, q + 1));
+  for (Qubit q = 0; q < 4; ++q) single.add(Gate::ry(q, 0.3 + 0.2 * q));
+
+  const int trajectories = 24;
+  const std::uint64_t seed = 17;
+  const TrajectoryProgram prog = TrajectoryProgram::build(single, model);
+  ASSERT_FALSE(prog.pauli_fast_path());
+  ASSERT_EQ(prog.num_sites(), 1);
+  std::set<std::vector<int>> distinct;
+  for (int t = 0; t < trajectories; ++t)
+    distinct.insert(prog.sample_outcomes(seed, t));
+  ASSERT_GE(distinct.size(), 2u);  // both outcomes drawn at this seed
+
+  SessionConfig cfg = shaped(3, 1, 0);
+  cfg.stager = "kraus-memo-counting";
+  const Session session(cfg);
+  NoisyRunOptions opts;
+  opts.trajectories = trajectories;
+  opts.seed = seed;
+  const int calls_before = kraus_memo_stager_calls.load();
+  const NoisyResult result = session.run_noisy(single, model, opts);
+  EXPECT_EQ(kraus_memo_stager_calls.load() - calls_before,
+            static_cast<int>(distinct.size()));
+  EXPECT_EQ(result.trajectories(), static_cast<std::uint64_t>(trajectories));
+
+  // Memoized plans change nothing observable: same counts/moments as a
+  // single-threaded session of the default stager.
+  SessionConfig ref_cfg = shaped(3, 1, 0);
+  ref_cfg.dispatch_threads = 1;
+  NoisyRunOptions ref_opts = opts;
+  ref_opts.accumulate_probabilities = true;
+  NoisyRunOptions par_opts = ref_opts;
+  SessionConfig par_cfg = shaped(3, 1, 0);
+  par_cfg.dispatch_threads = 4;
+  const NoisyResult a = Session(ref_cfg).run_noisy(single, model, ref_opts);
+  const NoisyResult b = Session(par_cfg).run_noisy(single, model, par_opts);
+  EXPECT_EQ(a.probabilities(), b.probabilities());
+  for (Qubit q = 0; q < 4; ++q)
+    EXPECT_EQ(a.expectation_z(q).value, b.expectation_z(q).value) << q;
+}
+
+// --------------------------------------------------------------------------
+// Readout-confusion-corrected query facade.
+
+TEST(CorrectedReadout, GuardsAndPassThrough) {
+  const Circuit c = test_circuit(3);
+  NoiseModel model;
+  model.after_all_gates(KrausChannel::bit_flip(0.05));
+  const Session session(shaped(3, 0, 0));
+  NoisyRunOptions opts;
+  opts.trajectories = 10;
+  const NoisyResult no_shots = session.run_noisy(c, model, opts);
+  EXPECT_THROW(no_shots.corrected_probability(0), Error);
+  EXPECT_THROW(no_shots.corrected_expectation_z(0), Error);
+
+  // Without modeled readout error the corrected queries equal the raw
+  // count estimates exactly.
+  const NoisyResult plain = session.sample_noisy(c, model, 64, opts);
+  EXPECT_TRUE(plain.readout().empty());
+  for (Index i = 0; i < 8; ++i)
+    EXPECT_DOUBLE_EQ(plain.corrected_probability(i),
+                     plain.shot_probability(i))
+        << i;
+
+  // A singular confusion matrix (p01 + p10 = 1) cannot be inverted.
+  NoiseModel singular;
+  singular.after_all_gates(KrausChannel::bit_flip(0.05));
+  singular.readout_error(0, 0.4, 0.6);
+  const NoisyResult bad = session.sample_noisy(c, singular, 32, opts);
+  EXPECT_THROW(bad.corrected_probability(0), Error);
+  EXPECT_THROW(bad.corrected_expectation_z(0), Error);
+  EXPECT_NO_THROW(bad.corrected_expectation_z(1));  // unmodeled qubit
+}
+
+TEST(CorrectedReadout, InverseConfusionRecoversPreReadoutObservables) {
+  // Strong readout confusion; the corrected estimates must undo it —
+  // land near the *unconfused* density diagonal — while the raw shot
+  // estimates stay near the confused one.
+  const Circuit c = test_circuit(3);
+  NoiseModel model;
+  model.after_all_gates(KrausChannel::depolarizing(0.05));
+  model.readout_error_all(0.08, 0.15);
+  model.readout_error(1, 0.2, 0.05);
+  Session session(shaped(3, 0, 0));
+  NoisyRunOptions opts;
+  opts.trajectories = 1500;
+  const NoisyResult result = session.sample_noisy(c, model, 64, opts);
+  ASSERT_EQ(result.readout().size(), 3u);
+
+  const DensityMatrix rho = noise::simulate_density(c, model);
+  const auto unconfused = rho.probabilities();
+  const auto confused = rho.probabilities_with_readout(model);
+  double l1_corrected_vs_true = 0, l1_raw_vs_true = 0;
+  for (Index i = 0; i < unconfused.size(); ++i) {
+    l1_corrected_vs_true +=
+        std::abs(result.corrected_probability(i) - unconfused[i]);
+    l1_raw_vs_true += std::abs(result.shot_probability(i) - unconfused[i]);
+  }
+  // The correction strictly improves the estimate of the pre-readout
+  // distribution (the confusion here is strong enough that sampling
+  // noise cannot flip the comparison at this shot budget).
+  EXPECT_LT(l1_corrected_vs_true, l1_raw_vs_true);
+  EXPECT_LT(l1_corrected_vs_true, 0.1);
+
+  for (Qubit q = 0; q < 3; ++q) {
+    const double exact = rho.expectation_z(q);
+    EXPECT_NEAR(result.corrected_expectation_z(q), exact, 0.1) << q;
+  }
+  // Sanity: the raw counts really are confused (away from exact on at
+  // least one qubit), so the agreement above is the correction's work.
+  double max_raw_err = 0;
+  for (Index i = 0; i < confused.size(); ++i)
+    max_raw_err = std::max(
+        max_raw_err, std::abs(result.shot_probability(i) - confused[i]));
+  EXPECT_LT(max_raw_err, 0.1);  // raw estimates track the confused diagonal
 }
 
 }  // namespace

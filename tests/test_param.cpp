@@ -11,7 +11,7 @@
 #include "common/error.h"
 #include "ir/circuit.h"
 #include "ir/param.h"
-#include "ir/transform.h"
+#include "opt/rewrite.h"
 #include "sim/reference.h"
 
 namespace atlas {

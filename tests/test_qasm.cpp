@@ -3,9 +3,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <numbers>
 
 #include "circuits/families.h"
+#include "opt/pass_manager.h"
 #include "qasm/qasm.h"
 #include "sim/reference.h"
 
@@ -245,6 +247,51 @@ TEST(QasmNoise, PlainParseIgnoresPragmas) {
   const Circuit c = qasm::parse(kNoisyProgram);
   EXPECT_EQ(c.num_gates(), 3);
   EXPECT_EQ(c.num_qubits(), 3);
+}
+
+TEST(Qasm, OptimizedCircuitsRoundTripUpToGlobalPhase) {
+  // Level-2 optimization emits opaque Unitary gates (1q run products,
+  // 2q folded diagonals); the exporter lowers them to u3 / p+p+cp,
+  // exact up to a global phase QASM 2 cannot express. The round trip
+  // must preserve the ray.
+  for (const char* family : {"qsvm", "ising", "su2random"}) {
+    const Circuit c = circuits::make_family(family, 5);
+    opt::OptOptions o;
+    o.level = 2;
+    opt::PassContext ctx;
+    ctx.num_local_qubits = 3;
+    const Circuit oc = opt::PassManager(o).run(c, ctx);
+    const bool has_unitary =
+        std::any_of(oc.gates().begin(), oc.gates().end(), [](const Gate& g) {
+          return g.kind() == GateKind::Unitary;
+        });
+    EXPECT_TRUE(has_unitary) << family;  // the test exercises the new path
+    const Circuit round = qasm::parse(qasm::to_qasm(oc));
+    const StateVector a = simulate_reference(c);
+    StateVector b = simulate_reference(round);
+    // Align b's global phase on a's largest amplitude, then compare.
+    Index best = 0;
+    double mag = 0;
+    for (Index i = 0; i < a.size(); ++i)
+      if (std::abs(a[i]) > mag) {
+        mag = std::abs(a[i]);
+        best = i;
+      }
+    ASSERT_GT(std::abs(b[best]), 1e-12) << family;
+    const Amp phase =
+        (a[best] / std::abs(a[best])) / (b[best] / std::abs(b[best]));
+    double diff = 0;
+    for (Index i = 0; i < a.size(); ++i)
+      diff = std::max(diff, std::abs(a[i] - phase * b[i]));
+    EXPECT_LT(diff, 1e-9) << family;
+  }
+  // Shapes the exporter cannot express still refuse loudly.
+  Circuit bad(3);
+  bad.add(Gate::unitary({0, 1}, Matrix::square(4, {1, 0, 0, 0,  //
+                                                   0, 0, 1, 0,  //
+                                                   0, 1, 0, 0,  //
+                                                   0, 0, 0, 1})));
+  EXPECT_THROW(qasm::to_qasm(bad), Error);  // non-diagonal 2q unitary
 }
 
 TEST(QasmNoise, MalformedPragmasThrowWithLineNumbers) {

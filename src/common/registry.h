@@ -65,7 +65,7 @@ class Registry {
         if (i) os << ", ";
         os << known[i];
       }
-      throw Error(os.str());
+      throw Error(os.str(), ErrorCode::not_found);
     }
     auto backend = factory();
     ATLAS_CHECK(backend != nullptr,

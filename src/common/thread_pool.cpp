@@ -29,6 +29,10 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::submit(std::function<void()> task) {
   {
     std::lock_guard<std::mutex> lock(mu_);
+    if (draining_) {
+      throw Error("ThreadPool is draining; new tasks are rejected",
+                  ErrorCode::unavailable);
+    }
     tasks_.push(std::move(task));
     ++in_flight_;
   }
@@ -38,6 +42,17 @@ void ThreadPool::submit(std::function<void()> task) {
 void ThreadPool::wait_idle() {
   std::unique_lock<std::mutex> lock(mu_);
   cv_idle_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  draining_ = true;
+  cv_idle_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+bool ThreadPool::draining() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return draining_;
 }
 
 void ThreadPool::parallel_for(std::size_t n,

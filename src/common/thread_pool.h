@@ -27,11 +27,25 @@ class ThreadPool {
 
   std::size_t size() const { return workers_.size(); }
 
-  /// Enqueues a task; returns immediately.
+  /// Enqueues a task; returns immediately. Throws atlas::Error
+  /// (ErrorCode::unavailable) once drain() has been called.
   void submit(std::function<void()> task);
 
   /// Blocks until every submitted task has finished.
   void wait_idle();
+
+  /// Graceful shutdown mode: atomically stops accepting new submit()s
+  /// (they throw ErrorCode::unavailable from this point on), lets every
+  /// queued and running task finish, and returns once the pool is idle.
+  /// Terminal — there is no way to resume a drained pool; destroy it
+  /// instead. Idempotent and safe to call concurrently with submitters:
+  /// a submit either lands before the drain (and is waited for) or
+  /// throws. Workers stay parked so the destructor still works.
+  /// Must not be called from a task running on this pool (deadlock).
+  void drain();
+
+  /// True once drain() has begun.
+  bool draining() const;
 
   /// Runs fn(i) for i in [0, n), distributing across the pool and
   /// blocking until all iterations complete. Exceptions from tasks are
@@ -45,11 +59,12 @@ class ThreadPool {
 
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> tasks_;
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable cv_task_;
   std::condition_variable cv_idle_;
   std::size_t in_flight_ = 0;
   bool stop_ = false;
+  bool draining_ = false;
 };
 
 }  // namespace atlas

@@ -84,54 +84,54 @@ std::vector<Index> SimulationResult::sample(int shots) const {
 
 void validate_session_config(const SessionConfig& config) {
   const auto& cc = config.cluster;
-  ATLAS_CHECK(cc.local_qubits >= 3 && cc.local_qubits < 40,
+  ATLAS_CHECK_ARG(cc.local_qubits >= 3 && cc.local_qubits < 40,
               "cluster.local_qubits must be in [3, 40), got "
                   << cc.local_qubits);
-  ATLAS_CHECK(cc.regional_qubits >= 0, "cluster.regional_qubits is negative: "
+  ATLAS_CHECK_ARG(cc.regional_qubits >= 0, "cluster.regional_qubits is negative: "
                                            << cc.regional_qubits);
-  ATLAS_CHECK(cc.global_qubits >= 0,
+  ATLAS_CHECK_ARG(cc.global_qubits >= 0,
               "cluster.global_qubits is negative: " << cc.global_qubits);
-  ATLAS_CHECK(cc.regional_qubits + cc.global_qubits < 24,
+  ATLAS_CHECK_ARG(cc.regional_qubits + cc.global_qubits < 24,
               "cluster has 2^" << (cc.regional_qubits + cc.global_qubits)
                                << " shards; that cannot be simulated");
-  ATLAS_CHECK(cc.gpus_per_node >= 1,
+  ATLAS_CHECK_ARG(cc.gpus_per_node >= 1,
               "cluster.gpus_per_node must be >= 1, got " << cc.gpus_per_node);
-  ATLAS_CHECK(cc.gpus_per_node <= cc.shards_per_node(),
+  ATLAS_CHECK_ARG(cc.gpus_per_node <= cc.shards_per_node(),
               "cluster.gpus_per_node ("
                   << cc.gpus_per_node << ") exceeds 2^regional_qubits ("
                   << cc.shards_per_node()
                   << "); shrink gpus_per_node or grow regional_qubits");
-  ATLAS_CHECK(cc.num_threads >= 0,
+  ATLAS_CHECK_ARG(cc.num_threads >= 0,
               "cluster.num_threads is negative: " << cc.num_threads);
-  ATLAS_CHECK(config.dispatch_threads >= 0,
+  ATLAS_CHECK_ARG(config.dispatch_threads >= 0,
               "dispatch_threads is negative: " << config.dispatch_threads);
-  ATLAS_CHECK(config.stage_cost_factor > 0,
+  ATLAS_CHECK_ARG(config.stage_cost_factor > 0,
               "stage_cost_factor must be positive, got "
                   << config.stage_cost_factor);
-  ATLAS_CHECK(config.staging.ilp.max_stages >= 1,
+  ATLAS_CHECK_ARG(config.staging.ilp.max_stages >= 1,
               "staging.ilp.max_stages must be >= 1, got "
                   << config.staging.ilp.max_stages);
-  ATLAS_CHECK(config.staging.ilp.node_budget >= 0,
+  ATLAS_CHECK_ARG(config.staging.ilp.node_budget >= 0,
               "staging.ilp.node_budget is negative");
-  ATLAS_CHECK(config.staging.bnb.max_stages >= 1,
+  ATLAS_CHECK_ARG(config.staging.bnb.max_stages >= 1,
               "staging.bnb.max_stages must be >= 1, got "
                   << config.staging.bnb.max_stages);
-  ATLAS_CHECK(config.staging.bnb.beam_width >= 1,
+  ATLAS_CHECK_ARG(config.staging.bnb.beam_width >= 1,
               "staging.bnb.beam_width must be >= 1, got "
                   << config.staging.bnb.beam_width);
-  ATLAS_CHECK(config.staging.bnb.max_solutions >= 1,
+  ATLAS_CHECK_ARG(config.staging.bnb.max_solutions >= 1,
               "staging.bnb.max_solutions must be >= 1, got "
                   << config.staging.bnb.max_solutions);
-  ATLAS_CHECK(config.staging.bnb.node_budget >= 0,
+  ATLAS_CHECK_ARG(config.staging.bnb.node_budget >= 0,
               "staging.bnb.node_budget is negative");
-  ATLAS_CHECK(config.kernelize.prune_threshold >= 1,
+  ATLAS_CHECK_ARG(config.kernelize.prune_threshold >= 1,
               "kernelize.prune_threshold must be >= 1, got "
                   << config.kernelize.prune_threshold);
-  ATLAS_CHECK(!config.cost_model.fusion_cost.empty() &&
+  ATLAS_CHECK_ARG(!config.cost_model.fusion_cost.empty() &&
                   config.cost_model.max_fusion_qubits + 1 ==
                       static_cast<int>(config.cost_model.fusion_cost.size()),
               "cost_model.fusion_cost does not match max_fusion_qubits");
-  ATLAS_CHECK(config.opt_level >= 0 && config.opt_level <= 2,
+  ATLAS_CHECK_ARG(config.opt_level >= 0 && config.opt_level <= 2,
               "opt_level must be in [0, 2], got " << config.opt_level);
 }
 
@@ -171,12 +171,16 @@ class Session::PlanCache {
   void insert(std::uint64_t key, const Circuit& circuit,
               std::shared_ptr<const exec::ExecutionPlan> plan) {
     if (capacity_ == 0) return;
+    // Size the plan outside the lock; it walks every stage.
+    const std::size_t bytes = exec::approx_resident_bytes(*plan);
     std::lock_guard<std::mutex> lock(mu_);
     if (index_.count(key)) return;  // a concurrent planner won the race
     entries_.push_front(Entry{key, circuit.num_qubits(), circuit.num_gates(),
-                              std::move(plan)});
+                              bytes, std::move(plan)});
     index_[key] = entries_.begin();
+    resident_bytes_ += bytes;
     if (entries_.size() > capacity_) {
+      resident_bytes_ -= entries_.back().bytes;
       index_.erase(entries_.back().key);
       entries_.pop_back();
       ++evictions_;
@@ -191,6 +195,7 @@ class Session::PlanCache {
     s.evictions = evictions_;
     s.size = entries_.size();
     s.capacity = capacity_;
+    s.resident_bytes = resident_bytes_;
     return s;
   }
 
@@ -198,6 +203,7 @@ class Session::PlanCache {
     std::lock_guard<std::mutex> lock(mu_);
     entries_.clear();
     index_.clear();
+    resident_bytes_ = 0;
   }
 
  private:
@@ -205,6 +211,7 @@ class Session::PlanCache {
     std::uint64_t key;
     int num_qubits;
     int num_gates;
+    std::size_t bytes;
     std::shared_ptr<const exec::ExecutionPlan> plan;
   };
 
@@ -215,6 +222,7 @@ class Session::PlanCache {
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
   std::uint64_t evictions_ = 0;
+  std::size_t resident_bytes_ = 0;
 };
 
 Session::Session(SessionConfig config)
@@ -295,10 +303,10 @@ CompiledCircuit Session::compile(const Circuit& circuit) const {
 
 void Session::check_compiled(const CompiledCircuit& compiled,
                              const char* what) const {
-  ATLAS_CHECK(compiled.valid(), "" << what
+  ATLAS_CHECK_ARG(compiled.valid(), "" << what
                                     << "() on an invalid CompiledCircuit; "
                                        "use Session::compile()");
-  ATLAS_CHECK(compiled.shape_salt_ == shape_salt_,
+  ATLAS_CHECK_ARG(compiled.shape_salt_ == shape_salt_,
               "CompiledCircuit was compiled for a different cluster shape; "
               "recompile it with this session");
 }
@@ -392,7 +400,7 @@ std::vector<SimulationResult> Session::sweep(
   // unattributed exception after discarding every computed result.
   for (std::size_t i = 0; i < bindings.size(); ++i)
     for (const std::string& s : compiled.symbols())
-      ATLAS_CHECK(bindings[i].contains(s), "sweep binding #"
+      ATLAS_CHECK_ARG(bindings[i].contains(s), "sweep binding #"
                                                << i << " is missing symbol '"
                                                << s << "'");
   return fan_out(bindings.size(),
@@ -405,7 +413,7 @@ std::vector<SimulationResult> Session::sweep(
   check_compiled(compiled, "sweep");
   const std::size_t want = compiled.symbols().size();
   for (std::size_t i = 0; i < points.size(); ++i)
-    ATLAS_CHECK(points[i].size() == want,
+    ATLAS_CHECK_ARG(points[i].size() == want,
                 "sweep point #" << i << " has " << points[i].size()
                                 << " values but the compiled circuit takes "
                                 << want << " symbols");
@@ -430,7 +438,8 @@ SimulationResult Session::simulate(const Circuit& circuit) const {
     throw Error("simulate() needs a fully bound circuit but '" +
                 circuit.name() + "' has free symbols (" + symbols.front() +
                 ", ...); use compile()/run() with a ParamBinding or "
-                "Circuit::bind");
+                "Circuit::bind",
+                ErrorCode::invalid_argument);
   }
   return run(compile(circuit), ParamBinding{});
 }
@@ -458,6 +467,6 @@ PlanCacheStats Session::plan_cache_stats() const {
   return plan_cache_->stats();
 }
 
-void Session::clear_plan_cache() const { plan_cache_->clear(); }
+void Session::clear_plan_cache() { plan_cache_->clear(); }
 
 }  // namespace atlas

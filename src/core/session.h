@@ -175,8 +175,13 @@ struct PlanCacheStats {
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
   std::uint64_t evictions = 0;
+  /// Entries currently resident.
   std::size_t size = 0;
   std::size_t capacity = 0;
+  /// Approximate heap footprint of the resident plans
+  /// (exec::approx_resident_bytes summed over entries) — lets serving
+  /// layers report cache memory, not just hit counters.
+  std::size_t resident_bytes = 0;
 };
 
 /// A long-lived simulation engine. Thread-safe: plan(), simulate(),
@@ -315,7 +320,10 @@ class Session {
   /// @}
 
   PlanCacheStats plan_cache_stats() const;
-  void clear_plan_cache() const;
+  /// Drops every cached plan (counters are kept). Non-const on
+  /// purpose: it mutates observable session state, unlike the
+  /// logically-const memoization the const methods do.
+  void clear_plan_cache();
 
  private:
   class PlanCache;

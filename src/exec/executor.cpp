@@ -116,4 +116,30 @@ ExecutionReport execute_plan(const ExecutionPlan& plan,
   return execute_plan(plan, cluster, state, env);
 }
 
+std::size_t approx_resident_bytes(const ExecutionPlan& plan) {
+  std::size_t bytes = sizeof(ExecutionPlan);
+  for (const PlannedStage& stage : plan.stages) {
+    bytes += sizeof(PlannedStage);
+    for (const Gate& g : stage.subcircuit.gates()) {
+      bytes += sizeof(Gate);
+      bytes += g.qubits().size() * sizeof(Qubit);
+      bytes += g.params().size() * sizeof(Param);
+      if (g.kind() == GateKind::Unitary) {
+        // A Unitary's explicit target matrix: 2^T x 2^T complex doubles.
+        bytes += (sizeof(Amp) << (2 * g.num_targets()));
+      }
+    }
+    bytes += stage.original_indices.size() * sizeof(int);
+    bytes += (stage.partition.local.size() + stage.partition.regional.size() +
+              stage.partition.global.size()) *
+             sizeof(Qubit);
+    for (const kernelize::Kernel& k : stage.kernels.kernels) {
+      bytes += sizeof(kernelize::Kernel);
+      bytes += k.gate_indices.size() * sizeof(int);
+      bytes += k.qubits.size() * sizeof(Qubit);
+    }
+  }
+  return bytes;
+}
+
 }  // namespace atlas::exec

@@ -88,4 +88,12 @@ ExecutionReport execute_plan(const ExecutionPlan& plan,
 DistState initial_state(const ExecutionPlan& plan,
                         const device::Cluster& cluster);
 
+/// Approximate heap footprint of a retained plan in bytes: gate
+/// storage (qubit/param vectors, Unitary matrices), stage partitions,
+/// and kernel index lists. Deliberately an estimate — it skips
+/// allocator overhead and the lazily-built stage skeletons (which are
+/// bounded by the same structure) — but it is stable for equal plans,
+/// which is what cache-memory accounting needs.
+std::size_t approx_resident_bytes(const ExecutionPlan& plan);
+
 }  // namespace atlas::exec

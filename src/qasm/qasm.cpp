@@ -26,7 +26,7 @@ class ExprParser {
   Param parse() {
     const Param v = expr();
     skip_ws();
-    ATLAS_CHECK(pos_ == text_.size(), "trailing characters in expression '"
+    ATLAS_CHECK_ARG(pos_ == text_.size(), "trailing characters in expression '"
                                           << text_ << "'");
     return v;
   }
@@ -72,7 +72,7 @@ class ExprParser {
     if (consume('(')) {
       const Param v = expr();
       skip_ws();
-      ATLAS_CHECK(consume(')'), "missing ')' in expression '" << text_ << "'");
+      ATLAS_CHECK_ARG(consume(')'), "missing ')' in expression '" << text_ << "'");
       return v;
     }
     if (pos_ < text_.size() &&
@@ -82,7 +82,7 @@ class ExprParser {
              (std::isalnum(text_[pos_]) != 0 || text_[pos_] == '_'))
         ident += text_[pos_++];
       if (ident == "pi") return Param(std::numbers::pi);
-      ATLAS_CHECK(symbols_.count(ident) != 0,
+      ATLAS_CHECK_ARG(symbols_.count(ident) != 0,
                   "unknown identifier '"
                       << ident
                       << "' in expression (declare it with 'input float "
@@ -95,7 +95,8 @@ class ExprParser {
     try {
       v = std::stod(rest, &used);
     } catch (const std::exception&) {
-      throw Error("bad numeric literal in expression '" + text_ + "'");
+      throw Error("bad numeric literal in expression '" + text_ + "'",
+                  ErrorCode::invalid_argument);
     }
     pos_ += used;
     return Param(v);
@@ -154,7 +155,7 @@ class LineParser {
     while (pos_ < line_.size() &&
            (std::isalnum(line_[pos_]) != 0 || line_[pos_] == '_'))
       s += line_[pos_++];
-    ATLAS_CHECK(!s.empty(), "line " << line_no_ << ": expected identifier");
+    ATLAS_CHECK_ARG(!s.empty(), "line " << line_no_ << ": expected identifier");
     return s;
   }
 
@@ -178,7 +179,7 @@ class LineParser {
         current += c;
       }
     }
-    ATLAS_CHECK(depth == 0, "line " << line_no_ << ": unbalanced parens");
+    ATLAS_CHECK_ARG(depth == 0, "line " << line_no_ << ": unbalanced parens");
     params.push_back(eval_expr(current, symbols_));
     return params;
   }
@@ -188,7 +189,7 @@ class LineParser {
     for (;;) {
       skip_ws();
       const std::string reg = ident();
-      ATLAS_CHECK(reg == qreg_, "line " << line_no_ << ": unknown register '"
+      ATLAS_CHECK_ARG(reg == qreg_, "line " << line_no_ << ": unknown register '"
                                         << reg << "'");
       expect('[');
       qubits.push_back(number());
@@ -208,13 +209,13 @@ class LineParser {
     std::string s;
     while (pos_ < line_.size() && std::isdigit(line_[pos_]) != 0)
       s += line_[pos_++];
-    ATLAS_CHECK(!s.empty(), "line " << line_no_ << ": expected number");
+    ATLAS_CHECK_ARG(!s.empty(), "line " << line_no_ << ": expected number");
     return std::stoi(s);
   }
 
   void expect(char c) {
     skip_ws();
-    ATLAS_CHECK(pos_ < line_.size() && line_[pos_] == c,
+    ATLAS_CHECK_ARG(pos_ < line_.size() && line_[pos_] == c,
                 "line " << line_no_ << ": expected '" << c << "'");
     ++pos_;
   }
@@ -236,7 +237,7 @@ Gate make_gate(const Statement& st, int line_no) {
   const auto& q = st.qubits;
   const auto& p = st.params;
   auto need = [&](std::size_t nq, std::size_t np) {
-    ATLAS_CHECK(q.size() == nq && p.size() == np,
+    ATLAS_CHECK_ARG(q.size() == nq && p.size() == np,
                 "line " << line_no << ": gate '" << st.name
                         << "' expects " << nq << " qubits / " << np
                         << " params, got " << q.size() << "/" << p.size());
@@ -272,7 +273,8 @@ Gate make_gate(const Statement& st, int line_no) {
   if (n == "ccz") { need(3, 0); return Gate::ccz(q[0], q[1], q[2]); }
   if (n == "cswap") { need(3, 0); return Gate::cswap(q[0], q[1], q[2]); }
   throw Error("line " + std::to_string(line_no) + ": unsupported gate '" + n +
-              "'");
+              "'",
+                ErrorCode::invalid_argument);
 }
 
 }  // namespace
@@ -292,27 +294,27 @@ void parse_input_declaration(const std::string& stmt, int line_no,
     while (pos < stmt.size() &&
            (std::isalnum(stmt[pos]) != 0 || stmt[pos] == '_'))
       s += stmt[pos++];
-    ATLAS_CHECK(!s.empty() && (std::isalpha(s[0]) != 0 || s[0] == '_'),
+    ATLAS_CHECK_ARG(!s.empty() && (std::isalpha(s[0]) != 0 || s[0] == '_'),
                 "line " << line_no << ": expected identifier in input "
                                       "declaration");
     return s;
   };
   const std::string type = ident();
-  ATLAS_CHECK(type == "float" || type == "angle",
+  ATLAS_CHECK_ARG(type == "float" || type == "angle",
               "line " << line_no << ": unsupported input type '" << type
                       << "' (want float or angle)");
   skip_ws();
   if (pos < stmt.size() && stmt[pos] == '[') {  // width suffix: float[64]
     const std::size_t close = stmt.find(']', pos);
-    ATLAS_CHECK(close != std::string::npos,
+    ATLAS_CHECK_ARG(close != std::string::npos,
                 "line " << line_no << ": unterminated type width");
     pos = close + 1;
   }
   for (;;) {
     const std::string name = ident();
-    ATLAS_CHECK(name != "pi", "line " << line_no
+    ATLAS_CHECK_ARG(name != "pi", "line " << line_no
                                       << ": 'pi' is a reserved constant");
-    ATLAS_CHECK(symbols.insert(name).second,
+    ATLAS_CHECK_ARG(symbols.insert(name).second,
                 "line " << line_no << ": duplicate input declaration '"
                         << name << "'");
     skip_ws();
@@ -323,7 +325,7 @@ void parse_input_declaration(const std::string& stmt, int line_no,
     break;
   }
   skip_ws();
-  ATLAS_CHECK(pos == stmt.size(), "line " << line_no
+  ATLAS_CHECK_ARG(pos == stmt.size(), "line " << line_no
                                           << ": malformed input declaration");
 }
 
@@ -367,7 +369,7 @@ Circuit parse(const std::string& source) {
   {
     // Anything after the last ';' must be whitespace.
     for (char c : stmt)
-      ATLAS_CHECK(std::isspace(c) != 0, "line " << line_no
+      ATLAS_CHECK_ARG(std::isspace(c) != 0, "line " << line_no
                                                 << ": unterminated statement");
   }
 
@@ -390,10 +392,10 @@ Circuit parse(const std::string& source) {
       continue;
     }
     if (s.rfind("qreg", 0) == 0) {
-      ATLAS_CHECK(num_qubits < 0, "line " << ln << ": multiple qreg");
+      ATLAS_CHECK_ARG(num_qubits < 0, "line " << ln << ": multiple qreg");
       const std::size_t lb = s.find('[');
       const std::size_t rb = s.find(']');
-      ATLAS_CHECK(lb != std::string::npos && rb != std::string::npos && rb > lb,
+      ATLAS_CHECK_ARG(lb != std::string::npos && rb != std::string::npos && rb > lb,
                   "line " << ln << ": malformed qreg");
       std::string name = s.substr(4, lb - 4);
       name.erase(0, name.find_first_not_of(" \t"));
@@ -404,17 +406,17 @@ Circuit parse(const std::string& source) {
       have_circuit = true;
       continue;
     }
-    ATLAS_CHECK(have_circuit, "line " << ln << ": gate before qreg");
+    ATLAS_CHECK_ARG(have_circuit, "line " << ln << ": gate before qreg");
     const Statement st = LineParser(s, ln, qreg_name, symbols).parse();
     circuit.add(make_gate(st, ln));
   }
-  ATLAS_CHECK(have_circuit, "no qreg declaration found");
+  ATLAS_CHECK_ARG(have_circuit, "no qreg declaration found");
   return circuit;
 }
 
 Circuit parse_file(const std::string& path) {
   std::ifstream in(path);
-  ATLAS_CHECK(in.good(), "cannot open " << path);
+  ATLAS_CHECK_ARG(in.good(), "cannot open " << path);
   std::ostringstream os;
   os << in.rdbuf();
   Circuit c = parse(os.str());
@@ -440,12 +442,12 @@ class PragmaParser {
     expect(')');
 
     if (channel == "readout") {
-      ATLAS_CHECK(two_args, "line " << line_no_
+      ATLAS_CHECK_ARG(two_args, "line " << line_no_
                                     << ": readout takes (p01, p10)");
       apply_readout(model, arg0, arg1);
       return;
     }
-    ATLAS_CHECK(!two_args, "line " << line_no_ << ": channel '" << channel
+    ATLAS_CHECK_ARG(!two_args, "line " << line_no_ << ": channel '" << channel
                                    << "' takes one argument");
     apply_channel(model, make_channel(channel, arg0));
   }
@@ -463,7 +465,8 @@ class PragmaParser {
     if (name == "phase_damping")
       return noise::KrausChannel::phase_damping(p);
     throw Error("line " + std::to_string(line_no_) +
-                ": unknown noise channel '" + name + "'");
+                ": unknown noise channel '" + name + "'",
+                ErrorCode::invalid_argument);
   }
 
   void apply_channel(noise::NoiseModel& model, noise::KrausChannel ch) {
@@ -477,7 +480,8 @@ class PragmaParser {
     } else {
       throw Error("line " + std::to_string(line_no_) +
                   ": bad noise target '" + target +
-                  "' (expected all, gate <name> or qubit <k>)");
+                  "' (expected all, gate <name> or qubit <k>)",
+                ErrorCode::invalid_argument);
     }
     end();
   }
@@ -491,7 +495,8 @@ class PragmaParser {
     } else {
       throw Error("line " + std::to_string(line_no_) +
                   ": bad readout target '" + target +
-                  "' (expected all or qubit <k>)");
+                  "' (expected all or qubit <k>)",
+                ErrorCode::invalid_argument);
     }
     end();
   }
@@ -503,7 +508,7 @@ class PragmaParser {
            (std::isalnum(static_cast<unsigned char>(text_[pos_])) != 0 ||
             text_[pos_] == '_'))
       s += text_[pos_++];
-    ATLAS_CHECK(!s.empty(),
+    ATLAS_CHECK_ARG(!s.empty(),
                 "line " << line_no_ << ": expected " << what
                         << " in noise pragma");
     return s;
@@ -517,7 +522,8 @@ class PragmaParser {
       v = std::stod(text_.substr(pos_), &used);
     } catch (const std::exception&) {
       throw Error("line " + std::to_string(line_no_) +
-                  ": bad number in noise pragma");
+                  ": bad number in noise pragma",
+                ErrorCode::invalid_argument);
     }
     pos_ += used;
     return v;
@@ -525,14 +531,14 @@ class PragmaParser {
 
   int integer() {
     const double v = number();
-    ATLAS_CHECK(v >= 0 && v == static_cast<int>(v),
+    ATLAS_CHECK_ARG(v >= 0 && v == static_cast<int>(v),
                 "line " << line_no_
                         << ": qubit index must be a non-negative integer");
     return static_cast<int>(v);
   }
 
   void expect(char c) {
-    ATLAS_CHECK(consume(c), "line " << line_no_ << ": expected '" << c
+    ATLAS_CHECK_ARG(consume(c), "line " << line_no_ << ": expected '" << c
                                     << "' in noise pragma");
   }
 
@@ -547,7 +553,7 @@ class PragmaParser {
 
   void end() {
     skip_ws();
-    ATLAS_CHECK(pos_ == text_.size(), "line "
+    ATLAS_CHECK_ARG(pos_ == text_.size(), "line "
                                           << line_no_
                                           << ": trailing characters in noise "
                                              "pragma: '"
@@ -589,7 +595,8 @@ NoisyParse parse_with_noise(const std::string& source) {
     } else if (t.rfind("#pragma atlas", 0) == 0) {
       throw Error("line " + std::to_string(line_no) +
                   ": unknown atlas pragma (expected '#pragma atlas noise "
-                  "...')");
+                  "...')",
+                ErrorCode::invalid_argument);
     }
     // Other pragmas fall through to parse(), which skips '#' lines.
   }
@@ -599,7 +606,7 @@ NoisyParse parse_with_noise(const std::string& source) {
 
 NoisyParse parse_file_with_noise(const std::string& path) {
   std::ifstream in(path);
-  ATLAS_CHECK(in.good(), "cannot open " << path);
+  ATLAS_CHECK_ARG(in.good(), "cannot open " << path);
   std::ostringstream os;
   os << in.rdbuf();
   NoisyParse out = parse_with_noise(os.str());
@@ -615,7 +622,7 @@ namespace {
 /// two-qubit *diagonal* unitaries become p/p/cp. Anything else (and
 /// non-unitary trajectory operators) still refuses.
 void emit_unitary(std::ostringstream& os, const Gate& g) {
-  ATLAS_CHECK(g.num_controls() == 0 &&
+  ATLAS_CHECK_ARG(g.num_controls() == 0 &&
                   (g.num_qubits() == 1 ||
                    (g.num_qubits() == 2 && g.fully_diagonal())),
               "cannot serialize opaque unitary gate '"
@@ -623,7 +630,7 @@ void emit_unitary(std::ostringstream& os, const Gate& g) {
                   << "' to QASM (supported: uncontrolled 1q unitaries and "
                   << "2q diagonals, up to global phase)");
   const Matrix m = g.target_matrix();
-  ATLAS_CHECK(m.is_unitary(1e-9), "cannot serialize non-unitary gate '"
+  ATLAS_CHECK_ARG(m.is_unitary(1e-9), "cannot serialize non-unitary gate '"
                                       << g.to_string() << "' to QASM");
   if (g.num_qubits() == 1) {
     const Amp a = m(0, 0), b = m(0, 1), c = m(1, 0), d = m(1, 1);
@@ -663,7 +670,7 @@ std::string to_qasm(const Circuit& circuit) {
     os << "OPENQASM 3.0;\n";
     os << "include \"stdgates.inc\";\n";
     for (const std::string& s : symbols) {
-      ATLAS_CHECK(std::isalpha(static_cast<unsigned char>(s[0])) != 0 ||
+      ATLAS_CHECK_ARG(std::isalpha(static_cast<unsigned char>(s[0])) != 0 ||
                       s[0] == '_',
                   "cannot serialize symbol '"
                       << s << "' to QASM (not a valid identifier)");

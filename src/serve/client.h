@@ -1,0 +1,92 @@
+#pragma once
+
+/// \file client.h
+/// Blocking C++ client for the atlas-serve protocol — what the tests,
+/// the serve example, and bench_serve talk through. One Client wraps
+/// one connection; methods are synchronous (send, then wait for the
+/// matching request_id). A Client is not thread-safe — use one per
+/// thread (connections are cheap; the daemon multiplexes).
+///
+/// Every non-ok response is rethrown as atlas::Error carrying the wire
+/// status mapped back to an ErrorCode, so client code handles server
+/// failures exactly like in-process Session failures.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/net.h"
+#include "serve/protocol.h"
+
+namespace atlas::serve {
+
+class Client {
+ public:
+  /// Connects to a running daemon. Throws ErrorCode::unavailable when
+  /// nothing listens there.
+  Client(const std::string& host, int port);
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// \name Session data plane
+  /// @{
+  /// Opens a tenant session; returns its id.
+  std::uint64_t open_session(const OpenSessionRequest& request);
+  SubmitReply submit_qasm(std::uint64_t session_id, const std::string& qasm);
+  CompileReply compile(std::uint64_t session_id, std::uint32_t circuit_id);
+  RunReply run(std::uint64_t session_id, std::uint32_t compiled_id,
+               const std::vector<double>& values = {});
+  std::vector<SweepPoint> sweep(
+      std::uint64_t session_id, std::uint32_t compiled_id,
+      const std::vector<std::vector<double>>& points);
+  NoisyReply run_noisy(std::uint64_t session_id, std::uint32_t circuit_id,
+                       int trajectories, int shots = 0,
+                       const std::vector<double>& values = {});
+  std::vector<std::uint64_t> sample(std::uint64_t session_id,
+                                    std::uint32_t result_id, int shots);
+  void close_session(std::uint64_t session_id);
+  /// @}
+
+  /// \name Introspection / control
+  /// @{
+  std::vector<SessionInfo> list_sessions();
+  CacheStatsReply cache_stats();
+  void evict_session(std::uint64_t session_id);
+  /// Blocks until the server finished draining.
+  void drain();
+  void shutdown_server();
+  /// @}
+
+  /// \name Pipelining (tests and bench)
+  /// Post sends without waiting; wait() blocks for one specific reply.
+  /// Replies may arrive in any order — the fair scheduler does not
+  /// preserve FIFO across tenants — so wait() parks out-of-order
+  /// frames until asked for.
+  /// @{
+  std::uint64_t post(Op op, std::uint64_t session_id,
+                     const std::vector<std::uint8_t>& body);
+  /// Returns the reply body; throws on a non-ok status.
+  std::vector<std::uint8_t> wait(std::uint64_t request_id);
+  /// As wait(), returning the status instead of throwing (malformed-
+  /// frame tests want to see the error, not catch it).
+  Status wait_status(std::uint64_t request_id,
+                     std::vector<std::uint8_t>* body = nullptr,
+                     std::string* message = nullptr);
+  /// @}
+
+  /// Escape hatch for protocol tests: ships raw bytes as one frame.
+  bool send_raw_frame(const std::vector<std::uint8_t>& payload);
+  int fd() const { return fd_.get(); }
+
+ private:
+  std::vector<std::uint8_t> call(Op op, std::uint64_t session_id,
+                                 const std::vector<std::uint8_t>& body);
+
+  Fd fd_;
+  std::uint64_t next_request_id_ = 1;
+  /// Out-of-order replies parked by wait(): request_id -> raw frame.
+  std::vector<std::pair<std::uint64_t, std::vector<std::uint8_t>>> parked_;
+};
+
+}  // namespace atlas::serve

@@ -1,0 +1,146 @@
+#include "serve/dispatcher.h"
+
+#include "common/error.h"
+
+namespace atlas::serve {
+
+Dispatcher::Dispatcher(int workers, std::size_t max_pending_per_tenant)
+    : max_pending_(max_pending_per_tenant),
+      pool_(std::make_unique<ThreadPool>(
+          workers > 0 ? static_cast<std::size_t>(workers) : 0)) {}
+
+Dispatcher::~Dispatcher() { stop(); }
+
+Dispatcher::TenantQueue& Dispatcher::tenant_locked(const std::string& tenant) {
+  auto it = tenants_.find(tenant);
+  if (it == tenants_.end()) {
+    it = tenants_.emplace(tenant, TenantQueue{}).first;
+    it->second.name = tenant;
+  }
+  return it->second;
+}
+
+void Dispatcher::maybe_gc_locked(TenantQueue& q) {
+  // A tenant with nothing queued, nothing admitted, and no ring slot
+  // can be dropped — keeps the map bounded by *live* tenants, not by
+  // every tenant name ever seen.
+  if (q.items.empty() && q.pending_requests == 0 && !q.in_ring) {
+    tenants_.erase(q.name);
+  }
+}
+
+void Dispatcher::enqueue_request(const std::string& tenant,
+                                 std::function<void()> work) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (draining_) {
+      throw Error("server is draining; new requests are rejected",
+                  ErrorCode::unavailable);
+    }
+    TenantQueue& q = tenant_locked(tenant);
+    if (max_pending_ != 0 && q.pending_requests >= max_pending_) {
+      throw Error("tenant '" + tenant + "' has " +
+                      std::to_string(q.pending_requests) +
+                      " requests in flight (per-tenant admission bound); "
+                      "wait for replies before submitting more",
+                  ErrorCode::capacity);
+    }
+    ++q.pending_requests;
+  }
+  push_item(tenant, std::move(work));
+}
+
+void Dispatcher::enqueue_internal(const std::string& tenant,
+                                  std::function<void()> work) {
+  push_item(tenant, std::move(work));
+}
+
+void Dispatcher::push_item(const std::string& tenant,
+                           std::function<void()> work) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    TenantQueue& q = tenant_locked(tenant);
+    q.items.push_back(std::move(work));
+    if (!q.in_ring) {
+      q.in_ring = true;
+      ring_.push_back(&q);
+    }
+    ++items_outstanding_;
+  }
+  // One ticket per item; the ticket that runs pops the fair-share-next
+  // item, which may belong to another tenant.
+  pool_->submit([this] { run_one(); });
+}
+
+std::function<void()> Dispatcher::pop_next() {
+  std::lock_guard<std::mutex> lock(mu_);
+  // The 1:1 ticket/item invariant guarantees the ring is non-empty
+  // here and its front queue has at least one item.
+  TenantQueue* q = ring_.front();
+  ring_.pop_front();
+  std::function<void()> work = std::move(q->items.front());
+  q->items.pop_front();
+  if (q->items.empty()) {
+    q->in_ring = false;
+    maybe_gc_locked(*q);
+  } else {
+    ring_.push_back(q);  // rotate: next worker serves another tenant
+  }
+  return work;
+}
+
+void Dispatcher::run_one() {
+  std::function<void()> work = pop_next();
+  try {
+    work();
+  } catch (...) {
+    // Work items reply to their own clients; an escaped exception is a
+    // server bug, but accounting must stay correct regardless.
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (--items_outstanding_ == 0) idle_cv_.notify_all();
+}
+
+void Dispatcher::request_done(const std::string& tenant) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tenants_.find(tenant);
+  if (it == tenants_.end()) return;
+  if (it->second.pending_requests > 0) --it->second.pending_requests;
+  maybe_gc_locked(it->second);
+}
+
+std::size_t Dispatcher::queued(const std::string& tenant) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tenants_.find(tenant);
+  return it == tenants_.end() ? 0 : it->second.items.size();
+}
+
+std::size_t Dispatcher::pending(const std::string& tenant) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tenants_.find(tenant);
+  return it == tenants_.end() ? 0 : it->second.pending_requests;
+}
+
+void Dispatcher::drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  draining_ = true;
+  // Executing items may enqueue_internal() more items (sweep points);
+  // each raises items_outstanding_ before its parent's count drops, so
+  // waiting for zero waits for whole request trees.
+  idle_cv_.wait(lock, [this] { return items_outstanding_ == 0; });
+}
+
+bool Dispatcher::draining() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return draining_;
+}
+
+void Dispatcher::stop() {
+  drain();
+  // All tickets are done (items_outstanding_ == 0 and no new external
+  // admissions), so the pool drains instantly unless a straggler
+  // ticket is between pop and completion — drain() covers that too.
+  pool_->drain();
+}
+
+}  // namespace atlas::serve

@@ -1,0 +1,113 @@
+#pragma once
+
+/// \file dispatcher.h
+/// Admission control + round-robin fair scheduling across tenant
+/// queues. Every data-plane request lands in its tenant's deque; a
+/// fixed worker pool pulls from the queues in round-robin order, so a
+/// tenant that enqueues a 10k-point sweep interleaves with — rather
+/// than starves — a tenant running single shots. Two knobs bound the
+/// damage any one tenant can do:
+///
+///   * admission: at most `max_pending_per_tenant` *requests* may be
+///     in flight per tenant; past that, enqueue fails fast with
+///     ErrorCode::capacity instead of buffering unboundedly;
+///   * granularity: the server splits a sweep into per-point internal
+///     items, so the round-robin cursor can switch tenants between
+///     points, not just between requests.
+///
+/// Invariant: worker wakeups and queued items are 1:1 — every
+/// submitted ticket pops exactly one item (the round-robin-next one,
+/// not necessarily the one whose enqueue created the ticket).
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "common/thread_pool.h"
+
+namespace atlas::serve {
+
+class Dispatcher {
+ public:
+  /// `workers` execution threads; each tenant may have at most
+  /// `max_pending_per_tenant` admitted requests in flight (queued or
+  /// executing), 0 = unbounded.
+  Dispatcher(int workers, std::size_t max_pending_per_tenant);
+  ~Dispatcher();
+
+  Dispatcher(const Dispatcher&) = delete;
+  Dispatcher& operator=(const Dispatcher&) = delete;
+
+  /// Admits one external request for `tenant` and queues `work`.
+  /// Throws ErrorCode::capacity past the per-tenant bound and
+  /// ErrorCode::unavailable while draining. The request stays
+  /// "in flight" for admission purposes until request_done(tenant) —
+  /// which the server calls when the *reply* is sent, so a request
+  /// that fans into many internal items counts as one until its last
+  /// item completes.
+  void enqueue_request(const std::string& tenant, std::function<void()> work);
+
+  /// Queues a follow-up item (e.g. one sweep point) under `tenant`'s
+  /// queue without admission accounting; admitted even while draining
+  /// so in-flight requests can finish what they started.
+  void enqueue_internal(const std::string& tenant, std::function<void()> work);
+
+  /// Releases one admission slot for `tenant`.
+  void request_done(const std::string& tenant);
+
+  /// Items currently waiting in `tenant`'s queue (list_sessions).
+  std::size_t queued(const std::string& tenant) const;
+  /// Admitted requests in flight for `tenant`.
+  std::size_t pending(const std::string& tenant) const;
+
+  /// Stops admitting external requests and blocks until every queued
+  /// and executing item has finished (internal items may still be
+  /// enqueued by executing work — drain waits those out too).
+  void drain();
+  bool draining() const;
+
+  /// drain() + stop the worker pool. Terminal.
+  void stop();
+
+ private:
+  struct TenantQueue {
+    std::string name;
+    std::deque<std::function<void()>> items;
+    std::size_t pending_requests = 0;  // admission counter
+    bool in_ring = false;
+  };
+
+  /// Queues `work`, registering the tenant in the round-robin ring and
+  /// submitting one pool ticket. Caller holds no locks.
+  void push_item(const std::string& tenant, std::function<void()> work);
+  /// Pops the round-robin-next item. Never empty-handed (1:1 ticket
+  /// invariant).
+  std::function<void()> pop_next();
+  void run_one();
+  TenantQueue& tenant_locked(const std::string& tenant);
+  void maybe_gc_locked(TenantQueue& q);
+
+  const std::size_t max_pending_;
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, TenantQueue> tenants_;
+  /// Round-robin ring of tenants with queued items; the cursor is the
+  /// front — pop_next() rotates a tenant to the back after taking one
+  /// of its items.
+  std::list<TenantQueue*> ring_;
+  std::size_t items_outstanding_ = 0;  // queued + executing
+  bool draining_ = false;
+  std::condition_variable idle_cv_;
+
+  /// Last member: its destructor joins workers while the queues above
+  /// are still alive.
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+}  // namespace atlas::serve

@@ -1,0 +1,154 @@
+#include "serve/net.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/error.h"
+
+namespace atlas::serve {
+namespace {
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ATLAS_CHECK(flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0,
+              "fcntl(O_NONBLOCK) failed: " << std::strerror(errno));
+}
+
+sockaddr_in make_addr(const std::string& host, int port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  ATLAS_CHECK_ARG(::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) == 1,
+                  "not an IPv4 address: '" << host << "'");
+  return addr;
+}
+
+/// Blocks in poll() until `events` is ready. Returns false on timeout
+/// or poll error; hangup/err still return true so the caller's
+/// recv/send observes the failure and reports it precisely.
+bool poll_for(int fd, short events, int timeout_ms) {
+  pollfd p{};
+  p.fd = fd;
+  p.events = events;
+  for (;;) {
+    const int rc = ::poll(&p, 1, timeout_ms);
+    if (rc > 0) return true;
+    if (rc == 0) return false;  // timeout
+    if (errno == EINTR) continue;
+    return false;
+  }
+}
+
+}  // namespace
+
+void Fd::reset() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Fd tcp_listen(const std::string& host, int port, int* bound_port) {
+  Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  ATLAS_CHECK(fd.valid(), "socket() failed: " << std::strerror(errno));
+  const int one = 1;
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr = make_addr(host, port);
+  ATLAS_CHECK(::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr),
+                     sizeof(addr)) == 0,
+              "bind(" << host << ":" << port
+                      << ") failed: " << std::strerror(errno));
+  ATLAS_CHECK(::listen(fd.get(), 128) == 0,
+              "listen() failed: " << std::strerror(errno));
+  if (bound_port != nullptr) {
+    sockaddr_in actual{};
+    socklen_t len = sizeof(actual);
+    ATLAS_CHECK(::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&actual),
+                              &len) == 0,
+                "getsockname() failed: " << std::strerror(errno));
+    *bound_port = ntohs(actual.sin_port);
+  }
+  set_nonblocking(fd.get());
+  return fd;
+}
+
+Fd tcp_connect(const std::string& host, int port, int timeout_ms) {
+  Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  ATLAS_CHECK(fd.valid(), "socket() failed: " << std::strerror(errno));
+  set_nonblocking(fd.get());
+  const int one = 1;
+  ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  sockaddr_in addr = make_addr(host, port);
+  int rc = ::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr),
+                     sizeof(addr));
+  if (rc != 0 && errno == EINPROGRESS) {
+    if (!poll_for(fd.get(), POLLOUT, timeout_ms)) {
+      throw Error("connect to " + host + ":" + std::to_string(port) +
+                      " timed out",
+                  ErrorCode::unavailable);
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    ::getsockopt(fd.get(), SOL_SOCKET, SO_ERROR, &err, &len);
+    rc = err == 0 ? 0 : -1;
+    errno = err;
+  }
+  if (rc != 0) {
+    throw Error("connect to " + host + ":" + std::to_string(port) +
+                    " failed: " + std::strerror(errno),
+                ErrorCode::unavailable);
+  }
+  return fd;
+}
+
+bool read_exact(int fd, void* buf, std::size_t n) {
+  auto* p = static_cast<std::uint8_t*>(buf);
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t rc = ::recv(fd, p + got, n - got, 0);
+    if (rc > 0) {
+      got += static_cast<std::size_t>(rc);
+      continue;
+    }
+    if (rc == 0) return false;  // orderly EOF
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      if (!poll_for(fd, POLLIN, -1)) return false;
+      continue;
+    }
+    if (errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+bool write_all(int fd, const void* buf, std::size_t n) {
+  const auto* p = static_cast<const std::uint8_t*>(buf);
+  std::size_t sent = 0;
+  while (sent < n) {
+    const ssize_t rc = ::send(fd, p + sent, n - sent, MSG_NOSIGNAL);
+    if (rc > 0) {
+      sent += static_cast<std::size_t>(rc);
+      continue;
+    }
+    if (rc < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      if (!poll_for(fd, POLLOUT, -1)) return false;
+      continue;
+    }
+    if (rc < 0 && errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+void shutdown_fd(int fd) {
+  if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
+}
+
+}  // namespace atlas::serve

@@ -1,0 +1,73 @@
+#pragma once
+
+/// \file net.h
+/// Minimal POSIX TCP plumbing for the serve subsystem: listener/
+/// connector helpers and poll-driven exact-size reads and writes over
+/// nonblocking sockets. Every fd handed out by these helpers is
+/// nonblocking; read_exact/write_all park in poll() instead of in the
+/// kernel's blocking send/recv paths, so a stuck peer can never wedge
+/// a server thread beyond its poll timeout.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace atlas::serve {
+
+/// RAII socket handle (close on destroy, move-only).
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) : fd_(fd) {}
+  ~Fd() { reset(); }
+
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+  Fd(Fd&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Fd& operator=(Fd&& other) noexcept {
+    if (this != &other) {
+      reset();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  /// Closes the descriptor now (idempotent).
+  void reset();
+  /// Releases ownership without closing.
+  int release() {
+    int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+/// Opens a nonblocking listener on host:port (SO_REUSEADDR). port 0
+/// binds an ephemeral port; `*bound_port` receives the actual one.
+/// Throws atlas::Error on failure.
+Fd tcp_listen(const std::string& host, int port, int* bound_port);
+
+/// Connects to host:port and returns a nonblocking socket. Throws
+/// atlas::Error (ErrorCode::unavailable) when the peer is unreachable
+/// within `timeout_ms`.
+Fd tcp_connect(const std::string& host, int port, int timeout_ms = 5000);
+
+/// Reads exactly `n` bytes, polling for readability between partial
+/// reads. Returns false on EOF or a socket error (connection is dead);
+/// true when the buffer is full.
+bool read_exact(int fd, void* buf, std::size_t n);
+
+/// Writes exactly `n` bytes, polling for writability between partial
+/// nonblocking sends. Returns false when the peer is gone.
+bool write_all(int fd, const void* buf, std::size_t n);
+
+/// Half-closes + closes a socket to wake any thread polling on it.
+void shutdown_fd(int fd);
+
+}  // namespace atlas::serve

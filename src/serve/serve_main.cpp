@@ -1,0 +1,120 @@
+/// atlas-serve: the long-lived serving daemon. Binds a TCP port,
+/// serves the atlas-serve protocol (docs/PROTOCOL.md), and runs until
+/// SIGINT/SIGTERM or a client's shutdown op.
+///
+///   atlas-serve --port 7600 --workers 4 --max-sessions 64
+///       --ttl-ms 300000 --local-qubits 18 --regional-qubits 1
+///       --global-qubits 1       (one command line, wrapped here)
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <thread>
+
+#include "serve/server.h"
+
+namespace {
+
+std::atomic<bool> g_signaled{false};
+
+void on_signal(int) { g_signaled.store(true); }
+
+int usage(const char* argv0) {
+  std::cerr
+      << "usage: " << argv0 << " [options]\n"
+      << "  --host H                bind address (default 127.0.0.1)\n"
+      << "  --port P                TCP port; 0 = ephemeral (default 7600)\n"
+      << "  --workers N             dispatcher worker threads (default 2)\n"
+      << "  --max-pending N         per-tenant in-flight bound (default 32)\n"
+      << "  --max-sessions N        session store capacity (default 64)\n"
+      << "  --ttl-ms MS             session idle TTL (default 300000)\n"
+      << "  --purge-ms MS           purge sweep interval (default 1000)\n"
+      << "  --shared-plans N        cross-tenant plan cache entries "
+         "(default 128)\n"
+      << "  --local-qubits N        default cluster shape for sessions\n"
+      << "  --regional-qubits N\n"
+      << "  --global-qubits N\n"
+      << "  --gpus-per-node N\n"
+      << "  --opt-level L           default compile opt level (default 0)\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  atlas::serve::ServerConfig config;
+  config.port = 7600;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> long {
+      if (i + 1 >= argc) {
+        std::cerr << arg << " needs a value\n";
+        std::exit(2);
+      }
+      return std::strtol(argv[++i], nullptr, 10);
+    };
+    if (arg == "--host") {
+      if (i + 1 >= argc) return usage(argv[0]);
+      config.host = argv[++i];
+    } else if (arg == "--port") {
+      config.port = static_cast<int>(next());
+    } else if (arg == "--workers") {
+      config.workers = static_cast<int>(next());
+    } else if (arg == "--max-pending") {
+      config.max_pending_per_tenant = static_cast<std::size_t>(next());
+    } else if (arg == "--max-sessions") {
+      config.store.max_sessions = static_cast<std::size_t>(next());
+    } else if (arg == "--ttl-ms") {
+      config.store.session_ttl = std::chrono::milliseconds(next());
+    } else if (arg == "--purge-ms") {
+      config.store.purge_interval = std::chrono::milliseconds(next());
+    } else if (arg == "--shared-plans") {
+      config.shared_plan_capacity = static_cast<std::size_t>(next());
+    } else if (arg == "--local-qubits") {
+      config.session.cluster.local_qubits = static_cast<int>(next());
+    } else if (arg == "--regional-qubits") {
+      config.session.cluster.regional_qubits = static_cast<int>(next());
+    } else if (arg == "--global-qubits") {
+      config.session.cluster.global_qubits = static_cast<int>(next());
+    } else if (arg == "--gpus-per-node") {
+      config.session.cluster.gpus_per_node = static_cast<int>(next());
+    } else if (arg == "--opt-level") {
+      config.session.opt_level = static_cast<int>(next());
+    } else {
+      return usage(argv[0]);
+    }
+  }
+
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+
+  try {
+    atlas::serve::Server server(std::move(config));
+    server.start();
+    std::cout << "atlas-serve listening on " << server.config().host << ":"
+              << server.port() << " (" << server.config().workers
+              << " workers, " << server.config().store.max_sessions
+              << " session slots)" << std::endl;
+
+    // Wake periodically to notice signals; wait_shutdown() itself only
+    // observes the shutdown op.
+    std::thread waiter([&server] {
+      if (server.wait_shutdown()) g_signaled.store(true);
+    });
+    while (!g_signaled.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    }
+    std::cout << "atlas-serve shutting down (draining in-flight work)"
+              << std::endl;
+    server.stop();
+    waiter.join();
+  } catch (const std::exception& e) {
+    std::cerr << "atlas-serve: " << e.what() << std::endl;
+    return 1;
+  }
+  return 0;
+}

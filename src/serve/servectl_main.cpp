@@ -1,0 +1,110 @@
+/// atlas-servectl: operator CLI for a running atlas-serve daemon.
+///
+///   atlas-servectl [--host H] [--port P] list
+///   atlas-servectl stats
+///   atlas-servectl evict <session-id>
+///   atlas-servectl drain
+///   atlas-servectl shutdown
+
+#include <cstdlib>
+#include <iomanip>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "serve/client.h"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " [--host H] [--port P] "
+               "list | stats | evict <session-id> | drain | shutdown\n";
+  return 2;
+}
+
+void cmd_list(atlas::serve::Client& client) {
+  const auto sessions = client.list_sessions();
+  std::cout << std::left << std::setw(10) << "session" << std::setw(16)
+            << "tenant" << std::right << std::setw(10) << "idle_s"
+            << std::setw(8) << "ttl_s" << std::setw(8) << "active"
+            << std::setw(8) << "queued" << std::setw(10) << "circuits"
+            << std::setw(10) << "compiled" << std::setw(9) << "results"
+            << "\n";
+  for (const auto& s : sessions) {
+    std::cout << std::left << std::setw(10) << s.session_id << std::setw(16)
+              << s.tenant << std::right << std::fixed << std::setprecision(1)
+              << std::setw(10) << s.idle_seconds << std::setw(8)
+              << s.ttl_seconds << std::setw(8) << s.active << std::setw(8)
+              << s.queued << std::setw(10) << s.circuits << std::setw(10)
+              << s.compiled << std::setw(9) << s.results << "\n";
+  }
+  std::cout << sessions.size() << " session(s)\n";
+}
+
+void cmd_stats(atlas::serve::Client& client) {
+  const auto s = client.cache_stats();
+  const auto rate = [](std::uint64_t hits, std::uint64_t misses) {
+    const std::uint64_t total = hits + misses;
+    return total == 0 ? 0.0 : 100.0 * static_cast<double>(hits) /
+                                  static_cast<double>(total);
+  };
+  std::cout << "shared plan cache: " << s.shared_entries << " entries, "
+            << s.shared_resident_bytes << " bytes, " << s.shared_hits
+            << " hits / " << s.shared_misses << " misses ("
+            << std::fixed << std::setprecision(1)
+            << rate(s.shared_hits, s.shared_misses) << "% hit rate), "
+            << s.shared_evictions << " evictions\n";
+  std::cout << "session plan caches: " << s.session_entries << " entries, "
+            << s.session_resident_bytes << " bytes, " << s.session_hits
+            << " hits / " << s.session_misses << " misses ("
+            << rate(s.session_hits, s.session_misses) << "% hit rate), "
+            << s.session_evictions << " evictions\n";
+  std::cout << "sessions: " << s.sessions << "/" << s.session_capacity
+            << " live, " << s.sessions_purged << " purged\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  int port = 7600;
+  std::vector<std::string> rest;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--host" && i + 1 < argc) {
+      host = argv[++i];
+    } else if (arg == "--port" && i + 1 < argc) {
+      port = std::atoi(argv[++i]);
+    } else {
+      rest.push_back(arg);
+    }
+  }
+  if (rest.empty()) return usage(argv[0]);
+
+  try {
+    atlas::serve::Client client(host, port);
+    const std::string& cmd = rest[0];
+    if (cmd == "list") {
+      cmd_list(client);
+    } else if (cmd == "stats") {
+      cmd_stats(client);
+    } else if (cmd == "evict") {
+      if (rest.size() != 2) return usage(argv[0]);
+      client.evict_session(std::strtoull(rest[1].c_str(), nullptr, 10));
+      std::cout << "evicted session " << rest[1] << "\n";
+    } else if (cmd == "drain") {
+      client.drain();
+      std::cout << "drained: in-flight work finished, new work refused\n";
+    } else if (cmd == "shutdown") {
+      client.shutdown_server();
+      std::cout << "shutdown requested\n";
+    } else {
+      return usage(argv[0]);
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "atlas-servectl: " << e.what() << std::endl;
+    return 1;
+  }
+  return 0;
+}

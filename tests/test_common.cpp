@@ -4,7 +4,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 #include "common/bits.h"
@@ -97,6 +99,61 @@ TEST(ThreadPool, SubmitAndWaitIdle) {
   for (int i = 0; i < 50; ++i) pool.submit([&] { count++; });
   pool.wait_idle();
   EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPool, DrainCompletesInFlightWork) {
+  ThreadPool pool(2);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 20; ++i) {
+    pool.submit([&] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      done++;
+    });
+  }
+  pool.drain();  // must block until all 20 ran
+  EXPECT_EQ(done.load(), 20);
+  EXPECT_TRUE(pool.draining());
+}
+
+TEST(ThreadPool, DrainRejectsNewSubmitsWithUnavailable) {
+  ThreadPool pool(1);
+  pool.drain();
+  try {
+    pool.submit([] {});
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::unavailable);
+  }
+}
+
+TEST(ThreadPool, DrainIsIdempotent) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 5; ++i) pool.submit([&] { count++; });
+  pool.drain();
+  pool.drain();  // second drain: already idle, returns immediately
+  EXPECT_EQ(count.load(), 5);
+  EXPECT_THROW(pool.submit([] {}), Error);
+}
+
+TEST(Error, CarriesErrorCode) {
+  const Error internal("x");
+  EXPECT_EQ(internal.code(), ErrorCode::internal);
+  const Error missing("y", ErrorCode::not_found);
+  EXPECT_EQ(missing.code(), ErrorCode::not_found);
+  EXPECT_STREQ(error_code_name(ErrorCode::capacity), "capacity");
+  EXPECT_STREQ(error_code_name(ErrorCode::invalid_argument),
+               "invalid_argument");
+}
+
+TEST(Error, CheckArgThrowsInvalidArgument) {
+  try {
+    ATLAS_CHECK_ARG(false, "bad field " << 7);
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::invalid_argument);
+    EXPECT_NE(std::string(e.what()).find("bad field 7"), std::string::npos);
+  }
 }
 
 TEST(Rng, Deterministic) {

@@ -1,0 +1,198 @@
+// Concurrent-session stress tests: many threads hammering one
+// atlas::Session (compile/run/sweep/submit/plan-cache churn) and one
+// serve::SessionStore (open/get/run/close racing the TTL purge
+// thread). These exist to run under ThreadSanitizer in CI — the
+// assertions are deliberately light; the sanitizer is the real check.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "circuits/families.h"
+#include "core/atlas.h"
+#include "serve/session_store.h"
+
+namespace atlas {
+namespace {
+
+SessionConfig stress_config() {
+  SessionConfig cfg;
+  cfg.cluster.local_qubits = 5;
+  cfg.cluster.regional_qubits = 1;
+  cfg.cluster.global_qubits = 1;
+  cfg.cluster.gpus_per_node = 2;
+  cfg.cluster.num_threads = 1;
+  cfg.dispatch_threads = 2;
+  cfg.plan_cache_capacity = 4;  // small: force eviction churn
+  return cfg;
+}
+
+TEST(ConcurrencyStress, ManyThreadsHammerOneSession) {
+  Session session(stress_config());
+  const Circuit qft = circuits::qft(7);
+  const Circuit ghz = circuits::ghz(7);
+
+  Circuit ansatz(7, "stress_ansatz");
+  const Param theta = Param::symbol("theta");
+  for (int q = 0; q < 7; ++q) ansatz.add(Gate::h(q));
+  for (int q = 0; q + 1 < 7; ++q) ansatz.add(Gate::cx(q, q + 1));
+  for (int q = 0; q < 7; ++q) ansatz.add(Gate::rx(q, theta));
+
+  constexpr int kThreads = 8;
+  constexpr int kItersPerThread = 12;
+  std::atomic<int> failures{0};
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      try {
+        for (int i = 0; i < kItersPerThread; ++i) {
+          switch ((t + i) % 5) {
+            case 0: {  // compile + run, racing the plan cache
+              const CompiledCircuit cc = session.compile(ansatz);
+              const SimulationResult r =
+                  session.run(cc, std::vector<double>{0.1 * i});
+              if (r.norm_sq() < 0.99) failures++;
+              break;
+            }
+            case 1: {  // concrete simulate through the cache
+              const SimulationResult r = session.simulate(qft);
+              if (r.norm_sq() < 0.99) failures++;
+              break;
+            }
+            case 2: {  // async submit
+              auto fut = session.submit(ghz);
+              if (fut.get().norm_sq() < 0.99) failures++;
+              break;
+            }
+            case 3: {  // small sweep sharing one plan
+              const CompiledCircuit cc = session.compile(ansatz);
+              const auto rs = session.sweep(
+                  cc, std::vector<std::vector<double>>{{0.2}, {0.4}});
+              if (rs.size() != 2) failures++;
+              break;
+            }
+            case 4:  // cache churn racing every other op
+              session.clear_plan_cache();
+              session.plan_cache_stats();
+              break;
+          }
+        }
+      } catch (...) {
+        failures++;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  // Counters stayed coherent through the churn.
+  const PlanCacheStats stats = session.plan_cache_stats();
+  EXPECT_LE(stats.size, stats.capacity);
+}
+
+TEST(ConcurrencyStress, SessionStoreOpenGetRunCloseRacingPurge) {
+  serve::StoreLimits limits;
+  limits.max_sessions = 16;
+  limits.session_ttl = std::chrono::milliseconds(40);  // aggressive TTL
+  limits.purge_interval = std::chrono::milliseconds(5);
+  serve::SessionStore store(stress_config(), limits);
+
+  const Circuit ghz = circuits::ghz(7);
+  constexpr int kThreads = 6;
+  constexpr int kItersPerThread = 10;
+  std::atomic<int> hard_failures{0};
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kItersPerThread; ++i) {
+        try {
+          auto session = store.open("tenant-" + std::to_string(t),
+                                    store.base_config(),
+                                    std::chrono::milliseconds(40));
+          // begin_work pins the session against the purge thread for
+          // the duration of the run — the same protocol the server
+          // follows.
+          session->begin_work();
+          auto found = store.get(session->id());
+          SimulationResult r = found->session().simulate(ghz);
+          if (r.norm_sq() < 0.99) hard_failures++;
+          found->add_result(std::move(r));
+          session->end_work();
+          if (i % 2 == 0) {
+            try {
+              store.erase(session->id());
+            } catch (const Error&) {
+              // Racing purge may have removed it first: acceptable.
+            }
+          }
+        } catch (const Error& e) {
+          // capacity (store briefly full) is a legitimate outcome
+          // under this contention; anything else is a bug.
+          if (e.code() != ErrorCode::capacity &&
+              e.code() != ErrorCode::not_found) {
+            hard_failures++;
+          }
+        } catch (...) {
+          hard_failures++;
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(hard_failures.load(), 0);
+
+  // Let the purge thread clear the field; the store must end empty.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (store.size() != 0 && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(store.size(), 0u);
+  EXPECT_GT(store.purged_total() + 1, 0u);  // counter readable & sane
+
+  const PlanCacheStats aggregate = store.aggregate_plan_cache_stats();
+  EXPECT_EQ(aggregate.size, 0u);  // no sessions left
+}
+
+TEST(ConcurrencyStress, SharedPlanCacheConcurrentFindInsert) {
+  serve::SharedPlanCache cache(4);
+  Session session(stress_config());
+  const Circuit qft = circuits::qft(7);
+
+  constexpr int kThreads = 8;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      try {
+        for (int i = 0; i < 16; ++i) {
+          const std::uint64_t key = static_cast<std::uint64_t>((t + i) % 6);
+          auto found = cache.find(key);
+          if (!found) {
+            cache.insert(key, std::make_shared<const CompiledCircuit>(
+                                  session.compile(qft)));
+          }
+        }
+      } catch (...) {
+        failures++;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  const serve::SharedPlanCache::Stats stats = cache.stats();
+  EXPECT_LE(stats.entries, 4u);
+  EXPECT_GT(stats.hits + stats.misses, 0u);
+}
+
+}  // namespace
+}  // namespace atlas

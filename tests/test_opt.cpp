@@ -494,7 +494,8 @@ TEST(NoiseCompose, TwirlBatchStillSharesOnePlanAtLevel2) {
   noise::NoiseModel model;
   model.after_all_gates(noise::KrausChannel::depolarizing(0.05));
 
-  const Session session(shaped(4, 1, 0, /*opt_level=*/2));
+  // Non-const: clear_plan_cache() below mutates observable state.
+  Session session(shaped(4, 1, 0, /*opt_level=*/2));
   const noise::TrajectoryProgram prog =
       noise::TrajectoryProgram::build(c, model);
   ASSERT_TRUE(prog.pauli_fast_path());

@@ -55,6 +55,7 @@ TEST(Registry, UnknownNameThrowsListingRegistered) {
     const std::string what = e.what();
     EXPECT_NE(what.find("no-such-engine"), std::string::npos);
     EXPECT_NE(what.find("bnb"), std::string::npos);  // lists known names
+    EXPECT_EQ(e.code(), ErrorCode::not_found);
   }
 }
 
@@ -217,7 +218,7 @@ TEST(PlanCache, ZeroCapacityDisablesCaching) {
 }
 
 TEST(PlanCache, ClearResetsEntries) {
-  const Session session(small_config());
+  Session session(small_config());  // clear_plan_cache() is non-const
   const Circuit c = circuits::qft(7);
   session.plan(c);
   session.clear_plan_cache();

@@ -69,7 +69,16 @@ void Dispatcher::push_item(const std::string& tenant,
   }
   // One ticket per item; the ticket that runs pops the fair-share-next
   // item, which may belong to another tenant.
-  pool_->submit([this] { run_one(); });
+  try {
+    pool_->submit([this] { run_one(); });
+  } catch (...) {
+    // The pool only rejects tickets once its drain has begun (a
+    // teardown race). The item is already published, so serve its
+    // ticket on this thread: the 1:1 ticket/item invariant holds,
+    // items_outstanding_ still reaches zero, and drain() cannot wedge
+    // waiting on an item no worker will ever claim.
+    run_one();
+  }
 }
 
 std::function<void()> Dispatcher::pop_next() {

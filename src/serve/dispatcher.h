@@ -84,7 +84,8 @@ class Dispatcher {
   };
 
   /// Queues `work`, registering the tenant in the round-robin ring and
-  /// submitting one pool ticket. Caller holds no locks.
+  /// submitting one pool ticket (run inline on the caller if the pool
+  /// is already draining). Caller holds no locks. Never throws.
   void push_item(const std::string& tenant, std::function<void()> work);
   /// Pops the round-robin-next item. Never empty-handed (1:1 ticket
   /// invariant).

@@ -2,6 +2,7 @@
 
 #include <arpa/inet.h>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <fcntl.h>
 #include <netinet/in.h>
@@ -128,7 +129,11 @@ bool read_exact(int fd, void* buf, std::size_t n) {
   return true;
 }
 
-bool write_all(int fd, const void* buf, std::size_t n) {
+bool write_all(int fd, const void* buf, std::size_t n, int timeout_ms) {
+  // One deadline for the whole buffer: a peer trickling one byte per
+  // poll window cannot stretch the write past timeout_ms total.
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
   const auto* p = static_cast<const std::uint8_t*>(buf);
   std::size_t sent = 0;
   while (sent < n) {
@@ -138,7 +143,16 @@ bool write_all(int fd, const void* buf, std::size_t n) {
       continue;
     }
     if (rc < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
-      if (!poll_for(fd, POLLOUT, -1)) return false;
+      int wait_ms = -1;
+      if (timeout_ms >= 0) {
+        const auto left =
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                deadline - std::chrono::steady_clock::now())
+                .count();
+        if (left <= 0) return false;  // peer stopped reading
+        wait_ms = static_cast<int>(left);
+      }
+      if (!poll_for(fd, POLLOUT, wait_ms)) return false;
       continue;
     }
     if (rc < 0 && errno == EINTR) continue;

@@ -4,9 +4,12 @@
 /// Minimal POSIX TCP plumbing for the serve subsystem: listener/
 /// connector helpers and poll-driven exact-size reads and writes over
 /// nonblocking sockets. Every fd handed out by these helpers is
-/// nonblocking; read_exact/write_all park in poll() instead of in the
-/// kernel's blocking send/recv paths, so a stuck peer can never wedge
-/// a server thread beyond its poll timeout.
+/// nonblocking and parks in poll() instead of in the kernel's blocking
+/// send/recv paths. Reads park indefinitely — an idle connection is
+/// normal, and shutdown_fd() wakes the poll for teardown. Writes take
+/// a caller-supplied deadline, so a peer that stops reading cannot
+/// wedge a writer thread (the server passes a finite timeout and drops
+/// the connection on expiry).
 
 #include <cstddef>
 #include <cstdint>
@@ -64,8 +67,11 @@ Fd tcp_connect(const std::string& host, int port, int timeout_ms = 5000);
 bool read_exact(int fd, void* buf, std::size_t n);
 
 /// Writes exactly `n` bytes, polling for writability between partial
-/// nonblocking sends. Returns false when the peer is gone.
-bool write_all(int fd, const void* buf, std::size_t n);
+/// nonblocking sends. `timeout_ms` bounds the TOTAL time spent parked
+/// waiting for the peer to drain its receive window (-1 = forever);
+/// on expiry the write fails as if the peer died. Returns false when
+/// the peer is gone or the deadline passed.
+bool write_all(int fd, const void* buf, std::size_t n, int timeout_ms = -1);
 
 /// Half-closes + closes a socket to wake any thread polling on it.
 void shutdown_fd(int fd);

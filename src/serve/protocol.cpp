@@ -265,7 +265,8 @@ bool read_frame(int fd, std::vector<std::uint8_t>& payload,
   return read_exact(fd, payload.data(), len);
 }
 
-bool write_frame(int fd, const std::vector<std::uint8_t>& payload) {
+bool write_frame(int fd, const std::vector<std::uint8_t>& payload,
+                 int timeout_ms) {
   const std::uint32_t len = static_cast<std::uint32_t>(payload.size());
   // Typical frames are tiny: coalesce prefix + payload into one
   // send() instead of two. Big frames skip the copy and pay the
@@ -278,10 +279,10 @@ bool write_frame(int fd, const std::vector<std::uint8_t>& payload) {
       std::memcpy(frame.data() + sizeof(len), payload.data(),
                   payload.size());
     }
-    return write_all(fd, frame.data(), frame.size());
+    return write_all(fd, frame.data(), frame.size(), timeout_ms);
   }
-  if (!write_all(fd, &len, sizeof(len))) return false;
-  return write_all(fd, payload.data(), payload.size());
+  if (!write_all(fd, &len, sizeof(len), timeout_ms)) return false;
+  return write_all(fd, payload.data(), payload.size(), timeout_ms);
 }
 
 }  // namespace atlas::serve

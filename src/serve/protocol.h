@@ -275,7 +275,10 @@ bool read_frame(int fd, std::vector<std::uint8_t>& payload,
 
 /// Writes one frame (length prefix + payload) atomically with respect
 /// to other write_frame calls on the same fd — callers serialize via
-/// their own per-connection mutex. Returns false when the peer died.
-bool write_frame(int fd, const std::vector<std::uint8_t>& payload);
+/// their own per-connection mutex. `timeout_ms` bounds each underlying
+/// write_all (-1 = forever). Returns false when the peer died or
+/// stopped reading past the deadline.
+bool write_frame(int fd, const std::vector<std::uint8_t>& payload,
+                 int timeout_ms = -1);
 
 }  // namespace atlas::serve

@@ -74,6 +74,14 @@ struct Server::RequestContext {
   std::uint64_t request_id = 0;
   std::string tenant;
   std::shared_ptr<ServeSession> session;  // null for open_session
+  /// True once enqueue_request() accepted this request. Only an
+  /// admitted request owns an admission slot: a refusal or a
+  /// pre-admission failure must not call request_done(), which would
+  /// free a slot held by a *different* in-flight request and let the
+  /// tenant's real concurrency creep past the bound. Written by the
+  /// reader thread before the work item is published (the dispatcher's
+  /// mutex orders it against worker reads).
+  bool admitted = false;
   std::atomic<bool> settled{false};
 
   ~RequestContext() {
@@ -103,7 +111,7 @@ struct Server::RequestContext {
       session->touch();
       session->end_work();
     }
-    server->dispatcher_->request_done(tenant);
+    if (admitted) server->dispatcher_->request_done(tenant);
   }
 };
 
@@ -233,6 +241,12 @@ bool Server::handle_frame(const std::shared_ptr<Connection>& conn,
       payload.begin() + static_cast<std::ptrdiff_t>(header_size),
       payload.end());
   try {
+    // Marked before the call: on success the work item (which may
+    // settle the context from a worker thread at any point after) must
+    // already see the slot as owned. enqueue_request only throws
+    // before publishing the work, so the rollback below cannot race a
+    // running handler.
+    ctx->admitted = true;
     dispatcher_->enqueue_request(
         ctx->tenant, [this, ctx, op, body_buf, session_id]() mutable {
           WireReader body(*body_buf);
@@ -276,7 +290,9 @@ bool Server::handle_frame(const std::shared_ptr<Connection>& conn,
         });
   } catch (const Error& e) {
     // Admission refused: per-tenant bound (capacity) or draining
-    // (unavailable). request_done() is a no-op for the never-admitted.
+    // (unavailable). This request never took a slot — un-mark it so
+    // finish() leaves the tenant's slots to the requests that own them.
+    ctx->admitted = false;
     ctx->reply_error(status_from(e.code()), e.what());
   }
   return true;
@@ -593,7 +609,12 @@ void Server::send_reply(const std::shared_ptr<Connection>& conn,
   frame.insert(frame.end(), body.begin(), body.end());
   std::lock_guard<std::mutex> lock(conn->write_mu);
   if (conn->dead.load()) return;
-  if (!write_frame(conn->fd.get(), frame)) conn->dead.store(true);
+  if (!write_frame(conn->fd.get(), frame, config_.write_timeout_ms)) {
+    // Vanished or stalled peer: half-close so the connection's parked
+    // reader wakes and exits instead of waiting on a dead client.
+    conn->dead.store(true);
+    shutdown_fd(conn->fd.get());
+  }
 }
 
 void Server::send_error(const std::shared_ptr<Connection>& conn,

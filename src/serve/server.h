@@ -43,6 +43,11 @@ struct ServerConfig {
   /// Cross-tenant shared plan cache capacity (entries).
   std::size_t shared_plan_capacity = 128;
   std::uint32_t max_frame_bytes = kDefaultMaxFrameBytes;
+  /// Reply-write deadline per frame: a client that stops reading its
+  /// socket for this long is declared dead and its connection is torn
+  /// down, so a stalled peer cannot pin a dispatcher worker in
+  /// send_reply (or wedge stop()'s drain) indefinitely. -1 = forever.
+  int write_timeout_ms = 10000;
   /// Base SessionConfig for tenant sessions (open_session overrides
   /// shape/opt_level/seed per tenant). Defaults keep each session
   /// single-threaded — serving parallelism comes from `workers`, not

@@ -1,0 +1,15 @@
+OPENQASM 2.0;
+include "qelib1.inc";
+#pragma atlas noise depolarizing(0.01) all
+#pragma atlas noise amplitude_damping(0.02) gate cx
+#pragma atlas noise readout(0.01, 0.03) all
+qreg q[4];
+creg c[4];
+h q[0];
+cx q[0],q[1];
+cx q[1],q[2];
+cx q[2],q[3];
+measure q[0] -> c[0];
+measure q[1] -> c[1];
+measure q[2] -> c[2];
+measure q[3] -> c[3];

@@ -1,0 +1,78 @@
+#pragma once
+
+/// \file mutex.h
+/// Annotated mutex wrappers: a std::mutex the clang thread-safety
+/// analysis can reason about (ATLAS_CAPABILITY), a scoped guard, and a
+/// condition variable that waits on it. Drop-in for the std types —
+/// same semantics, zero overhead — but every lock site becomes
+/// statically checkable: members declare ATLAS_GUARDED_BY(mu_),
+/// helpers declare ATLAS_REQUIRES(mu_), and the CI clang build refuses
+/// unprotected access.
+///
+/// CondVar is std::condition_variable_any (Mutex is BasicLockable, not
+/// std::mutex, so the _any variant is required); its wait() declares
+/// ATLAS_REQUIRES(mu) since the analysis cannot model the unlock/relock
+/// cycle inside the wait.
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "common/thread_annotations.h"
+
+namespace atlas {
+
+class ATLAS_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() ATLAS_ACQUIRE() { mu_.lock(); }
+  void unlock() ATLAS_RELEASE() { mu_.unlock(); }
+  bool try_lock() ATLAS_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// std::lock_guard with the scoped-capability annotation.
+class ATLAS_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ATLAS_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() ATLAS_RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable over Mutex. Callers hold the Mutex across wait
+/// (expressed via ATLAS_REQUIRES); notify needs no lock.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  template <typename Predicate>
+  void wait(Mutex& mu, Predicate pred) ATLAS_REQUIRES(mu) {
+    cv_.wait(mu, std::move(pred));
+  }
+
+  template <typename Rep, typename Period, typename Predicate>
+  bool wait_for(Mutex& mu, const std::chrono::duration<Rep, Period>& dur,
+                Predicate pred) ATLAS_REQUIRES(mu) {
+    return cv_.wait_for(mu, dur, std::move(pred));
+  }
+
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace atlas

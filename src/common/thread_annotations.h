@@ -1,0 +1,44 @@
+#pragma once
+
+/// \file thread_annotations.h
+/// Clang thread-safety analysis attributes, spelled as ATLAS_* macros
+/// that expand to nothing under compilers without the attribute (gcc
+/// builds them as plain code; the CI static-analysis job compiles with
+/// clang and -Werror=thread-safety to enforce them).
+///
+/// Conventions (docs/VERIFY.md has the full catalog):
+///  * every mutex-protected member is ATLAS_GUARDED_BY(mu_);
+///  * private helpers that assume the lock are suffixed `_locked` and
+///    annotated ATLAS_REQUIRES(mu_);
+///  * public entry points that take the lock are ATLAS_EXCLUDES(mu_)
+///    when re-entry would deadlock;
+///  * ATLAS_NO_THREAD_SAFETY_ANALYSIS is a last resort and must carry
+///    a comment explaining why the analysis cannot see the invariant.
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define ATLAS_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef ATLAS_THREAD_ANNOTATION
+#define ATLAS_THREAD_ANNOTATION(x)  // no-op outside clang
+#endif
+
+#define ATLAS_CAPABILITY(name) ATLAS_THREAD_ANNOTATION(capability(name))
+#define ATLAS_SCOPED_CAPABILITY ATLAS_THREAD_ANNOTATION(scoped_lockable)
+#define ATLAS_GUARDED_BY(x) ATLAS_THREAD_ANNOTATION(guarded_by(x))
+#define ATLAS_PT_GUARDED_BY(x) ATLAS_THREAD_ANNOTATION(pt_guarded_by(x))
+#define ATLAS_ACQUIRE(...) \
+  ATLAS_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define ATLAS_RELEASE(...) \
+  ATLAS_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define ATLAS_TRY_ACQUIRE(...) \
+  ATLAS_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define ATLAS_REQUIRES(...) \
+  ATLAS_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define ATLAS_EXCLUDES(...) ATLAS_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define ATLAS_ASSERT_CAPABILITY(x) \
+  ATLAS_THREAD_ANNOTATION(assert_capability(x))
+#define ATLAS_RETURN_CAPABILITY(x) ATLAS_THREAD_ANNOTATION(lock_returned(x))
+#define ATLAS_NO_THREAD_SAFETY_ANALYSIS \
+  ATLAS_THREAD_ANNOTATION(no_thread_safety_analysis)

@@ -19,7 +19,7 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
   }
   cv_task_.notify_all();
@@ -28,7 +28,7 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::submit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (draining_) {
       throw Error("ThreadPool is draining; new tasks are rejected",
                   ErrorCode::unavailable);
@@ -40,18 +40,22 @@ void ThreadPool::submit(std::function<void()> task) {
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_idle_.wait(lock, [this] { return in_flight_ == 0; });
+  MutexLock lock(mu_);
+  cv_idle_.wait(mu_, [this]() ATLAS_REQUIRES(mu_) {
+    return in_flight_ == 0;
+  });
 }
 
 void ThreadPool::drain() {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   draining_ = true;
-  cv_idle_.wait(lock, [this] { return in_flight_ == 0; });
+  cv_idle_.wait(mu_, [this]() ATLAS_REQUIRES(mu_) {
+    return in_flight_ == 0;
+  });
 }
 
 bool ThreadPool::draining() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return draining_;
 }
 
@@ -64,9 +68,11 @@ void ThreadPool::parallel_for(std::size_t n,
     return;
   }
   std::atomic<std::size_t> next{0};
+  // Per-call completion state; local to the call, so GUARDED_BY cannot
+  // be expressed — the lock sites below keep the discipline manually.
+  Mutex done_mu;
   std::exception_ptr first_error;
-  std::mutex done_mu;
-  std::condition_variable done_cv;
+  CondVar done_cv;
   std::size_t done = 0;
   const std::size_t num_tasks = std::min(n, workers_.size());
   for (std::size_t t = 0; t < num_tasks; ++t) {
@@ -77,19 +83,19 @@ void ThreadPool::parallel_for(std::size_t n,
         try {
           fn(i);
         } catch (...) {
-          std::lock_guard<std::mutex> lock(done_mu);
+          MutexLock lock(done_mu);
           if (!first_error) first_error = std::current_exception();
         }
       }
-      std::lock_guard<std::mutex> lock(done_mu);
+      MutexLock lock(done_mu);
       if (++done == num_tasks) done_cv.notify_all();
     });
   }
   // Wait on this call's own completion count, not pool-wide idleness:
   // concurrent parallel_for calls (e.g. two Session jobs sharing the
   // cluster pool) must not act as barriers for each other.
-  std::unique_lock<std::mutex> lock(done_mu);
-  done_cv.wait(lock, [&] { return done == num_tasks; });
+  MutexLock lock(done_mu);
+  done_cv.wait(done_mu, [&] { return done == num_tasks; });
   if (first_error) std::rethrow_exception(first_error);
 }
 
@@ -97,15 +103,17 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_task_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      MutexLock lock(mu_);
+      cv_task_.wait(mu_, [this]() ATLAS_REQUIRES(mu_) {
+        return stop_ || !tasks_.empty();
+      });
       if (stop_ && tasks_.empty()) return;
       task = std::move(tasks_.front());
       tasks_.pop();
     }
     task();
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (--in_flight_ == 0) cv_idle_.notify_all();
     }
   }

@@ -4,14 +4,19 @@
 /// A small task-based thread pool (Core Guidelines CP.4: think in terms
 /// of tasks). Atlas uses it to execute per-shard GPU work in parallel:
 /// each virtual GPU's kernel launches for a stage form one task.
+///
+/// Lock discipline is statically checked: `mu_` is an annotated
+/// capability (common/mutex.h) guarding the queue and lifecycle flags,
+/// and the CI clang build enforces the GUARDED_BY contracts with
+/// -Werror=thread-safety.
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.h"
 
 namespace atlas {
 
@@ -29,10 +34,10 @@ class ThreadPool {
 
   /// Enqueues a task; returns immediately. Throws atlas::Error
   /// (ErrorCode::unavailable) once drain() has been called.
-  void submit(std::function<void()> task);
+  void submit(std::function<void()> task) ATLAS_EXCLUDES(mu_);
 
   /// Blocks until every submitted task has finished.
-  void wait_idle();
+  void wait_idle() ATLAS_EXCLUDES(mu_);
 
   /// Graceful shutdown mode: atomically stops accepting new submit()s
   /// (they throw ErrorCode::unavailable from this point on), lets every
@@ -42,10 +47,10 @@ class ThreadPool {
   /// a submit either lands before the drain (and is waited for) or
   /// throws. Workers stay parked so the destructor still works.
   /// Must not be called from a task running on this pool (deadlock).
-  void drain();
+  void drain() ATLAS_EXCLUDES(mu_);
 
   /// True once drain() has begun.
-  bool draining() const;
+  bool draining() const ATLAS_EXCLUDES(mu_);
 
   /// Runs fn(i) for i in [0, n), distributing across the pool and
   /// blocking until all iterations complete. Exceptions from tasks are
@@ -55,16 +60,16 @@ class ThreadPool {
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
  private:
-  void worker_loop();
+  void worker_loop() ATLAS_EXCLUDES(mu_);
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> tasks_;
-  mutable std::mutex mu_;
-  std::condition_variable cv_task_;
-  std::condition_variable cv_idle_;
-  std::size_t in_flight_ = 0;
-  bool stop_ = false;
-  bool draining_ = false;
+  mutable Mutex mu_;
+  std::queue<std::function<void()>> tasks_ ATLAS_GUARDED_BY(mu_);
+  CondVar cv_task_;
+  CondVar cv_idle_;
+  std::size_t in_flight_ ATLAS_GUARDED_BY(mu_) = 0;
+  bool stop_ ATLAS_GUARDED_BY(mu_) = false;
+  bool draining_ ATLAS_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace atlas

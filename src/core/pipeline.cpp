@@ -6,9 +6,22 @@
 #include "common/fnv.h"
 #include "common/timer.h"
 #include "staging/stage.h"
+#include "verify/verify.h"
 
 namespace atlas {
 namespace {
+
+/// Phase-boundary verification: copies any findings into `diag` (which
+/// may outlive the throw when the caller owns it, as in build_plan)
+/// and then throws through verify::check.
+void check_phase(const verify::VerifyReport& report,
+                 CompileDiagnostics* diag) {
+  if (report.ok()) return;
+  if (diag != nullptr)
+    diag->verify.insert(diag->verify.end(), report.diags.begin(),
+                        report.diags.end());
+  verify::check(report);
+}
 
 /// Slot canonicalization: every parameter — concrete or symbolic —
 /// becomes a slot symbol, so the cached plan is valid for any binding
@@ -77,6 +90,8 @@ exec::ExecutionPlan CompilePipeline::build_plan(const Circuit& circuit,
   const staging::StagedCircuit staged =
       stager_->stage(circuit, config_.shape, config_.staging);
   staging::validate_staging(circuit, staged, config_.shape);
+  if (config_.verify != verify::VerifyLevel::off)
+    check_phase(verify::verify_staged(circuit, staged, config_.shape), diag);
   if (diag != nullptr) {
     diag->phases.push_back({"stage", t.seconds(), circuit.num_gates(),
                             circuit.num_gates()});
@@ -99,6 +114,10 @@ exec::ExecutionPlan CompilePipeline::build_plan(const Circuit& circuit,
     plan.kernel_cost_total += ps.kernels.total_cost;
     plan.stages.push_back(std::move(ps));
   }
+  if (config_.verify != verify::VerifyLevel::off)
+    check_phase(verify::verify_plan(plan, config_.shape, &circuit,
+                                    config_.verify),
+                diag);
   if (diag != nullptr)
     diag->phases.push_back({"kernelize", t.seconds(), circuit.num_gates(),
                             circuit.num_gates()});
@@ -111,11 +130,16 @@ CompiledCircuit CompilePipeline::compile(const Circuit& circuit,
                                          const PlanResolver& resolver) const {
   CompiledCircuit cc;
   auto diag = std::make_shared<CompileDiagnostics>();
+  diag->verify_level = config_.verify;
+  const bool verifying = config_.verify != verify::VerifyLevel::off;
   Timer total;
 
   // Phase 1: optimize (a no-op pipeline at level 0 — bit-identical).
   Timer t;
   Circuit optimized = passes_.run(circuit, pass_ctx_, &diag->opt);
+  if (verifying)
+    check_phase(verify::verify_circuit(optimized, config_.verify),
+                diag.get());
   diag->phases.push_back({"optimize", t.seconds(), circuit.num_gates(),
                           optimized.num_gates()});
   dump({"optimize", &optimized, nullptr, nullptr});
@@ -124,6 +148,9 @@ CompiledCircuit CompilePipeline::compile(const Circuit& circuit,
   t.reset();
   auto optimized_shared = std::make_shared<const Circuit>(std::move(optimized));
   Circuit canonical = canonicalize(*optimized_shared, cc.slots_);
+  if (verifying)
+    check_phase(verify::verify_circuit(canonical, config_.verify),
+                diag.get());
   diag->phases.push_back({"canonicalize", t.seconds(),
                           optimized_shared->num_gates(),
                           canonical.num_gates()});
@@ -135,13 +162,20 @@ CompiledCircuit CompilePipeline::compile(const Circuit& circuit,
   cc.shape_salt_ = shape_salt;
   cc.plan_key_ = fnv_mix(shape_salt, canonical.structural_fingerprint());
 
-  // Phases 3+4: stage + kernelize, through the plan cache.
+  // Phases 3+4: stage + kernelize, through the plan cache. A freshly
+  // built plan is verified inside build_plan(); at paranoid the
+  // cache-hit path re-verifies the cached plan too.
   cc.plan_ = resolver(cc.plan_key_, canonical, *diag);
   ATLAS_CHECK(cc.plan_ != nullptr, "plan resolver returned null");
+  if (config_.verify >= verify::VerifyLevel::paranoid && diag->plan_cached)
+    check_phase(verify::verify_plan(*cc.plan_, config_.shape, &canonical,
+                                    config_.verify),
+                diag.get());
 
   // Phase 5: program — slot-program compilation + handle assembly.
   t.reset();
   cc.build_slot_programs();
+  if (verifying) check_phase(verify::verify_compiled(cc), diag.get());
   diag->num_stages = cc.plan_->stages.size();
   diag->phases.push_back({"program", t.seconds(), canonical.num_gates(),
                           canonical.num_gates()});

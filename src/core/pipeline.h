@@ -37,6 +37,7 @@
 #include "kernelize/kernelizer.h"
 #include "opt/pass_manager.h"
 #include "staging/registry.h"
+#include "verify/diagnostic.h"
 
 namespace atlas {
 
@@ -57,6 +58,13 @@ struct CompileDiagnostics {
   bool plan_cached = false;
   std::size_t num_stages = 0;
   double total_seconds = 0;
+  /// The verify level the pipeline ran at, so tooling can tell a clean
+  /// compile from an unchecked one.
+  verify::VerifyLevel verify_level = verify::VerifyLevel::off;
+  /// Structured verifier findings. Populated right before the pipeline
+  /// throws on a broken phase hand-off; empty on success. build_plan()
+  /// callers passing a CompileDiagnostics keep these across the throw.
+  std::vector<verify::VerifyDiagnostic> verify;
 };
 
 /// Snapshot handed to the dump hook after each phase; only the
@@ -78,6 +86,18 @@ class CompilePipeline {
     kernelize::CostModel cost_model = kernelize::CostModel::default_model();
     kernelize::DpOptions kernelize;
     opt::OptOptions opt;
+    /// Invariant checking at phase hand-offs (docs/VERIFY.md):
+    /// `boundaries` runs the structural checkers after every phase,
+    /// `paranoid` adds the numeric ones (unitarity). Cached plans were
+    /// verified when built, so `boundaries` skips re-checking them on
+    /// a cache hit; `paranoid` re-checks. Defaults to `boundaries` in
+    /// Debug builds and `off` in Release.
+    verify::VerifyLevel verify =
+#ifndef NDEBUG
+        verify::VerifyLevel::boundaries;
+#else
+        verify::VerifyLevel::off;
+#endif
     /// Invoked after every phase when set; exceptions propagate.
     CompileDumpHook dump;
   };

@@ -2,11 +2,11 @@
 
 #include <algorithm>
 #include <list>
-#include <mutex>
 #include <unordered_map>
 #include <utility>
 
 #include "common/error.h"
+#include "common/mutex.h"
 #include "common/fnv.h"
 #include "exec/queries.h"
 #include "staging/stage.h"
@@ -149,7 +149,7 @@ class Session::PlanCache {
 
   std::shared_ptr<const exec::ExecutionPlan> find(std::uint64_t key,
                                                   const Circuit& circuit) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (capacity_ == 0) {
       // Disabled caches still count misses: the counter is the
       // replanning canary benches and tests read.
@@ -173,7 +173,7 @@ class Session::PlanCache {
     if (capacity_ == 0) return;
     // Size the plan outside the lock; it walks every stage.
     const std::size_t bytes = exec::approx_resident_bytes(*plan);
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (index_.count(key)) return;  // a concurrent planner won the race
     entries_.push_front(Entry{key, circuit.num_qubits(), circuit.num_gates(),
                               bytes, std::move(plan)});
@@ -188,7 +188,7 @@ class Session::PlanCache {
   }
 
   PlanCacheStats stats() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     PlanCacheStats s;
     s.hits = hits_;
     s.misses = misses_;
@@ -200,7 +200,7 @@ class Session::PlanCache {
   }
 
   void clear() {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     entries_.clear();
     index_.clear();
     resident_bytes_ = 0;
@@ -216,13 +216,14 @@ class Session::PlanCache {
   };
 
   const std::size_t capacity_;
-  mutable std::mutex mu_;
-  std::list<Entry> entries_;  // MRU at front
-  std::unordered_map<std::uint64_t, std::list<Entry>::iterator> index_;
-  std::uint64_t hits_ = 0;
-  std::uint64_t misses_ = 0;
-  std::uint64_t evictions_ = 0;
-  std::size_t resident_bytes_ = 0;
+  mutable Mutex mu_;
+  std::list<Entry> entries_ ATLAS_GUARDED_BY(mu_);  // MRU at front
+  std::unordered_map<std::uint64_t, std::list<Entry>::iterator> index_
+      ATLAS_GUARDED_BY(mu_);
+  std::uint64_t hits_ ATLAS_GUARDED_BY(mu_) = 0;
+  std::uint64_t misses_ ATLAS_GUARDED_BY(mu_) = 0;
+  std::uint64_t evictions_ ATLAS_GUARDED_BY(mu_) = 0;
+  std::size_t resident_bytes_ ATLAS_GUARDED_BY(mu_) = 0;
 };
 
 Session::Session(SessionConfig config)
@@ -239,6 +240,7 @@ Session::Session(SessionConfig config)
         pc.cost_model = config_.cost_model;
         pc.kernelize = config_.kernelize;
         pc.opt.level = config_.opt_level;
+        pc.verify = config_.verify_level;
         pc.dump = config_.compile_dump;
         return std::make_unique<CompilePipeline>(std::move(pc), stager_,
                                                  kernelizer_);

@@ -101,6 +101,21 @@ struct SessionConfig : SimulatorConfig {
   /// twirl circuits) are stated at the unoptimized structure; opt in
   /// per session for standalone simulation workloads.
   int opt_level = 0;
+  /// Invariant verification level for the compile pipeline and the
+  /// noise path (verify/verify.h, docs/VERIFY.md):
+  ///   off        — only the always-on legacy validators run;
+  ///   boundaries — structural checkers at every compile phase
+  ///                hand-off (cheap, no numerics; the Debug default);
+  ///   paranoid   — boundaries plus numeric checks: unitarity of
+  ///                explicit matrices, CPTP of noise channels, and
+  ///                re-verification of cache-hit plans.
+  /// Defaults to `boundaries` in Debug builds and `off` in Release.
+  verify::VerifyLevel verify_level =
+#ifndef NDEBUG
+      verify::VerifyLevel::boundaries;
+#else
+      verify::VerifyLevel::off;
+#endif
   /// Optional per-phase dump hook: invoked after every compile phase
   /// (optimize, canonicalize, stage, kernelize, program) with the
   /// phase's snapshot. Cache-hit compiles skip stage/kernelize.

@@ -312,7 +312,7 @@ StageProgram bind_stage_program(const Circuit& subcircuit,
 std::shared_ptr<const StageSkeleton> StageSkeletonCache::get_or_build(
     const Layout& layout, const std::function<StageSkeleton()>& build) {
   const std::uint64_t digest = layout_digest(layout);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (!cached_ || cached_->layout_digest != digest)
     cached_ = std::make_shared<const StageSkeleton>(build());
   return cached_;

@@ -44,9 +44,9 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <vector>
 
+#include "common/mutex.h"
 #include "exec/layout.h"
 #include "ir/circuit.h"
 #include "ir/param.h"
@@ -180,8 +180,8 @@ class StageSkeletonCache {
       const Layout& layout, const std::function<StageSkeleton()>& build);
 
  private:
-  std::mutex mu_;
-  std::shared_ptr<const StageSkeleton> cached_;
+  Mutex mu_;
+  std::shared_ptr<const StageSkeleton> cached_ ATLAS_GUARDED_BY(mu_);
 };
 
 /// Compiles one planned stage (its subcircuit + kernelization) against

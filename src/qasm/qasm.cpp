@@ -329,7 +329,9 @@ void parse_input_declaration(const std::string& stmt, int line_no,
                                           << ": malformed input declaration");
 }
 
-Circuit parse(const std::string& source) {
+Circuit parse(const std::string& source) { return parse(source, nullptr); }
+
+Circuit parse(const std::string& source, std::vector<int>* gate_lines) {
   std::string qreg_name;
   int num_qubits = -1;
   std::vector<Statement> statements;
@@ -409,6 +411,7 @@ Circuit parse(const std::string& source) {
     ATLAS_CHECK_ARG(have_circuit, "line " << ln << ": gate before qreg");
     const Statement st = LineParser(s, ln, qreg_name, symbols).parse();
     circuit.add(make_gate(st, ln));
+    if (gate_lines != nullptr) gate_lines->push_back(ln);
   }
   ATLAS_CHECK_ARG(have_circuit, "no qreg declaration found");
   return circuit;
@@ -600,7 +603,7 @@ NoisyParse parse_with_noise(const std::string& source) {
     }
     // Other pragmas fall through to parse(), which skips '#' lines.
   }
-  out.circuit = parse(source);
+  out.circuit = parse(source, &out.gate_lines);
   return out;
 }
 

@@ -31,6 +31,7 @@
 /// `gate <name>`, `qubit <k>` (readout: `all` or `qubit <k>`).
 
 #include <string>
+#include <vector>
 
 #include "ir/circuit.h"
 #include "noise/model.h"
@@ -42,13 +43,22 @@ namespace atlas::qasm {
 /// parse_with_noise to honor noise pragmas).
 Circuit parse(const std::string& source);
 
+/// As parse(), additionally recording source provenance: on return,
+/// (*gate_lines)[i] is the 1-based source line gate i came from —
+/// atlas-lint maps verifier diagnostics back through it for file:line
+/// output. `gate_lines` may be null.
+Circuit parse(const std::string& source, std::vector<int>* gate_lines);
+
 /// Reads and parses a .qasm file.
 Circuit parse_file(const std::string& path);
 
-/// A parsed circuit together with its pragma-attached noise model.
+/// A parsed circuit together with its pragma-attached noise model and
+/// per-gate source-line provenance (gate_lines[i] = 1-based line of
+/// circuit gate i).
 struct NoisyParse {
   Circuit circuit;
   noise::NoiseModel noise;
+  std::vector<int> gate_lines;
 };
 
 /// As parse(), additionally honoring `#pragma atlas noise` lines.

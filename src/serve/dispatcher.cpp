@@ -32,7 +32,7 @@ void Dispatcher::maybe_gc_locked(TenantQueue& q) {
 void Dispatcher::enqueue_request(const std::string& tenant,
                                  std::function<void()> work) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (draining_) {
       throw Error("server is draining; new requests are rejected",
                   ErrorCode::unavailable);
@@ -58,7 +58,7 @@ void Dispatcher::enqueue_internal(const std::string& tenant,
 void Dispatcher::push_item(const std::string& tenant,
                            std::function<void()> work) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     TenantQueue& q = tenant_locked(tenant);
     q.items.push_back(std::move(work));
     if (!q.in_ring) {
@@ -82,7 +82,7 @@ void Dispatcher::push_item(const std::string& tenant,
 }
 
 std::function<void()> Dispatcher::pop_next() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   // The 1:1 ticket/item invariant guarantees the ring is non-empty
   // here and its front queue has at least one item.
   TenantQueue* q = ring_.front();
@@ -106,12 +106,12 @@ void Dispatcher::run_one() {
     // Work items reply to their own clients; an escaped exception is a
     // server bug, but accounting must stay correct regardless.
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (--items_outstanding_ == 0) idle_cv_.notify_all();
 }
 
 void Dispatcher::request_done(const std::string& tenant) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = tenants_.find(tenant);
   if (it == tenants_.end()) return;
   if (it->second.pending_requests > 0) --it->second.pending_requests;
@@ -119,28 +119,30 @@ void Dispatcher::request_done(const std::string& tenant) {
 }
 
 std::size_t Dispatcher::queued(const std::string& tenant) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = tenants_.find(tenant);
   return it == tenants_.end() ? 0 : it->second.items.size();
 }
 
 std::size_t Dispatcher::pending(const std::string& tenant) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = tenants_.find(tenant);
   return it == tenants_.end() ? 0 : it->second.pending_requests;
 }
 
 void Dispatcher::drain() {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   draining_ = true;
   // Executing items may enqueue_internal() more items (sweep points);
   // each raises items_outstanding_ before its parent's count drops, so
   // waiting for zero waits for whole request trees.
-  idle_cv_.wait(lock, [this] { return items_outstanding_ == 0; });
+  idle_cv_.wait(mu_, [this]() ATLAS_REQUIRES(mu_) {
+    return items_outstanding_ == 0;
+  });
 }
 
 bool Dispatcher::draining() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return draining_;
 }
 

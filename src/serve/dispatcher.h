@@ -19,16 +19,15 @@
 /// submitted ticket pops exactly one item (the round-robin-next one,
 /// not necessarily the one whose enqueue created the ticket).
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 
+#include "common/mutex.h"
 #include "common/thread_pool.h"
 
 namespace atlas::serve {
@@ -86,25 +85,28 @@ class Dispatcher {
   /// Queues `work`, registering the tenant in the round-robin ring and
   /// submitting one pool ticket (run inline on the caller if the pool
   /// is already draining). Caller holds no locks. Never throws.
-  void push_item(const std::string& tenant, std::function<void()> work);
+  void push_item(const std::string& tenant, std::function<void()> work)
+      ATLAS_EXCLUDES(mu_);
   /// Pops the round-robin-next item. Never empty-handed (1:1 ticket
   /// invariant).
-  std::function<void()> pop_next();
-  void run_one();
-  TenantQueue& tenant_locked(const std::string& tenant);
-  void maybe_gc_locked(TenantQueue& q);
+  std::function<void()> pop_next() ATLAS_EXCLUDES(mu_);
+  void run_one() ATLAS_EXCLUDES(mu_);
+  TenantQueue& tenant_locked(const std::string& tenant) ATLAS_REQUIRES(mu_);
+  void maybe_gc_locked(TenantQueue& q) ATLAS_REQUIRES(mu_);
 
   const std::size_t max_pending_;
 
-  mutable std::mutex mu_;
-  std::unordered_map<std::string, TenantQueue> tenants_;
+  mutable Mutex mu_;
+  std::unordered_map<std::string, TenantQueue> tenants_
+      ATLAS_GUARDED_BY(mu_);
   /// Round-robin ring of tenants with queued items; the cursor is the
   /// front — pop_next() rotates a tenant to the back after taking one
   /// of its items.
-  std::list<TenantQueue*> ring_;
-  std::size_t items_outstanding_ = 0;  // queued + executing
-  bool draining_ = false;
-  std::condition_variable idle_cv_;
+  std::list<TenantQueue*> ring_ ATLAS_GUARDED_BY(mu_);
+  std::size_t items_outstanding_ ATLAS_GUARDED_BY(mu_) = 0;  // queued +
+                                                             // executing
+  bool draining_ ATLAS_GUARDED_BY(mu_) = false;
+  CondVar idle_cv_;
 
   /// Last member: its destructor joins workers while the queues above
   /// are still alive.

@@ -1,14 +1,18 @@
 /// atlas-servectl: operator CLI for a running atlas-serve daemon.
 ///
-///   atlas-servectl [--host H] [--port P] list
+///   atlas-servectl [--host H] [--port P] [--json] list
 ///   atlas-servectl stats
 ///   atlas-servectl evict <session-id>
 ///   atlas-servectl drain
 ///   atlas-servectl shutdown
+///
+/// With --json every command emits a single machine-readable JSON object
+/// on stdout (errors still go to stderr and set a nonzero exit code).
 
 #include <cstdlib>
 #include <iomanip>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -18,13 +22,54 @@ namespace {
 
 int usage(const char* argv0) {
   std::cerr << "usage: " << argv0
-            << " [--host H] [--port P] "
+            << " [--host H] [--port P] [--json] "
                "list | stats | evict <session-id> | drain | shutdown\n";
   return 2;
 }
 
-void cmd_list(atlas::serve::Client& client) {
+/// Escapes a string for inclusion in a JSON string literal. Tenant names
+/// are validated server-side to a conservative charset, but escape anyway
+/// so the output is well-formed JSON no matter what the wire carried.
+std::string json_escape(const std::string& s) {
+  std::ostringstream out;
+  for (const char c : s) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\b': out << "\\b"; break;
+      case '\f': out << "\\f"; break;
+      case '\n': out << "\\n"; break;
+      case '\r': out << "\\r"; break;
+      case '\t': out << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out << "\\u" << std::hex << std::setw(4) << std::setfill('0')
+              << static_cast<int>(c) << std::dec << std::setfill(' ');
+        } else {
+          out << c;
+        }
+    }
+  }
+  return out.str();
+}
+
+void cmd_list(atlas::serve::Client& client, bool json) {
   const auto sessions = client.list_sessions();
+  if (json) {
+    std::cout << "{\"sessions\":[";
+    for (std::size_t i = 0; i < sessions.size(); ++i) {
+      const auto& s = sessions[i];
+      if (i != 0) std::cout << ",";
+      std::cout << "{\"session_id\":" << s.session_id << ",\"tenant\":\""
+                << json_escape(s.tenant) << "\",\"idle_seconds\":"
+                << s.idle_seconds << ",\"ttl_seconds\":" << s.ttl_seconds
+                << ",\"active\":" << s.active << ",\"queued\":" << s.queued
+                << ",\"circuits\":" << s.circuits << ",\"compiled\":"
+                << s.compiled << ",\"results\":" << s.results << "}";
+    }
+    std::cout << "],\"count\":" << sessions.size() << "}\n";
+    return;
+  }
   std::cout << std::left << std::setw(10) << "session" << std::setw(16)
             << "tenant" << std::right << std::setw(10) << "idle_s"
             << std::setw(8) << "ttl_s" << std::setw(8) << "active"
@@ -42,13 +87,27 @@ void cmd_list(atlas::serve::Client& client) {
   std::cout << sessions.size() << " session(s)\n";
 }
 
-void cmd_stats(atlas::serve::Client& client) {
+void cmd_stats(atlas::serve::Client& client, bool json) {
   const auto s = client.cache_stats();
   const auto rate = [](std::uint64_t hits, std::uint64_t misses) {
     const std::uint64_t total = hits + misses;
     return total == 0 ? 0.0 : 100.0 * static_cast<double>(hits) /
                                   static_cast<double>(total);
   };
+  if (json) {
+    std::cout << "{\"shared\":{\"entries\":" << s.shared_entries
+              << ",\"resident_bytes\":" << s.shared_resident_bytes
+              << ",\"hits\":" << s.shared_hits << ",\"misses\":"
+              << s.shared_misses << ",\"evictions\":" << s.shared_evictions
+              << "},\"session\":{\"entries\":" << s.session_entries
+              << ",\"resident_bytes\":" << s.session_resident_bytes
+              << ",\"hits\":" << s.session_hits << ",\"misses\":"
+              << s.session_misses << ",\"evictions\":" << s.session_evictions
+              << "},\"sessions\":{\"live\":" << s.sessions << ",\"capacity\":"
+              << s.session_capacity << ",\"purged\":" << s.sessions_purged
+              << "}}\n";
+    return;
+  }
   std::cout << "shared plan cache: " << s.shared_entries << " entries, "
             << s.shared_resident_bytes << " bytes, " << s.shared_hits
             << " hits / " << s.shared_misses << " misses ("
@@ -69,6 +128,7 @@ void cmd_stats(atlas::serve::Client& client) {
 int main(int argc, char** argv) {
   std::string host = "127.0.0.1";
   int port = 7600;
+  bool json = false;
   std::vector<std::string> rest;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -76,6 +136,8 @@ int main(int argc, char** argv) {
       host = argv[++i];
     } else if (arg == "--port" && i + 1 < argc) {
       port = std::atoi(argv[++i]);
+    } else if (arg == "--json") {
+      json = true;
     } else {
       rest.push_back(arg);
     }
@@ -86,19 +148,32 @@ int main(int argc, char** argv) {
     atlas::serve::Client client(host, port);
     const std::string& cmd = rest[0];
     if (cmd == "list") {
-      cmd_list(client);
+      cmd_list(client, json);
     } else if (cmd == "stats") {
-      cmd_stats(client);
+      cmd_stats(client, json);
     } else if (cmd == "evict") {
       if (rest.size() != 2) return usage(argv[0]);
-      client.evict_session(std::strtoull(rest[1].c_str(), nullptr, 10));
-      std::cout << "evicted session " << rest[1] << "\n";
+      const std::uint64_t id = std::strtoull(rest[1].c_str(), nullptr, 10);
+      client.evict_session(id);
+      if (json) {
+        std::cout << "{\"evicted\":" << id << "}\n";
+      } else {
+        std::cout << "evicted session " << rest[1] << "\n";
+      }
     } else if (cmd == "drain") {
       client.drain();
-      std::cout << "drained: in-flight work finished, new work refused\n";
+      if (json) {
+        std::cout << "{\"drained\":true}\n";
+      } else {
+        std::cout << "drained: in-flight work finished, new work refused\n";
+      }
     } else if (cmd == "shutdown") {
       client.shutdown_server();
-      std::cout << "shutdown requested\n";
+      if (json) {
+        std::cout << "{\"shutdown\":true}\n";
+      } else {
+        std::cout << "shutdown requested\n";
+      }
     } else {
       return usage(argv[0]);
     }

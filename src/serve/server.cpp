@@ -10,6 +10,7 @@
 #include <utility>
 
 #include "qasm/qasm.h"
+#include "verify/verify.h"
 
 namespace atlas::serve {
 
@@ -143,7 +144,7 @@ void Server::accept_loop() {
     // Reap connections whose readers have exited (client hangups) so a
     // long-lived daemon does not accumulate dead fds and threads.
     {
-      std::lock_guard<std::mutex> lock(conn_mu_);
+      MutexLock lock(conn_mu_);
       for (auto it = connections_.begin(); it != connections_.end();) {
         if ((*it)->dead.load() && (*it)->reader.joinable()) {
           (*it)->reader.join();
@@ -165,7 +166,7 @@ void Server::accept_loop() {
     auto conn = std::make_shared<Connection>();
     conn->fd = Fd(cfd);
     {
-      std::lock_guard<std::mutex> lock(conn_mu_);
+      MutexLock lock(conn_mu_);
       connections_.push_back(conn);
     }
     conn->reader = std::thread([this, conn] { reader_loop(conn); });
@@ -364,7 +365,7 @@ void Server::handle_inline_op(const std::shared_ptr<Connection>& conn,
       }
       case Op::shutdown: {
         send_reply(conn, request_id, Status::ok, {});
-        std::lock_guard<std::mutex> lock(shutdown_mu_);
+        MutexLock lock(shutdown_mu_);
         shutdown_requested_ = true;
         shutdown_cv_.notify_all();
         break;
@@ -401,6 +402,21 @@ std::vector<std::uint8_t> Server::do_submit_qasm(ServeSession& session,
                                                  WireReader& body) {
   const std::string source = body.str();
   qasm::NoisyParse parsed = qasm::parse_with_noise(source);
+  // Data-plane ingest check: the parser guarantees well-formed syntax,
+  // the verifier guarantees the IR invariants the engine assumes
+  // (docs/VERIFY.md). Caller-supplied artifact, so invalid_argument ->
+  // Status::invalid_argument on the wire.
+  const auto verify_level = session.session().config().verify_level;
+  if (verify_level != verify::VerifyLevel::off) {
+    verify::check(verify::verify_circuit(parsed.circuit, verify_level),
+                  ErrorCode::invalid_argument);
+    if (!parsed.noise.empty())
+      verify::check(
+          verify::verify_noise_model(parsed.noise,
+                                     parsed.circuit.num_qubits(),
+                                     verify_level),
+          ErrorCode::invalid_argument);
+  }
   StoredCircuit stored;
   stored.symbols = parsed.circuit.symbols();
   stored.has_noise = !parsed.noise.empty();
@@ -494,9 +510,9 @@ void Server::do_sweep(const std::shared_ptr<RequestContext>& ctx,
   struct SweepState {
     std::vector<SweepPoint> results;
     std::atomic<std::size_t> remaining;
-    std::mutex err_mu;
-    std::string error;
-    Status error_status = Status::ok;
+    Mutex err_mu;
+    std::string error ATLAS_GUARDED_BY(err_mu);
+    Status error_status ATLAS_GUARDED_BY(err_mu) = Status::ok;
   };
   auto state = std::make_shared<SweepState>();
   state->results.resize(num_points);
@@ -511,13 +527,13 @@ void Server::do_sweep(const std::shared_ptr<RequestContext>& ctx,
             state->results[i].norm_sq = result.norm_sq();
             state->results[i].expectation_z = all_expectation_z(result);
           } catch (const Error& e) {
-            std::lock_guard<std::mutex> lock(state->err_mu);
+            MutexLock lock(state->err_mu);
             if (state->error_status == Status::ok) {
               state->error_status = status_from(e.code());
               state->error = e.what();
             }
           } catch (const std::exception& e) {
-            std::lock_guard<std::mutex> lock(state->err_mu);
+            MutexLock lock(state->err_mu);
             if (state->error_status == Status::ok) {
               state->error_status = Status::internal;
               state->error = e.what();
@@ -607,7 +623,7 @@ void Server::send_reply(const std::shared_ptr<Connection>& conn,
   w.u16(static_cast<std::uint16_t>(status));
   std::vector<std::uint8_t> frame = w.take();
   frame.insert(frame.end(), body.begin(), body.end());
-  std::lock_guard<std::mutex> lock(conn->write_mu);
+  MutexLock lock(conn->write_mu);
   if (conn->dead.load()) return;
   if (!write_frame(conn->fd.get(), frame, config_.write_timeout_ms)) {
     // Vanished or stalled peer: half-close so the connection's parked
@@ -632,7 +648,7 @@ void Server::drain() {
 
 void Server::stop() {
   {
-    std::lock_guard<std::mutex> lock(shutdown_mu_);
+    MutexLock lock(shutdown_mu_);
     if (stopped_) return;
     stopped_ = true;
     shutdown_cv_.notify_all();
@@ -645,7 +661,7 @@ void Server::stop() {
 
   std::vector<std::shared_ptr<Connection>> conns;
   {
-    std::lock_guard<std::mutex> lock(conn_mu_);
+    MutexLock lock(conn_mu_);
     conns.swap(connections_);
   }
   for (const auto& conn : conns) shutdown_fd(conn->fd.get());
@@ -656,8 +672,10 @@ void Server::stop() {
 }
 
 bool Server::wait_shutdown() {
-  std::unique_lock<std::mutex> lock(shutdown_mu_);
-  shutdown_cv_.wait(lock, [this] { return shutdown_requested_ || stopped_; });
+  MutexLock lock(shutdown_mu_);
+  shutdown_cv_.wait(shutdown_mu_, [this]() ATLAS_REQUIRES(shutdown_mu_) {
+    return shutdown_requested_ || stopped_;
+  });
   return shutdown_requested_;
 }
 

@@ -15,14 +15,13 @@
 /// calls stop(), keeping teardown off connection threads.
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.h"
 #include "core/session.h"
 #include "serve/dispatcher.h"
 #include "serve/net.h"
@@ -109,7 +108,9 @@ class Server {
  private:
   struct Connection {
     Fd fd;
-    std::mutex write_mu;
+    /// Serializes whole reply frames: workers for different requests
+    /// on one connection interleave at frame, not byte, granularity.
+    Mutex write_mu;
     std::thread reader;
     std::atomic<bool> dead{false};
   };
@@ -166,13 +167,14 @@ class Server {
   std::atomic<bool> running_{false};
   std::atomic<bool> draining_{false};
 
-  std::mutex conn_mu_;
-  std::vector<std::shared_ptr<Connection>> connections_;
+  Mutex conn_mu_;
+  std::vector<std::shared_ptr<Connection>> connections_
+      ATLAS_GUARDED_BY(conn_mu_);
 
-  std::mutex shutdown_mu_;
-  std::condition_variable shutdown_cv_;
-  bool shutdown_requested_ = false;
-  bool stopped_ = false;
+  Mutex shutdown_mu_;
+  CondVar shutdown_cv_;
+  bool shutdown_requested_ ATLAS_GUARDED_BY(shutdown_mu_) = false;
+  bool stopped_ ATLAS_GUARDED_BY(shutdown_mu_) = false;
 };
 
 }  // namespace atlas::serve

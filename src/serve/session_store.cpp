@@ -33,7 +33,7 @@ double ServeSession::ttl_seconds() const {
 }
 
 std::uint32_t ServeSession::add_circuit(StoredCircuit parsed) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (circuits_.size() >= max_circuits_) {
     throw Error("session " + std::to_string(id_) + " holds " +
                     std::to_string(circuits_.size()) +
@@ -48,7 +48,7 @@ std::uint32_t ServeSession::add_circuit(StoredCircuit parsed) {
 
 std::shared_ptr<const StoredCircuit> ServeSession::circuit(
     std::uint32_t id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = circuits_.find(id);
   if (it == circuits_.end()) {
     throw Error("no circuit " + std::to_string(id) + " in session " +
@@ -60,7 +60,7 @@ std::shared_ptr<const StoredCircuit> ServeSession::circuit(
 
 std::uint32_t ServeSession::add_compiled(
     std::shared_ptr<const CompiledCircuit> compiled) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (compiled_.size() >= max_circuits_) {
     throw Error("session " + std::to_string(id_) + " holds " +
                     std::to_string(compiled_.size()) +
@@ -74,7 +74,7 @@ std::uint32_t ServeSession::add_compiled(
 
 std::shared_ptr<const CompiledCircuit> ServeSession::compiled(
     std::uint32_t id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = compiled_.find(id);
   if (it == compiled_.end()) {
     throw Error("no compiled circuit " + std::to_string(id) + " in session " +
@@ -85,7 +85,7 @@ std::shared_ptr<const CompiledCircuit> ServeSession::compiled(
 }
 
 std::uint32_t ServeSession::add_result(SimulationResult result) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const std::uint32_t id = next_id_++;
   results_.emplace(id, std::move(result));
   // Oldest-first eviction: ids are monotone, so begin() is the FIFO
@@ -98,7 +98,7 @@ std::uint32_t ServeSession::add_result(SimulationResult result) {
 std::vector<Index> ServeSession::sample_result(std::uint32_t id, int shots) {
   // Serialized under mu_: SimulationResult::sample(shots) advances a
   // plain call counter (deliberately, for replayability).
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = results_.find(id);
   if (it == results_.end()) {
     throw Error("no result " + std::to_string(id) + " in session " +
@@ -125,23 +125,23 @@ bool ServeSession::expired() const {
 }
 
 std::uint32_t ServeSession::num_circuits() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return static_cast<std::uint32_t>(circuits_.size());
 }
 
 std::uint32_t ServeSession::num_compiled() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return static_cast<std::uint32_t>(compiled_.size());
 }
 
 std::uint32_t ServeSession::num_results() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return static_cast<std::uint32_t>(results_.size());
 }
 
 std::shared_ptr<const CompiledCircuit> SharedPlanCache::find(
     std::uint64_t key) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = index_.find(key);
   if (it == index_.end()) {
     ++misses_;
@@ -157,7 +157,7 @@ void SharedPlanCache::insert(std::uint64_t key,
   if (capacity_ == 0 || compiled == nullptr) return;
   const std::size_t bytes =
       compiled->plan() ? exec::approx_resident_bytes(*compiled->plan()) : 0;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (index_.count(key) != 0) return;  // racing compile; first one wins
   entries_.push_front(Entry{key, bytes, std::move(compiled)});
   index_[key] = entries_.begin();
@@ -172,7 +172,7 @@ void SharedPlanCache::insert(std::uint64_t key,
 }
 
 SharedPlanCache::Stats SharedPlanCache::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Stats s;
   s.hits = hits_;
   s.misses = misses_;
@@ -193,7 +193,7 @@ SessionStore::SessionStore(SessionConfig base, StoreLimits limits)
 
 SessionStore::~SessionStore() {
   {
-    std::lock_guard<std::mutex> lock(purge_mu_);
+    MutexLock lock(purge_mu_);
     stop_ = true;
   }
   purge_cv_.notify_all();
@@ -211,14 +211,14 @@ std::shared_ptr<ServeSession> SessionStore::open(
   // cluster and thread pools.
   std::uint64_t id;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     id = next_id_++;
   }
   auto session = std::make_shared<ServeSession>(
       id, tenant, std::move(config), ttl, limits_.max_results_per_session,
       limits_.max_circuits_per_session);
 
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (sessions_.size() >= limits_.max_sessions) {
     // Reclaim expired entries before refusing — mirrors kamailio's
     // purge-on-insert: a full table of dead sessions should not lock
@@ -247,7 +247,7 @@ std::shared_ptr<ServeSession> SessionStore::open(
 std::shared_ptr<ServeSession> SessionStore::get(std::uint64_t id) const {
   std::shared_ptr<ServeSession> session;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = sessions_.find(id);
     if (it == sessions_.end()) {
       throw Error("no session " + std::to_string(id) +
@@ -263,7 +263,7 @@ std::shared_ptr<ServeSession> SessionStore::get(std::uint64_t id) const {
 void SessionStore::erase(std::uint64_t id) {
   std::shared_ptr<ServeSession> victim;  // destroy outside the lock
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = sessions_.find(id);
     if (it == sessions_.end()) {
       throw Error("no session " + std::to_string(id), ErrorCode::not_found);
@@ -276,7 +276,7 @@ void SessionStore::erase(std::uint64_t id) {
 std::size_t SessionStore::purge_expired() {
   std::vector<std::shared_ptr<ServeSession>> victims;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     for (auto it = sessions_.begin(); it != sessions_.end();) {
       if (it->second->expired()) {
         victims.push_back(std::move(it->second));
@@ -292,7 +292,7 @@ std::size_t SessionStore::purge_expired() {
 
 std::vector<std::shared_ptr<ServeSession>> SessionStore::snapshot() const {
   std::vector<std::shared_ptr<ServeSession>> out;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   out.reserve(sessions_.size());
   for (const auto& [id, session] : sessions_) out.push_back(session);
   std::sort(out.begin(), out.end(),
@@ -301,7 +301,7 @@ std::vector<std::shared_ptr<ServeSession>> SessionStore::snapshot() const {
 }
 
 std::size_t SessionStore::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return sessions_.size();
 }
 
@@ -320,14 +320,21 @@ PlanCacheStats SessionStore::aggregate_plan_cache_stats() const {
 }
 
 void SessionStore::purge_loop() {
-  std::unique_lock<std::mutex> lock(purge_mu_);
-  while (!stop_) {
-    purge_cv_.wait_for(lock, limits_.purge_interval,
-                       [this] { return stop_; });
-    if (stop_) break;
-    lock.unlock();
+  for (;;) {
+    {
+      MutexLock lock(purge_mu_);
+      // wait_for returns the predicate's value: true means stop was
+      // requested, false means the sweep interval elapsed.
+      if (purge_cv_.wait_for(purge_mu_, limits_.purge_interval,
+                             [this]() ATLAS_REQUIRES(purge_mu_) {
+                               return stop_;
+                             })) {
+        return;
+      }
+    }
+    // Sweep outside purge_mu_ — purge_expired() takes mu_ and victim
+    // destructors can be slow (they drain session pools).
     purge_expired();
-    lock.lock();
   }
 }
 

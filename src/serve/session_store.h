@@ -17,17 +17,16 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <list>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
 #include "core/session.h"
 #include "noise/model.h"
 
@@ -117,11 +116,14 @@ class ServeSession {
   const std::size_t max_circuits_;
   Session session_;
 
-  mutable std::mutex mu_;
-  std::uint32_t next_id_ = 1;
-  std::map<std::uint32_t, std::shared_ptr<const StoredCircuit>> circuits_;
-  std::map<std::uint32_t, std::shared_ptr<const CompiledCircuit>> compiled_;
-  std::map<std::uint32_t, SimulationResult> results_;  // ids ascending = FIFO
+  mutable Mutex mu_;
+  std::uint32_t next_id_ ATLAS_GUARDED_BY(mu_) = 1;
+  std::map<std::uint32_t, std::shared_ptr<const StoredCircuit>> circuits_
+      ATLAS_GUARDED_BY(mu_);
+  std::map<std::uint32_t, std::shared_ptr<const CompiledCircuit>> compiled_
+      ATLAS_GUARDED_BY(mu_);
+  // ids ascending = FIFO
+  std::map<std::uint32_t, SimulationResult> results_ ATLAS_GUARDED_BY(mu_);
 
   std::atomic<std::int64_t> last_used_ns_;
   std::atomic<int> active_{0};
@@ -155,13 +157,14 @@ class SharedPlanCache {
   };
 
   const std::size_t capacity_;
-  mutable std::mutex mu_;
-  std::list<Entry> entries_;  // MRU at front
-  std::unordered_map<std::uint64_t, std::list<Entry>::iterator> index_;
-  std::uint64_t hits_ = 0;
-  std::uint64_t misses_ = 0;
-  std::uint64_t evictions_ = 0;
-  std::size_t resident_bytes_ = 0;
+  mutable Mutex mu_;
+  std::list<Entry> entries_ ATLAS_GUARDED_BY(mu_);  // MRU at front
+  std::unordered_map<std::uint64_t, std::list<Entry>::iterator> index_
+      ATLAS_GUARDED_BY(mu_);
+  std::uint64_t hits_ ATLAS_GUARDED_BY(mu_) = 0;
+  std::uint64_t misses_ ATLAS_GUARDED_BY(mu_) = 0;
+  std::uint64_t evictions_ ATLAS_GUARDED_BY(mu_) = 0;
+  std::size_t resident_bytes_ ATLAS_GUARDED_BY(mu_) = 0;
 };
 
 /// The bounded session table + its purge thread.
@@ -212,14 +215,15 @@ class SessionStore {
   const SessionConfig base_;
   const StoreLimits limits_;
 
-  mutable std::mutex mu_;
-  std::unordered_map<std::uint64_t, std::shared_ptr<ServeSession>> sessions_;
-  std::uint64_t next_id_ = 1;
+  mutable Mutex mu_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<ServeSession>> sessions_
+      ATLAS_GUARDED_BY(mu_);
+  std::uint64_t next_id_ ATLAS_GUARDED_BY(mu_) = 1;
   std::atomic<std::uint64_t> purged_total_{0};
 
-  std::mutex purge_mu_;
-  std::condition_variable purge_cv_;
-  bool stop_ = false;
+  Mutex purge_mu_;
+  CondVar purge_cv_;
+  bool stop_ ATLAS_GUARDED_BY(purge_mu_) = false;
   std::thread purge_thread_;
 };
 

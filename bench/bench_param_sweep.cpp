@@ -14,7 +14,8 @@
 //
 // Prints per-mode wall time, plan-cache miss counts, and speedups, and
 // verifies the three modes produce bit-identical states. `--smoke`
-// shrinks the sweep for CI.
+// shrinks the sweep for CI; `--trace PATH` records the sweep session's
+// compile phases and executed stages as Chrome trace-event JSON.
 
 #include <cstdio>
 #include <cstring>
@@ -58,7 +59,7 @@ std::vector<Amp> amplitudes(const SimulationResult& r) {
   return sv.amplitudes();
 }
 
-int run(bool smoke) {
+int run(bool smoke, const char* trace_path) {
   const int local = smoke ? 6 : 10;
   const int nonlocal = 2;
   const int layers = 2;
@@ -97,7 +98,12 @@ int run(bool smoke) {
   const auto naive_stats = naive_session.plan_cache_stats();
 
   // --- compile + sweep: one plan, bindings fanned across the pool.
-  const Session sweep_session(cfg);
+  // With --trace, this session records every compile phase and
+  // executed stage into a Chrome trace-event JSON (the CI artifact;
+  // load it in Perfetto / chrome://tracing).
+  SessionConfig sweep_cfg = cfg;
+  if (trace_path != nullptr) sweep_cfg.trace_path = trace_path;
+  const Session sweep_session(sweep_cfg);
   Timer sweep_timer;
   const CompiledCircuit compiled = sweep_session.compile(ansatz);
   const std::vector<SimulationResult> results =
@@ -169,7 +175,11 @@ int run(bool smoke) {
 
 int main(int argc, char** argv) {
   bool smoke = false;
-  for (int i = 1; i < argc; ++i)
+  const char* trace_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
-  return atlas::bench::run(smoke);
+    if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc)
+      trace_path = argv[++i];
+  }
+  return atlas::bench::run(smoke, trace_path);
 }

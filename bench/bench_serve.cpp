@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "common/timer.h"
+#include "obs/metrics.h"
 #include "qasm/qasm.h"
 #include "serve/client.h"
 #include "serve/server.h"
@@ -59,19 +60,15 @@ struct ClientOutcome {
   double p99_us = 0;
 };
 
-double percentile(std::vector<double>& sorted_us, double p) {
-  if (sorted_us.empty()) return 0;
-  const auto idx = static_cast<std::size_t>(
-      p * static_cast<double>(sorted_us.size() - 1));
-  return sorted_us[idx];
-}
-
 ClientOutcome drive_clients(serve::Server& server, int clients,
                             int requests_per_client) {
   std::atomic<int> ready{0};
   std::atomic<bool> go{false};
-  std::vector<std::vector<double>> latencies_us(
-      static_cast<std::size_t>(clients));
+  // All client threads observe into one obs::Histogram (lock-free
+  // bucket increments) — same quantile semantics as the server's own
+  // serve.request_latency_us.* metrics, so bench numbers and runtime
+  // metrics are directly comparable.
+  obs::Histogram latency_us;
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(clients));
   for (int c = 0; c < clients; ++c) {
@@ -85,12 +82,10 @@ ClientOutcome drive_clients(serve::Server& server, int clients,
       (void)client.run(sid, cc.compiled_id, {0.1});  // warm the path
       ready++;
       while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
-      auto& lat = latencies_us[static_cast<std::size_t>(c)];
-      lat.reserve(static_cast<std::size_t>(requests_per_client));
       for (int i = 0; i < requests_per_client; ++i) {
         Timer t;
         (void)client.run(sid, cc.compiled_id, {0.01 * i});
-        lat.push_back(t.seconds() * 1e6);
+        latency_us.observe(t.seconds() * 1e6);
       }
       client.close_session(sid);
     });
@@ -101,15 +96,12 @@ ClientOutcome drive_clients(serve::Server& server, int clients,
   for (auto& th : threads) th.join();
   const double seconds = wall.seconds();
 
-  std::vector<double> merged;
-  for (const auto& lat : latencies_us)
-    merged.insert(merged.end(), lat.begin(), lat.end());
-  std::sort(merged.begin(), merged.end());
+  const obs::Histogram::Snapshot snap = latency_us.snapshot();
   ClientOutcome out;
   out.req_per_sec =
       static_cast<double>(clients) * requests_per_client / seconds;
-  out.p50_us = percentile(merged, 0.50);
-  out.p99_us = percentile(merged, 0.99);
+  out.p50_us = snap.quantile(0.50);
+  out.p99_us = snap.quantile(0.99);
   return out;
 }
 

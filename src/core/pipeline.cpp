@@ -5,6 +5,9 @@
 #include "common/error.h"
 #include "common/fnv.h"
 #include "common/timer.h"
+#include "obs/metrics.h"
+#include "obs/names.h"
+#include "obs/trace.h"
 #include "staging/stage.h"
 #include "verify/verify.h"
 
@@ -87,11 +90,18 @@ exec::ExecutionPlan CompilePipeline::build_plan(const Circuit& circuit,
                              << " qubits but the cluster shape totals "
                              << config_.shape.total());
   Timer t;
+  obs::TraceSpan stage_span(obs::names::kSpanCompileStage);
   const staging::StagedCircuit staged =
       stager_->stage(circuit, config_.shape, config_.staging);
   staging::validate_staging(circuit, staged, config_.shape);
   if (config_.verify != verify::VerifyLevel::off)
     check_phase(verify::verify_staged(circuit, staged, config_.shape), diag);
+  stage_span.end();
+  {
+    static obs::Histogram& stage_us =
+        obs::histogram(obs::names::kCompileStageUs);
+    stage_us.observe(t.seconds() * 1e6);
+  }
   if (diag != nullptr) {
     diag->phases.push_back({"stage", t.seconds(), circuit.num_gates(),
                             circuit.num_gates()});
@@ -100,6 +110,7 @@ exec::ExecutionPlan CompilePipeline::build_plan(const Circuit& circuit,
   dump({"stage", &circuit, &staged, nullptr});
 
   t.reset();
+  obs::TraceSpan kernelize_span(obs::names::kSpanCompileKernelize);
   exec::ExecutionPlan plan;
   plan.staging_comm_cost = staged.comm_cost;
   for (const auto& stage : staged.stages) {
@@ -118,6 +129,12 @@ exec::ExecutionPlan CompilePipeline::build_plan(const Circuit& circuit,
     check_phase(verify::verify_plan(plan, config_.shape, &circuit,
                                     config_.verify),
                 diag);
+  kernelize_span.end();
+  {
+    static obs::Histogram& kernelize_us =
+        obs::histogram(obs::names::kCompileKernelizeUs);
+    kernelize_us.observe(t.seconds() * 1e6);
+  }
   if (diag != nullptr)
     diag->phases.push_back({"kernelize", t.seconds(), circuit.num_gates(),
                             circuit.num_gates()});
@@ -133,24 +150,42 @@ CompiledCircuit CompilePipeline::compile(const Circuit& circuit,
   diag->verify_level = config_.verify;
   const bool verifying = config_.verify != verify::VerifyLevel::off;
   Timer total;
+  {
+    static obs::Counter& compiles = obs::counter(obs::names::kCompileCount);
+    compiles.inc();
+  }
 
   // Phase 1: optimize (a no-op pipeline at level 0 — bit-identical).
   Timer t;
+  obs::TraceSpan optimize_span(obs::names::kSpanCompileOptimize);
   Circuit optimized = passes_.run(circuit, pass_ctx_, &diag->opt);
   if (verifying)
     check_phase(verify::verify_circuit(optimized, config_.verify),
                 diag.get());
+  optimize_span.end();
+  {
+    static obs::Histogram& optimize_us =
+        obs::histogram(obs::names::kCompileOptimizeUs);
+    optimize_us.observe(t.seconds() * 1e6);
+  }
   diag->phases.push_back({"optimize", t.seconds(), circuit.num_gates(),
                           optimized.num_gates()});
   dump({"optimize", &optimized, nullptr, nullptr});
 
   // Phase 2: canonicalize (parameters -> dense slots).
   t.reset();
+  obs::TraceSpan canonicalize_span(obs::names::kSpanCompileCanonicalize);
   auto optimized_shared = std::make_shared<const Circuit>(std::move(optimized));
   Circuit canonical = canonicalize(*optimized_shared, cc.slots_);
   if (verifying)
     check_phase(verify::verify_circuit(canonical, config_.verify),
                 diag.get());
+  canonicalize_span.end();
+  {
+    static obs::Histogram& canonicalize_us =
+        obs::histogram(obs::names::kCompileCanonicalizeUs);
+    canonicalize_us.observe(t.seconds() * 1e6);
+  }
   diag->phases.push_back({"canonicalize", t.seconds(),
                           optimized_shared->num_gates(),
                           canonical.num_gates()});
@@ -174,14 +209,26 @@ CompiledCircuit CompilePipeline::compile(const Circuit& circuit,
 
   // Phase 5: program — slot-program compilation + handle assembly.
   t.reset();
+  obs::TraceSpan program_span(obs::names::kSpanCompileProgram);
   cc.build_slot_programs();
   if (verifying) check_phase(verify::verify_compiled(cc), diag.get());
+  program_span.end();
+  {
+    static obs::Histogram& program_us =
+        obs::histogram(obs::names::kCompileProgramUs);
+    program_us.observe(t.seconds() * 1e6);
+  }
   diag->num_stages = cc.plan_->stages.size();
   diag->phases.push_back({"program", t.seconds(), canonical.num_gates(),
                           canonical.num_gates()});
   dump({"program", nullptr, nullptr, cc.plan_.get()});
 
   diag->total_seconds = total.seconds();
+  {
+    static obs::Histogram& total_us =
+        obs::histogram(obs::names::kCompileTotalUs);
+    total_us.observe(diag->total_seconds * 1e6);
+  }
   cc.diagnostics_ = std::move(diag);
   return cc;
 }

@@ -9,6 +9,9 @@
 #include "common/mutex.h"
 #include "common/fnv.h"
 #include "exec/queries.h"
+#include "obs/metrics.h"
+#include "obs/names.h"
+#include "obs/trace.h"
 #include "staging/stage.h"
 
 namespace atlas {
@@ -145,27 +148,45 @@ void validate_session_config(const SessionConfig& config) {
 /// 64-bit hash.
 class Session::PlanCache {
  public:
-  explicit PlanCache(std::size_t capacity) : capacity_(capacity) {}
+  explicit PlanCache(std::size_t capacity,
+                     std::shared_ptr<PlanCacheListener> listener)
+      : capacity_(capacity), listener_(std::move(listener)) {}
 
   std::shared_ptr<const exec::ExecutionPlan> find(std::uint64_t key,
                                                   const Circuit& circuit) {
-    MutexLock lock(mu_);
-    if (capacity_ == 0) {
-      // Disabled caches still count misses: the counter is the
-      // replanning canary benches and tests read.
-      ++misses_;
-      return nullptr;
+    std::shared_ptr<const exec::ExecutionPlan> found;
+    {
+      MutexLock lock(mu_);
+      if (capacity_ == 0) {
+        // Disabled caches still count misses: the counter is the
+        // replanning canary benches and tests read.
+        ++misses_;
+      } else {
+        auto it = index_.find(key);
+        if (it == index_.end() ||
+            it->second->num_qubits != circuit.num_qubits() ||
+            it->second->num_gates != circuit.num_gates()) {
+          ++misses_;
+        } else {
+          entries_.splice(entries_.begin(), entries_, it->second);  // to MRU
+          ++hits_;
+          found = it->second->plan;
+        }
+      }
     }
-    auto it = index_.find(key);
-    if (it == index_.end() ||
-        it->second->num_qubits != circuit.num_qubits() ||
-        it->second->num_gates != circuit.num_gates()) {
-      ++misses_;
-      return nullptr;
+    // Telemetry outside the cache lock: the process-wide registry
+    // counters and the optional per-session listener mirror the
+    // hit/miss accounting above exactly.
+    static obs::Counter& hits = obs::counter(obs::names::kPlanCacheHits);
+    static obs::Counter& misses = obs::counter(obs::names::kPlanCacheMisses);
+    if (found != nullptr) {
+      hits.inc();
+      if (listener_) listener_->on_hit();
+    } else {
+      misses.inc();
+      if (listener_) listener_->on_miss();
     }
-    entries_.splice(entries_.begin(), entries_, it->second);  // move to MRU
-    ++hits_;
-    return it->second->plan;
+    return found;
   }
 
   void insert(std::uint64_t key, const Circuit& circuit,
@@ -173,17 +194,32 @@ class Session::PlanCache {
     if (capacity_ == 0) return;
     // Size the plan outside the lock; it walks every stage.
     const std::size_t bytes = exec::approx_resident_bytes(*plan);
-    MutexLock lock(mu_);
-    if (index_.count(key)) return;  // a concurrent planner won the race
-    entries_.push_front(Entry{key, circuit.num_qubits(), circuit.num_gates(),
-                              bytes, std::move(plan)});
-    index_[key] = entries_.begin();
-    resident_bytes_ += bytes;
-    if (entries_.size() > capacity_) {
-      resident_bytes_ -= entries_.back().bytes;
-      index_.erase(entries_.back().key);
-      entries_.pop_back();
-      ++evictions_;
+    bool inserted = false;
+    bool evicted = false;
+    std::size_t evicted_bytes = 0;
+    {
+      MutexLock lock(mu_);
+      if (index_.count(key)) return;  // a concurrent planner won the race
+      entries_.push_front(Entry{key, circuit.num_qubits(),
+                                circuit.num_gates(), bytes, std::move(plan)});
+      index_[key] = entries_.begin();
+      resident_bytes_ += bytes;
+      inserted = true;
+      if (entries_.size() > capacity_) {
+        evicted_bytes = entries_.back().bytes;
+        resident_bytes_ -= evicted_bytes;
+        index_.erase(entries_.back().key);
+        entries_.pop_back();
+        ++evictions_;
+        evicted = true;
+      }
+    }
+    if (inserted && listener_) listener_->on_insert(bytes);
+    if (evicted) {
+      static obs::Counter& evictions =
+          obs::counter(obs::names::kPlanCacheEvictions);
+      evictions.inc();
+      if (listener_) listener_->on_evict(evicted_bytes);
     }
   }
 
@@ -200,10 +236,17 @@ class Session::PlanCache {
   }
 
   void clear() {
-    MutexLock lock(mu_);
-    entries_.clear();
-    index_.clear();
-    resident_bytes_ = 0;
+    std::size_t entries = 0;
+    std::size_t bytes = 0;
+    {
+      MutexLock lock(mu_);
+      entries = entries_.size();
+      bytes = resident_bytes_;
+      entries_.clear();
+      index_.clear();
+      resident_bytes_ = 0;
+    }
+    if (listener_ && entries > 0) listener_->on_clear(entries, bytes);
   }
 
  private:
@@ -216,6 +259,7 @@ class Session::PlanCache {
   };
 
   const std::size_t capacity_;
+  const std::shared_ptr<PlanCacheListener> listener_;
   mutable Mutex mu_;
   std::list<Entry> entries_ ATLAS_GUARDED_BY(mu_);  // MRU at front
   std::unordered_map<std::uint64_t, std::list<Entry>::iterator> index_
@@ -245,7 +289,8 @@ Session::Session(SessionConfig config)
         return std::make_unique<CompilePipeline>(std::move(pc), stager_,
                                                  kernelizer_);
       }()),
-      plan_cache_(std::make_unique<PlanCache>(config_.plan_cache_capacity)),
+      plan_cache_(std::make_unique<PlanCache>(config_.plan_cache_capacity,
+                                              config_.plan_cache_listener)),
       dispatch_pool_(std::make_unique<ThreadPool>(
           config_.dispatch_threads > 0
               ? static_cast<std::size_t>(config_.dispatch_threads)
@@ -253,6 +298,10 @@ Session::Session(SessionConfig config)
                     4, std::max<std::size_t>(
                            1, std::thread::hardware_concurrency())))) {
   executor_->validate(config_.cluster);
+  if (!config_.trace_path.empty()) {
+    obs::Tracer::instance().start(config_.trace_path);
+    trace_started_ = true;
+  }
 }
 
 Session::~Session() {
@@ -260,6 +309,10 @@ Session::~Session() {
   // pool's destructor finishes queued tasks, and everything they touch
   // (cluster, cache, backends) outlives it by member order.
   dispatch_pool_.reset();
+  // After the drain every span this session could emit has been
+  // recorded; the matching stop() writes the trace file when this was
+  // the last tracing session.
+  if (trace_started_) obs::Tracer::instance().stop();
 }
 
 exec::ExecutionPlan Session::build_plan(const Circuit& circuit) const {

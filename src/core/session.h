@@ -63,6 +63,23 @@ struct SimulatorConfig {
   device::CommCostModel comm = device::CommCostModel::perlmutter_like();
 };
 
+/// Optional observer of a Session's plan-cache events, invoked outside
+/// the cache lock (implementations must be thread-safe and cheap —
+/// think relaxed atomics). The serving layer uses this to maintain
+/// aggregate cache counters without walking every session on each
+/// `cache_stats` request (serve/session_store.h).
+class PlanCacheListener {
+ public:
+  virtual ~PlanCacheListener() = default;
+  virtual void on_hit() = 0;
+  /// Also fired by disabled (capacity 0) caches, matching the miss
+  /// counter semantics of PlanCacheStats.
+  virtual void on_miss() = 0;
+  virtual void on_insert(std::size_t plan_bytes) = 0;
+  virtual void on_evict(std::size_t plan_bytes) = 0;
+  virtual void on_clear(std::size_t entries, std::size_t resident_bytes) = 0;
+};
+
 /// Session construction knobs: everything the legacy SimulatorConfig
 /// carried, plus backend selection by registry name and the plan-cache
 /// and dispatch shapes.
@@ -127,6 +144,16 @@ struct SessionConfig : SimulatorConfig {
   /// sweep point — never by dispatch order, so results are bit-stable
   /// under any dispatch_threads value.
   std::uint64_t seed = 0x0a71a5ba5e5eed01ull;
+  /// When non-empty, enables the process-wide tracer (obs/trace.h) for
+  /// this Session's lifetime: compile phases, per-stage/per-shard
+  /// execution, and noise batches record spans, and a Chrome
+  /// trace-event JSON file is written to this path when the last
+  /// tracing Session is destroyed. Empty (the default) keeps tracing
+  /// disabled at a cost of one relaxed atomic load per would-be span.
+  std::string trace_path;
+  /// Optional plan-cache event sink (see PlanCacheListener). Null (the
+  /// default) means no callback.
+  std::shared_ptr<PlanCacheListener> plan_cache_listener;
 };
 
 struct SimulationResult {
@@ -378,6 +405,10 @@ class Session {
   /// program; compile()/plan()/build_plan() all route through it.
   std::unique_ptr<CompilePipeline> pipeline_;
   std::unique_ptr<PlanCache> plan_cache_;
+  /// True when this Session's trace_path started the process tracer;
+  /// the destructor issues the matching stop() (which writes the JSON
+  /// once the last tracing Session goes away).
+  bool trace_started_ = false;
   /// Runs submit() jobs; must be distinct from the cluster pool (whose
   /// wait_idle() a job calls transitively via execute_plan) and must be
   /// the first member destroyed so in-flight jobs finish while the rest

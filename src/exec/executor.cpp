@@ -6,6 +6,9 @@
 #include "common/timer.h"
 #include "exec/remap.h"
 #include "exec/stage_program.h"
+#include "obs/metrics.h"
+#include "obs/names.h"
+#include "obs/trace.h"
 
 namespace atlas::exec {
 
@@ -33,9 +36,16 @@ ExecutionReport execute_plan(const ExecutionPlan& plan,
               "state does not match the cluster shape");
   ExecutionReport report;
   Timer total_timer;
+  {
+    static obs::Counter& runs = obs::counter(obs::names::kExecRuns);
+    runs.inc();
+  }
 
+  std::int64_t stage_index = 0;
   for (const PlannedStage& stage : plan.stages) {
     StageReport sr;
+    obs::TraceSpan stage_span(obs::names::kSpanExecStage, stage_index);
+    Timer stage_timer;
 
     // SHARD: permute the state into the stage's partition.
     {
@@ -61,6 +71,7 @@ ExecutionReport execute_plan(const ExecutionPlan& plan,
       // The binding-independent skeleton is cached on the plan: repeat
       // runs (sweep points, noise trajectories) only re-fill matrix
       // values.
+      obs::TraceSpan bind_span(obs::names::kSpanExecBind, stage_index);
       const std::shared_ptr<const StageSkeleton> skeleton =
           stage.skeleton->get_or_build(state.layout(), [&] {
             return compile_stage_skeleton(stage.subcircuit, stage.kernels,
@@ -68,6 +79,7 @@ ExecutionReport execute_plan(const ExecutionPlan& plan,
           });
       const StageProgram program =
           bind_stage_program(stage.subcircuit, *skeleton, env);
+      bind_span.end();
       const Index shard_size = state.shard_size();
 
       // Kernel cost-model units -> bytes streamed (for modeled time).
@@ -78,6 +90,8 @@ ExecutionReport execute_plan(const ExecutionPlan& plan,
 
       cluster.pool().parallel_for(
           static_cast<std::size_t>(state.num_shards()), [&](std::size_t s) {
+            obs::TraceSpan shard_span(obs::names::kSpanExecShard,
+                                      static_cast<std::int64_t>(s));
             std::vector<Amp> scratch;
             run_stage_program(program, static_cast<int>(s),
                               state.shard(static_cast<int>(s)).data(),
@@ -99,10 +113,17 @@ ExecutionReport execute_plan(const ExecutionPlan& plan,
       sr.compute_seconds = t.seconds();
     }
 
+    stage_span.end();
+    {
+      static obs::Histogram& stage_us =
+          obs::histogram(obs::names::kExecStageUs);
+      stage_us.observe(stage_timer.seconds() * 1e6);
+    }
     report.totals += sr.stats;
     report.comm_seconds += sr.comm_seconds;
     report.compute_seconds += sr.compute_seconds;
     report.stages.push_back(std::move(sr));
+    ++stage_index;
   }
   report.wall_seconds = total_timer.seconds();
   return report;

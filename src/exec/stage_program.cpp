@@ -8,6 +8,8 @@
 #include "common/error.h"
 #include "common/fnv.h"
 #include "exec/partial_eval.h"
+#include "obs/metrics.h"
+#include "obs/names.h"
 #include "sim/fusion.h"
 
 namespace atlas::exec {
@@ -311,10 +313,17 @@ StageProgram bind_stage_program(const Circuit& subcircuit,
 
 std::shared_ptr<const StageSkeleton> StageSkeletonCache::get_or_build(
     const Layout& layout, const std::function<StageSkeleton()>& build) {
+  static obs::Counter& hits = obs::counter(obs::names::kSkeletonCacheHits);
+  static obs::Counter& misses =
+      obs::counter(obs::names::kSkeletonCacheMisses);
   const std::uint64_t digest = layout_digest(layout);
   MutexLock lock(mu_);
-  if (!cached_ || cached_->layout_digest != digest)
+  if (!cached_ || cached_->layout_digest != digest) {
     cached_ = std::make_shared<const StageSkeleton>(build());
+    misses.inc();
+  } else {
+    hits.inc();
+  }
   return cached_;
 }
 

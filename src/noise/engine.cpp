@@ -19,6 +19,9 @@
 #include "core/session.h"
 #include "exec/queries.h"
 #include "noise/model.h"
+#include "obs/metrics.h"
+#include "obs/names.h"
+#include "obs/trace.h"
 #include "verify/verify.h"
 #include "noise/trajectory.h"
 
@@ -127,6 +130,17 @@ noise::NoisyResult Session::run_noisy(
   const auto readout = readout_plan(model, circuit.num_qubits());
   const std::size_t count = static_cast<std::size_t>(options.trajectories);
   std::vector<TrajectoryPartial> partials(count);
+
+  // Trajectory fan-out telemetry: one batch, `count` unravellings.
+  {
+    static obs::Counter& batches = obs::counter(obs::names::kNoiseBatches);
+    static obs::Counter& trajectories =
+        obs::counter(obs::names::kNoiseTrajectories);
+    batches.inc();
+    trajectories.add(count);
+  }
+  obs::TraceSpan batch_span(obs::names::kSpanNoiseBatch,
+                            static_cast<std::int64_t>(count));
 
   if (prog.pauli_fast_path()) {
     // One compile, one plan-cache entry; every trajectory re-binds the

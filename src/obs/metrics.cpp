@@ -1,0 +1,203 @@
+#include "obs/metrics.h"
+
+#include <bit>
+#include <cmath>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace atlas::obs {
+
+namespace {
+
+/// Stable small per-thread shard slot: threads get sequential ids on
+/// first touch, folded into the shard range. Sequential assignment
+/// spreads a thread pool evenly instead of trusting the hash of
+/// std::thread::id.
+std::size_t shard_slot() noexcept {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t slot =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return slot;
+}
+
+void atomic_add(std::atomic<double>& a, double d) noexcept {
+  double cur = a.load(std::memory_order_relaxed);
+  while (!a.compare_exchange_weak(cur, cur + d, std::memory_order_relaxed)) {
+  }
+}
+
+/// Bucket bounds: bucket 0 = [0,1), bucket b = [2^(b-1), 2^b).
+double bucket_lower(std::size_t b) noexcept {
+  return b == 0 ? 0.0 : std::ldexp(1.0, static_cast<int>(b) - 1);
+}
+
+double bucket_upper(std::size_t b) noexcept {
+  return std::ldexp(1.0, static_cast<int>(b));
+}
+
+std::size_t bucket_index(double value) noexcept {
+  if (!(value >= 1.0)) return 0;  // negatives and NaN clamp to bucket 0
+  // For v >= 1, the integer part's bit width is exactly the bucket
+  // whose range [2^(b-1), 2^b) contains v.
+  const double capped =
+      value >= 9.2e18 ? 9.2e18 : value;  // keep the cast in u64 range
+  const auto iv = static_cast<std::uint64_t>(capped);
+  const std::size_t b = static_cast<std::size_t>(std::bit_width(iv));
+  return b >= Histogram::kBuckets ? Histogram::kBuckets - 1 : b;
+}
+
+}  // namespace
+
+void Counter::add(std::uint64_t n) noexcept {
+  cells_[shard_slot() % kShards].v.fetch_add(n, std::memory_order_relaxed);
+}
+
+std::uint64_t Counter::value() const noexcept {
+  std::uint64_t total = 0;
+  for (const Cell& c : cells_) total += c.v.load(std::memory_order_relaxed);
+  return total;
+}
+
+void Histogram::observe(double value) noexcept {
+  buckets_[bucket_index(value)].fetch_add(1, std::memory_order_relaxed);
+  atomic_add(sum_, value);
+}
+
+Histogram::Snapshot Histogram::snapshot() const noexcept {
+  Snapshot s;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    s.buckets[b] = buckets_[b].load(std::memory_order_relaxed);
+    s.count += s.buckets[b];
+  }
+  s.sum = sum_.load(std::memory_order_relaxed);
+  return s;
+}
+
+double Histogram::Snapshot::quantile(double q) const noexcept {
+  if (count == 0) return 0;
+  if (q < 0) q = 0;
+  if (q > 1) q = 1;
+  // Rank of the target observation (1-based, clamped into [1, count]).
+  const double rank_raw = q * static_cast<double>(count);
+  const double rank = rank_raw < 1.0 ? 1.0 : rank_raw;
+  std::uint64_t before = 0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    if (buckets[b] == 0) continue;
+    const auto in_bucket = static_cast<double>(buckets[b]);
+    if (static_cast<double>(before) + in_bucket >= rank) {
+      const double frac = (rank - static_cast<double>(before)) / in_bucket;
+      return bucket_lower(b) + (bucket_upper(b) - bucket_lower(b)) * frac;
+    }
+    before += buckets[b];
+  }
+  return bucket_upper(kBuckets - 1);
+}
+
+const char* metric_kind_name(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::counter: return "counter";
+    case MetricKind::gauge: return "gauge";
+    case MetricKind::histogram: return "histogram";
+  }
+  return "?";
+}
+
+MetricsRegistry& MetricsRegistry::instance() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // never dtor'd
+  return *registry;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  MutexLock lock(mu_);
+  Entry& e = entries_[name];
+  if (e.counter == nullptr) {
+    ATLAS_CHECK_ARG(e.gauge == nullptr && e.histogram == nullptr,
+                    "metric '" << name << "' already registered as "
+                               << metric_kind_name(e.kind));
+    e.kind = MetricKind::counter;
+    e.counter = std::make_unique<Counter>();
+  }
+  return *e.counter;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  MutexLock lock(mu_);
+  Entry& e = entries_[name];
+  if (e.gauge == nullptr) {
+    ATLAS_CHECK_ARG(e.counter == nullptr && e.histogram == nullptr,
+                    "metric '" << name << "' already registered as "
+                               << metric_kind_name(e.kind));
+    e.kind = MetricKind::gauge;
+    e.gauge = std::make_unique<Gauge>();
+  }
+  return *e.gauge;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  MutexLock lock(mu_);
+  Entry& e = entries_[name];
+  if (e.histogram == nullptr) {
+    ATLAS_CHECK_ARG(e.counter == nullptr && e.gauge == nullptr,
+                    "metric '" << name << "' already registered as "
+                               << metric_kind_name(e.kind));
+    e.kind = MetricKind::histogram;
+    e.histogram = std::make_unique<Histogram>();
+  }
+  return *e.histogram;
+}
+
+MetricsReport MetricsRegistry::snapshot() const {
+  MetricsReport report;
+  MutexLock lock(mu_);
+  report.entries.reserve(entries_.size());
+  // std::map iterates in key order, so the report is name-sorted by
+  // construction — the stability the wire format and tests rely on.
+  for (const auto& [name, e] : entries_) {
+    MetricValue v;
+    v.name = name;
+    v.kind = e.kind;
+    switch (e.kind) {
+      case MetricKind::counter:
+        v.count = e.counter->value();
+        break;
+      case MetricKind::gauge:
+        v.gauge = e.gauge->value();
+        break;
+      case MetricKind::histogram: {
+        const Histogram::Snapshot s = e.histogram->snapshot();
+        v.count = s.count;
+        v.sum = s.sum;
+        v.p50 = s.quantile(0.50);
+        v.p90 = s.quantile(0.90);
+        v.p99 = s.quantile(0.99);
+        break;
+      }
+    }
+    report.entries.push_back(std::move(v));
+  }
+  return report;
+}
+
+std::string to_text(const MetricsReport& report) {
+  std::ostringstream out;
+  for (const MetricValue& v : report.entries) {
+    out << v.name << " ";
+    switch (v.kind) {
+      case MetricKind::counter:
+        out << v.count;
+        break;
+      case MetricKind::gauge:
+        out << v.gauge;
+        break;
+      case MetricKind::histogram:
+        out << "count=" << v.count << " sum=" << v.sum << " p50=" << v.p50
+            << " p90=" << v.p90 << " p99=" << v.p99;
+        break;
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace atlas::obs

@@ -1,0 +1,185 @@
+#pragma once
+
+/// \file metrics.h
+/// Process-wide metrics: named counters, gauges, and fixed-bucket
+/// latency histograms, registered once and updated lock-free from any
+/// thread.
+///
+/// Registration (name -> cell) takes a mutex and should happen once
+/// per site — cache the returned reference in a function-local static:
+///
+///     static obs::Counter& hits = obs::counter(names::kPlanCacheHits);
+///     hits.inc();
+///
+/// Update paths are wait-free relaxed atomics: counters shard across
+/// cache-line-padded cells indexed by thread, histograms do one
+/// fetch_add on a power-of-two bucket. Reads (value(), snapshot())
+/// are racy-but-monotone, which is the right trade for telemetry.
+///
+/// snapshot() returns a MetricsReport sorted by name — the stable
+/// order the wire protocol, servectl, and tests rely on. Metric names
+/// come from obs/names.h (append-only catalog).
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace atlas::obs {
+
+/// Monotonically increasing event count. Thread-sharded: concurrent
+/// writers from different threads land on different cache lines, so a
+/// hot counter never becomes a coherence hotspot.
+class Counter {
+ public:
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void add(std::uint64_t n) noexcept;
+  void inc() noexcept { add(1); }
+  /// Sum over all shards. Monotone but not a linearizable point-in-time
+  /// read — fine for telemetry.
+  std::uint64_t value() const noexcept;
+
+ private:
+  static constexpr std::size_t kShards = 16;
+  struct alignas(64) Cell {
+    std::atomic<std::uint64_t> v{0};
+  };
+  std::array<Cell, kShards> cells_;
+};
+
+/// Instantaneous signed value (queue depth, resident bytes, ...).
+class Gauge {
+ public:
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void set(std::int64_t v) noexcept { v_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t d) noexcept {
+    v_.fetch_add(d, std::memory_order_relaxed);
+  }
+  std::int64_t value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+/// Fixed-bucket latency histogram with power-of-two bucket bounds:
+/// bucket 0 holds [0,1), bucket b holds [2^(b-1), 2^b). 64 buckets
+/// cover the full useful range of a microsecond (or any nonnegative)
+/// measurement; observe() is one relaxed fetch_add. Quantiles are read
+/// out by linear interpolation inside the covering bucket — the exact
+/// same semantics the benches use, so bench p50/p99 and runtime
+/// p50/p99 are comparable numbers.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 64;
+
+  Histogram() = default;
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void observe(double value) noexcept;
+
+  /// Point-in-time copy of the bucket state; all derived read-outs
+  /// (count/sum/quantile) come from one snapshot so they are mutually
+  /// consistent.
+  struct Snapshot {
+    std::uint64_t count = 0;
+    double sum = 0;
+    std::array<std::uint64_t, kBuckets> buckets{};
+
+    /// Interpolated quantile, q in [0,1]. Returns 0 when empty.
+    double quantile(double q) const noexcept;
+  };
+  Snapshot snapshot() const noexcept;
+
+  std::uint64_t count() const noexcept { return snapshot().count; }
+  double sum() const noexcept {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  double quantile(double q) const noexcept { return snapshot().quantile(q); }
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<double> sum_{0};
+};
+
+enum class MetricKind : std::uint8_t { counter = 0, gauge = 1, histogram = 2 };
+
+const char* metric_kind_name(MetricKind kind);
+
+/// One metric's read-out in a report. Which fields are meaningful
+/// depends on `kind`: counters fill `count`, gauges fill `gauge`,
+/// histograms fill count/sum/p50/p90/p99.
+struct MetricValue {
+  std::string name;
+  MetricKind kind = MetricKind::counter;
+  std::uint64_t count = 0;
+  std::int64_t gauge = 0;
+  double sum = 0;
+  double p50 = 0;
+  double p90 = 0;
+  double p99 = 0;
+};
+
+/// A stable snapshot of every registered metric, sorted by name.
+struct MetricsReport {
+  std::vector<MetricValue> entries;
+};
+
+/// Human-readable multi-line rendering (the `--metrics-dump` format).
+std::string to_text(const MetricsReport& report);
+
+/// The process-wide registry. get-or-create by name; re-requesting an
+/// existing name with the same kind returns the same cell (stable for
+/// the process lifetime), with a different kind it throws.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& instance();
+
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  MetricsReport snapshot() const;
+
+ private:
+  MetricsRegistry() = default;
+
+  struct Entry {
+    MetricKind kind = MetricKind::counter;
+    // Heap cells: references handed out stay valid across rehashes
+    // for the life of the process.
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  mutable Mutex mu_;
+  std::map<std::string, Entry> entries_ ATLAS_GUARDED_BY(mu_);
+};
+
+/// Shorthands for MetricsRegistry::instance().xxx(name).
+inline Counter& counter(const std::string& name) {
+  return MetricsRegistry::instance().counter(name);
+}
+inline Gauge& gauge(const std::string& name) {
+  return MetricsRegistry::instance().gauge(name);
+}
+inline Histogram& histogram(const std::string& name) {
+  return MetricsRegistry::instance().histogram(name);
+}
+
+}  // namespace atlas::obs

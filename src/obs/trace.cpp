@@ -1,0 +1,168 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+namespace atlas::obs {
+
+std::int64_t monotonic_ns() noexcept {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+Tracer& Tracer::instance() {
+  static Tracer* tracer = new Tracer();  // never dtor'd: rings outlive threads
+  return *tracer;
+}
+
+void Tracer::start(const std::string& path) {
+  MutexLock lock(mu_);
+  if (active_ == 0) path_ = path;
+  ++active_;
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void Tracer::stop() {
+  std::string path;
+  {
+    MutexLock lock(mu_);
+    if (active_ == 0) return;
+    if (--active_ > 0) return;
+    // Last stop: disable the fast path first so concurrent spans stop
+    // appending, then export and clear.
+    enabled_.store(false, std::memory_order_relaxed);
+    path.swap(path_);
+  }
+  if (!path.empty() && !write_json(path)) {
+    std::fprintf(stderr, "atlas: failed to write trace file '%s'\n",
+                 path.c_str());
+  }
+  discard();
+}
+
+Tracer::Ring& Tracer::local_ring() {
+  thread_local Ring* ring = nullptr;
+  if (ring == nullptr) {
+    auto owned = std::make_unique<Ring>();
+    {
+      MutexLock lock(owned->mu);
+      owned->events.reserve(kRingCapacity);
+    }
+    ring = owned.get();
+    MutexLock lock(mu_);
+    rings_.push_back(std::move(owned));
+  }
+  return *ring;
+}
+
+void Tracer::record(const char* name, std::int64_t start_ns,
+                    std::int64_t dur_ns, std::int64_t arg) noexcept {
+  if (!enabled()) return;
+  Ring& ring = local_ring();
+  Event ev;
+  std::strncpy(ev.name, name, sizeof(ev.name) - 1);
+  ev.name[sizeof(ev.name) - 1] = '\0';
+  ev.start_ns = start_ns;
+  ev.dur_ns = dur_ns;
+  ev.arg = arg;
+  MutexLock lock(ring.mu);
+  if (ring.events.size() < kRingCapacity) {
+    ring.events.push_back(ev);
+  } else {
+    ring.events[ring.next] = ev;  // bounded: overwrite the oldest
+    ring.next = (ring.next + 1) % kRingCapacity;
+  }
+  ++ring.total;
+}
+
+namespace {
+
+void append_json_string(std::string& out, const char* s) {
+  out += '"';
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) >= 0x20) {
+      out += c;
+    }  // control chars in a span name: drop, they are never legitimate
+  }
+  out += '"';
+}
+
+}  // namespace
+
+bool Tracer::write_json(const std::string& path) const {
+  struct Flat {
+    Event ev;
+    std::size_t tid;
+  };
+  std::vector<Flat> all;
+  {
+    MutexLock lock(mu_);
+    for (std::size_t tid = 0; tid < rings_.size(); ++tid) {
+      Ring& ring = *rings_[tid];
+      MutexLock ring_lock(ring.mu);
+      for (const Event& ev : ring.events) all.push_back({ev, tid});
+    }
+  }
+  std::sort(all.begin(), all.end(), [](const Flat& a, const Flat& b) {
+    return a.ev.start_ns < b.ev.start_ns;
+  });
+  // Rebase to the earliest event so ts values are small and the trace
+  // opens centered in Perfetto regardless of the steady_clock origin.
+  const std::int64_t base = all.empty() ? 0 : all.front().ev.start_ns;
+
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  std::string body = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  char buf[160];
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    const Event& ev = all[i].ev;
+    if (i != 0) body += ',';
+    body += "{\"name\":";
+    append_json_string(body, ev.name);
+    std::snprintf(buf, sizeof(buf),
+                  ",\"cat\":\"atlas\",\"ph\":\"X\",\"ts\":%.3f,"
+                  "\"dur\":%.3f,\"pid\":1,\"tid\":%zu",
+                  static_cast<double>(ev.start_ns - base) / 1e3,
+                  static_cast<double>(ev.dur_ns) / 1e3, all[i].tid);
+    body += buf;
+    if (ev.arg >= 0) {
+      std::snprintf(buf, sizeof(buf), ",\"args\":{\"index\":%lld}",
+                    static_cast<long long>(ev.arg));
+      body += buf;
+    }
+    body += '}';
+  }
+  body += "]}\n";
+  out << body;
+  out.flush();
+  return static_cast<bool>(out);
+}
+
+std::size_t Tracer::event_count() const {
+  std::size_t n = 0;
+  MutexLock lock(mu_);
+  for (const auto& ring : rings_) {
+    MutexLock ring_lock(ring->mu);
+    n += ring->events.size();
+  }
+  return n;
+}
+
+void Tracer::discard() {
+  MutexLock lock(mu_);
+  for (const auto& ring : rings_) {
+    MutexLock ring_lock(ring->mu);
+    ring->events.clear();
+    ring->next = 0;
+  }
+}
+
+}  // namespace atlas::obs

@@ -1,0 +1,135 @@
+#pragma once
+
+/// \file trace.h
+/// Lightweight execution tracing with Chrome trace-event JSON export.
+///
+/// A TraceSpan is an RAII scope: construction captures a monotonic
+/// (steady_clock) start timestamp, destruction (or an explicit end())
+/// records a complete event into a bounded per-thread ring buffer.
+/// Callers that already hold their own monotonic timestamps — the
+/// pipeline's phase Timers, say — can record directly via
+/// Tracer::record(name, start_ns, dur_ns).
+///
+/// Off by default: when no trace is active, a span costs one relaxed
+/// atomic load and a predictable branch — nothing is allocated,
+/// timestamped, or locked (the ≤1% bench_exec_hotpath gate). Enable
+/// by setting SessionConfig::trace_path; the Session starts the
+/// process-wide tracer on construction and the JSON file is written
+/// when the last tracing Session is destroyed. Load the file at
+/// https://ui.perfetto.dev or chrome://tracing.
+///
+/// Timestamps are steady_clock nanoseconds — never wall-clock — so
+/// traces are immune to clock steps and need no date handling; the
+/// exporter rebases them to the earliest event.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace atlas::obs {
+
+/// Nanoseconds on the process-wide monotonic clock (steady_clock).
+std::int64_t monotonic_ns() noexcept;
+
+class Tracer {
+ public:
+  /// Events a single thread retains; older events are overwritten
+  /// (bounded memory no matter how long a trace runs).
+  static constexpr std::size_t kRingCapacity = 16384;
+
+  static Tracer& instance();
+
+  /// Begins (or joins) a trace. Calls nest: the path of the first
+  /// start() wins and the file is written by the matching last stop().
+  void start(const std::string& path);
+  /// Ends one start(). The last stop() writes the JSON file, clears
+  /// the buffers, and disables the fast path again.
+  void stop();
+
+  /// The disabled-path gate: one relaxed load.
+  bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Records one complete span with caller-supplied monotonic
+  /// timestamps. `name` is copied (truncated to the event's fixed
+  /// buffer); `arg` >= 0 is exported as args.index. No-op when
+  /// disabled.
+  void record(const char* name, std::int64_t start_ns, std::int64_t dur_ns,
+              std::int64_t arg = -1) noexcept;
+
+  /// Writes buffered events as Chrome trace-event JSON. Returns false
+  /// (and leaves no partial file promises) on I/O failure. Buffers are
+  /// not cleared — stop() owns lifecycle.
+  bool write_json(const std::string& path) const;
+
+  /// Buffered events across all threads (test hook).
+  std::size_t event_count() const;
+  /// Drops all buffered events (test hook).
+  void discard();
+
+ private:
+  struct Event {
+    char name[48];
+    std::int64_t start_ns = 0;
+    std::int64_t dur_ns = 0;
+    std::int64_t arg = -1;
+  };
+
+  /// One thread's bounded buffer. The owning thread appends under
+  /// ring mu_ (uncontended except during export), the exporter reads
+  /// under the same lock — data-race free under TSan by construction.
+  struct Ring {
+    Mutex mu;
+    std::vector<Event> events ATLAS_GUARDED_BY(mu);  // ring storage
+    std::size_t next ATLAS_GUARDED_BY(mu) = 0;       // overwrite cursor
+    std::uint64_t total ATLAS_GUARDED_BY(mu) = 0;    // lifetime appends
+  };
+
+  Tracer() = default;
+  Ring& local_ring();
+
+  std::atomic<bool> enabled_{false};
+  mutable Mutex mu_;
+  int active_ ATLAS_GUARDED_BY(mu_) = 0;
+  std::string path_ ATLAS_GUARDED_BY(mu_);
+  /// Rings live for the process lifetime (threads may exit before
+  /// export; their events must not).
+  std::vector<std::unique_ptr<Ring>> rings_ ATLAS_GUARDED_BY(mu_);
+};
+
+/// RAII span: records [construction, destruction) when tracing is
+/// enabled, does nothing measurable when it is not.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name, std::int64_t arg = -1) noexcept {
+    if (!Tracer::instance().enabled()) return;
+    name_ = name;
+    arg_ = arg;
+    start_ns_ = monotonic_ns();
+  }
+  ~TraceSpan() { end(); }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// Ends the span now (idempotent); the destructor becomes a no-op.
+  void end() noexcept {
+    if (name_ == nullptr) return;
+    Tracer::instance().record(name_, start_ns_, monotonic_ns() - start_ns_,
+                              arg_);
+    name_ = nullptr;
+  }
+
+ private:
+  const char* name_ = nullptr;
+  std::int64_t start_ns_ = 0;
+  std::int64_t arg_ = -1;
+};
+
+}  // namespace atlas::obs

@@ -203,6 +203,12 @@ CacheStatsReply Client::cache_stats() {
   return CacheStatsReply::decode(r);
 }
 
+MetricsReply Client::metrics() {
+  const std::vector<std::uint8_t> reply = call(Op::metrics, 0, {});
+  WireReader r(reply);
+  return MetricsReply::decode(r);
+}
+
 void Client::evict_session(std::uint64_t session_id) {
   call(Op::evict_session, session_id, {});
 }

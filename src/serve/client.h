@@ -52,6 +52,8 @@ class Client {
   /// @{
   std::vector<SessionInfo> list_sessions();
   CacheStatsReply cache_stats();
+  /// The server process's full metrics snapshot, sorted by name.
+  MetricsReply metrics();
   void evict_session(std::uint64_t session_id);
   /// Blocks until the server finished draining.
   void drain();

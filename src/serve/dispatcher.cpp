@@ -1,6 +1,9 @@
 #include "serve/dispatcher.h"
 
 #include "common/error.h"
+#include "obs/metrics.h"
+#include "obs/names.h"
+#include "obs/trace.h"
 
 namespace atlas::serve {
 
@@ -60,7 +63,7 @@ void Dispatcher::push_item(const std::string& tenant,
   {
     MutexLock lock(mu_);
     TenantQueue& q = tenant_locked(tenant);
-    q.items.push_back(std::move(work));
+    q.items.push_back(Item{std::move(work), obs::monotonic_ns()});
     if (!q.in_ring) {
       q.in_ring = true;
       ring_.push_back(&q);
@@ -82,20 +85,27 @@ void Dispatcher::push_item(const std::string& tenant,
 }
 
 std::function<void()> Dispatcher::pop_next() {
-  MutexLock lock(mu_);
-  // The 1:1 ticket/item invariant guarantees the ring is non-empty
-  // here and its front queue has at least one item.
-  TenantQueue* q = ring_.front();
-  ring_.pop_front();
-  std::function<void()> work = std::move(q->items.front());
-  q->items.pop_front();
-  if (q->items.empty()) {
-    q->in_ring = false;
-    maybe_gc_locked(*q);
-  } else {
-    ring_.push_back(q);  // rotate: next worker serves another tenant
+  Item item;
+  {
+    MutexLock lock(mu_);
+    // The 1:1 ticket/item invariant guarantees the ring is non-empty
+    // here and its front queue has at least one item.
+    TenantQueue* q = ring_.front();
+    ring_.pop_front();
+    item = std::move(q->items.front());
+    q->items.pop_front();
+    if (q->items.empty()) {
+      q->in_ring = false;
+      maybe_gc_locked(*q);
+    } else {
+      ring_.push_back(q);  // rotate: next worker serves another tenant
+    }
   }
-  return work;
+  static obs::Histogram& queue_wait_us =
+      obs::histogram(obs::names::kServeQueueWaitUs);
+  queue_wait_us.observe(
+      static_cast<double>(obs::monotonic_ns() - item.enqueue_ns) / 1e3);
+  return std::move(item.work);
 }
 
 void Dispatcher::run_one() {

@@ -75,9 +75,16 @@ class Dispatcher {
   void stop();
 
  private:
+  /// A queued work item stamped with its enqueue time, so pop_next()
+  /// can report queue-wait latency (obs: serve.queue_wait_us).
+  struct Item {
+    std::function<void()> work;
+    std::int64_t enqueue_ns = 0;
+  };
+
   struct TenantQueue {
     std::string name;
-    std::deque<std::function<void()>> items;
+    std::deque<Item> items;
     std::size_t pending_requests = 0;  // admission counter
     bool in_ring = false;
   };

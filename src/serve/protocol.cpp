@@ -59,6 +59,7 @@ const char* op_name(Op op) {
     case Op::evict_session: return "evict_session";
     case Op::drain: return "drain";
     case Op::shutdown: return "shutdown";
+    case Op::metrics: return "metrics";
   }
   return "?";
 }
@@ -252,6 +253,57 @@ CacheStatsReply CacheStatsReply::decode(WireReader& r) {
   q.sessions = r.u32();
   q.session_capacity = r.u32();
   q.sessions_purged = r.u64();
+  return q;
+}
+
+void MetricsReply::encode(WireWriter& w) const {
+  w.u32(static_cast<std::uint32_t>(metrics.size()));
+  for (const auto& m : metrics) {
+    w.str(m.name);
+    w.u8(m.kind);
+    switch (m.kind) {
+      case 0:  // counter
+        w.u64(m.count);
+        break;
+      case 1:  // gauge
+        w.u64(static_cast<std::uint64_t>(m.gauge));
+        break;
+      default:  // histogram
+        w.u64(m.count);
+        w.f64(m.sum);
+        w.f64(m.p50);
+        w.f64(m.p90);
+        w.f64(m.p99);
+        break;
+    }
+  }
+}
+
+MetricsReply MetricsReply::decode(WireReader& r) {
+  MetricsReply q;
+  const std::uint32_t n = r.u32();
+  q.metrics.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    MetricEntry m;
+    m.name = r.str();
+    m.kind = r.u8();
+    switch (m.kind) {
+      case 0:
+        m.count = r.u64();
+        break;
+      case 1:
+        m.gauge = static_cast<std::int64_t>(r.u64());
+        break;
+      default:
+        m.count = r.u64();
+        m.sum = r.f64();
+        m.p50 = r.f64();
+        m.p90 = r.f64();
+        m.p99 = r.f64();
+        break;
+    }
+    q.metrics.push_back(std::move(m));
+  }
   return q;
 }
 

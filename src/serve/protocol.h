@@ -47,6 +47,8 @@ enum class Op : std::uint16_t {
   evict_session = 34,
   drain = 35,
   shutdown = 36,
+  /// Process metrics snapshot (obs/metrics.h) — name-sorted entries.
+  metrics = 37,
 };
 
 enum class Status : std::uint16_t {
@@ -265,6 +267,29 @@ struct CacheStatsReply {
 
   void encode(WireWriter& w) const;
   static CacheStatsReply decode(WireReader& r);
+};
+
+/// One metric in a metrics reply. `kind` selects the meaningful
+/// fields: 0 = counter (count), 1 = gauge (gauge), 2 = histogram
+/// (count, sum, p50/p90/p99). The wire encoding is kind-dependent —
+/// see docs/PROTOCOL.md.
+struct MetricEntry {
+  std::string name;
+  std::uint8_t kind = 0;
+  std::uint64_t count = 0;
+  std::int64_t gauge = 0;
+  double sum = 0;
+  double p50 = 0;
+  double p90 = 0;
+  double p99 = 0;
+};
+
+/// metrics reply: the full registry snapshot, sorted by metric name.
+struct MetricsReply {
+  std::vector<MetricEntry> metrics;
+
+  void encode(WireWriter& w) const;
+  static MetricsReply decode(WireReader& r);
 };
 /// @}
 

@@ -14,6 +14,7 @@
 #include <string>
 #include <thread>
 
+#include "obs/metrics.h"
 #include "serve/server.h"
 
 namespace {
@@ -38,7 +39,9 @@ int usage(const char* argv0) {
       << "  --regional-qubits N\n"
       << "  --global-qubits N\n"
       << "  --gpus-per-node N\n"
-      << "  --opt-level L           default compile opt level (default 0)\n";
+      << "  --opt-level L           default compile opt level (default 0)\n"
+      << "  --metrics-dump SECONDS  periodically print the metrics\n"
+         "                          snapshot to stderr (0 = off)\n";
   return 2;
 }
 
@@ -47,6 +50,7 @@ int usage(const char* argv0) {
 int main(int argc, char** argv) {
   atlas::serve::ServerConfig config;
   config.port = 7600;
+  long metrics_dump_seconds = 0;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -84,6 +88,8 @@ int main(int argc, char** argv) {
       config.session.cluster.gpus_per_node = static_cast<int>(next());
     } else if (arg == "--opt-level") {
       config.session.opt_level = static_cast<int>(next());
+    } else if (arg == "--metrics-dump") {
+      metrics_dump_seconds = next();
     } else {
       return usage(argv[0]);
     }
@@ -105,8 +111,19 @@ int main(int argc, char** argv) {
     std::thread waiter([&server] {
       if (server.wait_shutdown()) g_signaled.store(true);
     });
+    // The poll loop doubles as the --metrics-dump timer: every
+    // `metrics_dump_seconds` it prints the full registry snapshot to
+    // stderr (stdout stays reserved for the startup line operators
+    // parse the port out of).
+    long ticks = 0;
+    const long ticks_per_dump = metrics_dump_seconds * 5;  // 200 ms polls
     while (!g_signaled.load()) {
       std::this_thread::sleep_for(std::chrono::milliseconds(200));
+      if (ticks_per_dump > 0 && ++ticks >= ticks_per_dump) {
+        ticks = 0;
+        std::cerr << atlas::obs::to_text(
+            atlas::obs::MetricsRegistry::instance().snapshot());
+      }
     }
     std::cout << "atlas-serve shutting down (draining in-flight work)"
               << std::endl;

@@ -2,6 +2,7 @@
 ///
 ///   atlas-servectl [--host H] [--port P] [--json] list
 ///   atlas-servectl stats
+///   atlas-servectl metrics
 ///   atlas-servectl evict <session-id>
 ///   atlas-servectl drain
 ///   atlas-servectl shutdown
@@ -23,7 +24,8 @@ namespace {
 int usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " [--host H] [--port P] [--json] "
-               "list | stats | evict <session-id> | drain | shutdown\n";
+               "list | stats | metrics | evict <session-id> | drain | "
+               "shutdown\n";
   return 2;
 }
 
@@ -123,6 +125,53 @@ void cmd_stats(atlas::serve::Client& client, bool json) {
             << " live, " << s.sessions_purged << " purged\n";
 }
 
+void cmd_metrics(atlas::serve::Client& client, bool json) {
+  const auto reply = client.metrics();
+  if (json) {
+    std::cout << "{\"metrics\":[";
+    for (std::size_t i = 0; i < reply.metrics.size(); ++i) {
+      const auto& m = reply.metrics[i];
+      if (i != 0) std::cout << ",";
+      std::cout << "{\"name\":\"" << json_escape(m.name) << "\"";
+      switch (m.kind) {
+        case 0:
+          std::cout << ",\"kind\":\"counter\",\"value\":" << m.count;
+          break;
+        case 1:
+          std::cout << ",\"kind\":\"gauge\",\"value\":" << m.gauge;
+          break;
+        default:
+          std::cout << ",\"kind\":\"histogram\",\"count\":" << m.count
+                    << ",\"sum\":" << m.sum << ",\"p50\":" << m.p50
+                    << ",\"p90\":" << m.p90 << ",\"p99\":" << m.p99;
+          break;
+      }
+      std::cout << "}";
+    }
+    std::cout << "],\"count\":" << reply.metrics.size() << "}\n";
+    return;
+  }
+  for (const auto& m : reply.metrics) {
+    std::cout << std::left << std::setw(40) << m.name << std::right;
+    switch (m.kind) {
+      case 0:
+        std::cout << " " << m.count << "\n";
+        break;
+      case 1:
+        std::cout << " " << m.gauge << "\n";
+        break;
+      default:
+        std::cout << " count=" << m.count << std::fixed
+                  << std::setprecision(1) << " sum=" << m.sum
+                  << " p50=" << m.p50 << " p90=" << m.p90
+                  << " p99=" << m.p99 << "\n";
+        std::cout.unsetf(std::ios_base::floatfield);
+        break;
+    }
+  }
+  std::cout << reply.metrics.size() << " metric(s)\n";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -151,6 +200,8 @@ int main(int argc, char** argv) {
       cmd_list(client, json);
     } else if (cmd == "stats") {
       cmd_stats(client, json);
+    } else if (cmd == "metrics") {
+      cmd_metrics(client, json);
     } else if (cmd == "evict") {
       if (rest.size() != 2) return usage(argv[0]);
       const std::uint64_t id = std::strtoull(rest[1].c_str(), nullptr, 10);

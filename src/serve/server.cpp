@@ -9,6 +9,9 @@
 #include <sys/socket.h>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/names.h"
+#include "obs/trace.h"
 #include "qasm/qasm.h"
 #include "verify/verify.h"
 
@@ -48,6 +51,7 @@ bool is_known_op(std::uint16_t raw) {
     case Op::evict_session:
     case Op::drain:
     case Op::shutdown:
+    case Op::metrics:
       return true;
   }
   return false;
@@ -83,6 +87,9 @@ struct Server::RequestContext {
   /// reader thread before the work item is published (the dispatcher's
   /// mutex orders it against worker reads).
   bool admitted = false;
+  /// Stamp taken by the reader thread on arrival; finish() observes
+  /// wire-to-reply latency into the tenant's histogram.
+  std::int64_t start_ns = 0;
   std::atomic<bool> settled{false};
 
   ~RequestContext() {
@@ -113,6 +120,16 @@ struct Server::RequestContext {
       session->end_work();
     }
     if (admitted) server->dispatcher_->request_done(tenant);
+    static obs::Counter& requests = obs::counter(obs::names::kServeRequests);
+    requests.inc();
+    if (!tenant.empty() && start_ns != 0) {
+      // Per-tenant wire-to-reply latency. Name lookup hits the registry
+      // map, which is fine at request granularity (data-plane requests
+      // do compiles and state-vector runs; a map lookup is noise).
+      obs::histogram(obs::names::kServeTenantLatencyPrefix + tenant)
+          .observe(static_cast<double>(obs::monotonic_ns() - start_ns) /
+                   1e3);
+    }
   }
 };
 
@@ -175,8 +192,10 @@ void Server::accept_loop() {
 
 void Server::reader_loop(std::shared_ptr<Connection> conn) {
   std::vector<std::uint8_t> payload;
+  static obs::Counter& bytes_in = obs::counter(obs::names::kServeBytesIn);
   while (running_.load(std::memory_order_acquire)) {
     if (!read_frame(conn->fd.get(), payload, config_.max_frame_bytes)) break;
+    bytes_in.add(payload.size() + 4);  // +4: the length prefix
     if (!handle_frame(conn, std::move(payload))) break;
     payload.clear();
   }
@@ -219,6 +238,7 @@ bool Server::handle_frame(const std::shared_ptr<Connection>& conn,
   ctx->server = this;
   ctx->conn = conn;
   ctx->request_id = request_id;
+  ctx->start_ns = obs::monotonic_ns();
   try {
     if (op == Op::open_session) {
       // Tenant comes from the request body; decode errors are answered
@@ -294,6 +314,9 @@ bool Server::handle_frame(const std::shared_ptr<Connection>& conn,
     // (unavailable). This request never took a slot — un-mark it so
     // finish() leaves the tenant's slots to the requests that own them.
     ctx->admitted = false;
+    static obs::Counter& refused =
+        obs::counter(obs::names::kServeAdmissionRefused);
+    refused.inc();
     ctx->reply_error(status_from(e.code()), e.what());
   }
   return true;
@@ -368,6 +391,28 @@ void Server::handle_inline_op(const std::shared_ptr<Connection>& conn,
         MutexLock lock(shutdown_mu_);
         shutdown_requested_ = true;
         shutdown_cv_.notify_all();
+        break;
+      }
+      case Op::metrics: {
+        const obs::MetricsReport report =
+            obs::MetricsRegistry::instance().snapshot();
+        MetricsReply reply;
+        reply.metrics.reserve(report.entries.size());
+        for (const obs::MetricValue& v : report.entries) {
+          MetricEntry m;
+          m.name = v.name;
+          m.kind = static_cast<std::uint8_t>(v.kind);
+          m.count = v.count;
+          m.gauge = v.gauge;
+          m.sum = v.sum;
+          m.p50 = v.p50;
+          m.p90 = v.p90;
+          m.p99 = v.p99;
+          reply.metrics.push_back(std::move(m));
+        }
+        WireWriter w;
+        reply.encode(w);
+        send_reply(conn, request_id, Status::ok, w.bytes());
         break;
       }
       default:
@@ -623,6 +668,8 @@ void Server::send_reply(const std::shared_ptr<Connection>& conn,
   w.u16(static_cast<std::uint16_t>(status));
   std::vector<std::uint8_t> frame = w.take();
   frame.insert(frame.end(), body.begin(), body.end());
+  static obs::Counter& bytes_out = obs::counter(obs::names::kServeBytesOut);
+  bytes_out.add(frame.size() + 4);  // +4: the length prefix
   MutexLock lock(conn->write_mu);
   if (conn->dead.load()) return;
   if (!write_frame(conn->fd.get(), frame, config_.write_timeout_ms)) {

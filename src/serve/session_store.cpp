@@ -17,16 +17,58 @@ std::int64_t now_ns() {
 
 }  // namespace
 
+void PlanCacheTelemetry::session_closed(const PlanCacheStats& final_stats) {
+  hits_.fetch_sub(final_stats.hits, std::memory_order_relaxed);
+  misses_.fetch_sub(final_stats.misses, std::memory_order_relaxed);
+  evictions_.fetch_sub(final_stats.evictions, std::memory_order_relaxed);
+  size_.fetch_sub(static_cast<std::int64_t>(final_stats.size),
+                  std::memory_order_relaxed);
+  capacity_.fetch_sub(static_cast<std::int64_t>(final_stats.capacity),
+                      std::memory_order_relaxed);
+  resident_bytes_.fetch_sub(
+      static_cast<std::int64_t>(final_stats.resident_bytes),
+      std::memory_order_relaxed);
+}
+
+PlanCacheStats PlanCacheTelemetry::totals() const {
+  const auto clamp = [](std::int64_t v) {
+    return v < 0 ? std::size_t{0} : static_cast<std::size_t>(v);
+  };
+  PlanCacheStats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.evictions = evictions_.load(std::memory_order_relaxed);
+  // Gauges can transiently dip negative while a departing session's
+  // subtraction races its last events; clamp rather than wrap.
+  s.size = clamp(size_.load(std::memory_order_relaxed));
+  s.capacity = clamp(capacity_.load(std::memory_order_relaxed));
+  s.resident_bytes = clamp(resident_bytes_.load(std::memory_order_relaxed));
+  return s;
+}
+
 ServeSession::ServeSession(std::uint64_t id, std::string tenant,
                            SessionConfig config, std::chrono::milliseconds ttl,
-                           std::size_t max_results, std::size_t max_circuits)
+                           std::size_t max_results, std::size_t max_circuits,
+                           std::shared_ptr<PlanCacheTelemetry> telemetry)
     : id_(id),
       tenant_(std::move(tenant)),
       ttl_(ttl),
       max_results_(max_results),
       max_circuits_(max_circuits),
+      telemetry_(std::move(telemetry)),
       session_(std::move(config)),
-      last_used_ns_(now_ns()) {}
+      last_used_ns_(now_ns()) {
+  if (telemetry_) {
+    telemetry_->session_opened(session_.plan_cache_stats().capacity);
+  }
+}
+
+ServeSession::~ServeSession() {
+  // Nobody holds this session anymore (refcount hit zero), so the
+  // final stats are settled: subtracting them removes this session's
+  // entire contribution from the store aggregate.
+  if (telemetry_) telemetry_->session_closed(session_.plan_cache_stats());
+}
 
 double ServeSession::ttl_seconds() const {
   return std::chrono::duration<double>(ttl_).count();
@@ -214,9 +256,12 @@ std::shared_ptr<ServeSession> SessionStore::open(
     MutexLock lock(mu_);
     id = next_id_++;
   }
+  // Route the session's plan-cache events into the store aggregate so
+  // cache_stats never has to walk sessions.
+  config.plan_cache_listener = telemetry_;
   auto session = std::make_shared<ServeSession>(
       id, tenant, std::move(config), ttl, limits_.max_results_per_session,
-      limits_.max_circuits_per_session);
+      limits_.max_circuits_per_session, telemetry_);
 
   MutexLock lock(mu_);
   if (sessions_.size() >= limits_.max_sessions) {
@@ -306,17 +351,11 @@ std::size_t SessionStore::size() const {
 }
 
 PlanCacheStats SessionStore::aggregate_plan_cache_stats() const {
-  PlanCacheStats total;
-  for (const auto& session : snapshot()) {
-    const PlanCacheStats s = session->session().plan_cache_stats();
-    total.hits += s.hits;
-    total.misses += s.misses;
-    total.evictions += s.evictions;
-    total.size += s.size;
-    total.capacity += s.capacity;
-    total.resident_bytes += s.resident_bytes;
-  }
-  return total;
+  // Maintained counters, not a walk: every live session's cache
+  // reports events into telemetry_ and a departing session subtracts
+  // its final stats, so this read is O(1) and lock-free yet equals
+  // the old sum-over-live-sessions walk at quiescence.
+  return telemetry_->totals();
 }
 
 void SessionStore::purge_loop() {

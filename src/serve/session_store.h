@@ -61,14 +61,73 @@ struct StoredCircuit {
   std::vector<std::string> symbols;
 };
 
+/// Aggregate plan-cache telemetry across a store's live sessions,
+/// maintained from PlanCacheListener events (relaxed atomics) instead
+/// of walking every session under the store lock per cache_stats
+/// request. Exactness contract: every live session routes its cache
+/// events here, and a departing session's entire final PlanCacheStats
+/// is subtracted in ~ServeSession — so at quiescence totals() equals
+/// the sum a direct walk of the live sessions would produce
+/// (regression-tested in tests/test_serve.cpp).
+class PlanCacheTelemetry : public PlanCacheListener {
+ public:
+  void on_hit() override { hits_.fetch_add(1, std::memory_order_relaxed); }
+  void on_miss() override {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void on_insert(std::size_t plan_bytes) override {
+    size_.fetch_add(1, std::memory_order_relaxed);
+    resident_bytes_.fetch_add(static_cast<std::int64_t>(plan_bytes),
+                              std::memory_order_relaxed);
+  }
+  void on_evict(std::size_t plan_bytes) override {
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+    size_.fetch_sub(1, std::memory_order_relaxed);
+    resident_bytes_.fetch_sub(static_cast<std::int64_t>(plan_bytes),
+                              std::memory_order_relaxed);
+  }
+  void on_clear(std::size_t entries, std::size_t resident_bytes) override {
+    size_.fetch_sub(static_cast<std::int64_t>(entries),
+                    std::memory_order_relaxed);
+    resident_bytes_.fetch_sub(static_cast<std::int64_t>(resident_bytes),
+                              std::memory_order_relaxed);
+  }
+
+  /// A session joined the store: its (still empty) cache contributes
+  /// capacity.
+  void session_opened(std::size_t capacity) {
+    capacity_.fetch_add(static_cast<std::int64_t>(capacity),
+                        std::memory_order_relaxed);
+  }
+  /// A session left: remove its final contribution entirely, matching
+  /// the old walk's live-sessions-only semantics.
+  void session_closed(const PlanCacheStats& final_stats);
+
+  PlanCacheStats totals() const;
+
+ private:
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+  std::atomic<std::int64_t> size_{0};
+  std::atomic<std::int64_t> capacity_{0};
+  std::atomic<std::int64_t> resident_bytes_{0};
+};
+
 /// One tenant's server-side state: the engine Session plus the handle
 /// tables the wire protocol indexes into. Bookkeeping is mutex-guarded;
 /// the Session itself is thread-safe by contract.
 class ServeSession {
  public:
+  /// `telemetry` (optional) receives session_opened now and
+  /// session_closed at destruction; the caller is responsible for
+  /// wiring the same sink into config.plan_cache_listener so per-event
+  /// accounting matches (SessionStore::open does both).
   ServeSession(std::uint64_t id, std::string tenant, SessionConfig config,
                std::chrono::milliseconds ttl, std::size_t max_results,
-               std::size_t max_circuits);
+               std::size_t max_circuits,
+               std::shared_ptr<PlanCacheTelemetry> telemetry = nullptr);
+  ~ServeSession();
 
   std::uint64_t id() const { return id_; }
   const std::string& tenant() const { return tenant_; }
@@ -114,6 +173,7 @@ class ServeSession {
   const std::chrono::milliseconds ttl_;
   const std::size_t max_results_;
   const std::size_t max_circuits_;
+  const std::shared_ptr<PlanCacheTelemetry> telemetry_;
   Session session_;
 
   mutable Mutex mu_;
@@ -207,13 +267,24 @@ class SessionStore {
   }
 
   /// Sum of every live session's PlanCacheStats (cache_stats op).
+  /// Served from PlanCacheTelemetry's maintained counters — O(1), no
+  /// store lock, no session walk — with values identical to the walk
+  /// at quiescence.
   PlanCacheStats aggregate_plan_cache_stats() const;
+
+  /// The telemetry sink every session opened by this store reports to
+  /// (test access).
+  const std::shared_ptr<PlanCacheTelemetry>& plan_cache_telemetry() const {
+    return telemetry_;
+  }
 
  private:
   void purge_loop();
 
   const SessionConfig base_;
   const StoreLimits limits_;
+  const std::shared_ptr<PlanCacheTelemetry> telemetry_ =
+      std::make_shared<PlanCacheTelemetry>();
 
   mutable Mutex mu_;
   std::unordered_map<std::uint64_t, std::shared_ptr<ServeSession>> sessions_

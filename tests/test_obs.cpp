@@ -1,0 +1,280 @@
+// Tests for the observability subsystem (src/obs/): metrics registry
+// concurrency with exact totals, snapshot ordering/stability, kind
+// collisions, histogram quantile semantics, and the tracer's
+// disabled-path no-op, JSON well-formedness, and span nesting.
+//
+// The registry is process-global, so every test registers under names
+// unique to this file ("test_obs.*") — they show up in other binaries'
+// snapshots only if those binaries run these tests.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/error.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace atlas::obs {
+namespace {
+
+// --- counters ---------------------------------------------------------
+
+TEST(ObsCounter, ConcurrentIncrementsSumExactly) {
+  Counter& c = counter("test_obs.counter.concurrent");
+  constexpr int kThreads = 8;
+  constexpr int kIncsPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kIncsPerThread; ++i) c.inc();
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(c.value(),
+            static_cast<std::uint64_t>(kThreads) * kIncsPerThread);
+}
+
+TEST(ObsCounter, AddAccumulates) {
+  Counter& c = counter("test_obs.counter.add");
+  c.add(3);
+  c.add(39);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(ObsCounter, SameNameReturnsSameCell) {
+  Counter& a = counter("test_obs.counter.same");
+  Counter& b = counter("test_obs.counter.same");
+  EXPECT_EQ(&a, &b);
+  a.inc();
+  EXPECT_EQ(b.value(), 1u);
+}
+
+// --- gauges -----------------------------------------------------------
+
+TEST(ObsGauge, SetAndAddAreSigned) {
+  Gauge& g = gauge("test_obs.gauge.signed");
+  g.set(10);
+  g.add(-25);
+  EXPECT_EQ(g.value(), -15);
+}
+
+// --- histograms -------------------------------------------------------
+
+TEST(ObsHistogram, ConcurrentObservationsCountExactly) {
+  Histogram& h = histogram("test_obs.hist.concurrent");
+  constexpr int kThreads = 8;
+  constexpr int kObsPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (int i = 0; i < kObsPerThread; ++i)
+        h.observe(static_cast<double>(t * 100 + 1));
+    });
+  }
+  for (auto& th : threads) th.join();
+  const Histogram::Snapshot snap = h.snapshot();
+  EXPECT_EQ(snap.count,
+            static_cast<std::uint64_t>(kThreads) * kObsPerThread);
+  // Quantiles are monotone in q.
+  EXPECT_LE(snap.quantile(0.50), snap.quantile(0.90));
+  EXPECT_LE(snap.quantile(0.90), snap.quantile(0.99));
+}
+
+TEST(ObsHistogram, QuantileLandsInCoveringBucket) {
+  Histogram h;  // standalone use, no registry
+  for (int i = 0; i < 1000; ++i) h.observe(100.0);
+  const Histogram::Snapshot snap = h.snapshot();
+  EXPECT_EQ(snap.count, 1000u);
+  EXPECT_DOUBLE_EQ(snap.sum, 100.0 * 1000);
+  // 100 falls in the power-of-two bucket [64, 128); interpolated
+  // quantiles cannot leave it.
+  for (const double q : {0.5, 0.9, 0.99}) {
+    EXPECT_GE(snap.quantile(q), 64.0);
+    EXPECT_LE(snap.quantile(q), 128.0);
+  }
+}
+
+TEST(ObsHistogram, EmptyQuantileIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.snapshot().count, 0u);
+  EXPECT_DOUBLE_EQ(h.snapshot().quantile(0.99), 0.0);
+}
+
+TEST(ObsHistogram, NegativeAndNanLandInBucketZero) {
+  Histogram h;
+  h.observe(-5.0);
+  h.observe(std::nan(""));
+  h.observe(0.5);
+  const Histogram::Snapshot snap = h.snapshot();
+  EXPECT_EQ(snap.count, 3u);
+  EXPECT_EQ(snap.buckets[0], 3u);
+}
+
+// --- registry ---------------------------------------------------------
+
+TEST(ObsRegistry, KindCollisionThrows) {
+  counter("test_obs.registry.collision");
+  EXPECT_THROW(gauge("test_obs.registry.collision"), Error);
+  EXPECT_THROW(histogram("test_obs.registry.collision"), Error);
+}
+
+TEST(ObsRegistry, SnapshotIsSortedAndStable) {
+  counter("test_obs.registry.zz").add(7);
+  gauge("test_obs.registry.aa").set(-3);
+  histogram("test_obs.registry.mm").observe(10.0);
+
+  const MetricsReport first = MetricsRegistry::instance().snapshot();
+  ASSERT_GE(first.entries.size(), 3u);
+  for (std::size_t i = 1; i < first.entries.size(); ++i) {
+    EXPECT_LT(first.entries[i - 1].name, first.entries[i].name);
+  }
+
+  // A second snapshot with no intervening updates is identical.
+  const MetricsReport second = MetricsRegistry::instance().snapshot();
+  ASSERT_EQ(first.entries.size(), second.entries.size());
+  for (std::size_t i = 0; i < first.entries.size(); ++i) {
+    EXPECT_EQ(first.entries[i].name, second.entries[i].name);
+    EXPECT_EQ(first.entries[i].kind, second.entries[i].kind);
+    EXPECT_EQ(first.entries[i].count, second.entries[i].count);
+    EXPECT_EQ(first.entries[i].gauge, second.entries[i].gauge);
+  }
+
+  const auto find = [&](const std::string& name) -> const MetricValue* {
+    for (const auto& v : first.entries)
+      if (v.name == name) return &v;
+    return nullptr;
+  };
+  const MetricValue* zz = find("test_obs.registry.zz");
+  ASSERT_NE(zz, nullptr);
+  EXPECT_EQ(zz->kind, MetricKind::counter);
+  EXPECT_EQ(zz->count, 7u);
+  const MetricValue* aa = find("test_obs.registry.aa");
+  ASSERT_NE(aa, nullptr);
+  EXPECT_EQ(aa->kind, MetricKind::gauge);
+  EXPECT_EQ(aa->gauge, -3);
+  const MetricValue* mm = find("test_obs.registry.mm");
+  ASSERT_NE(mm, nullptr);
+  EXPECT_EQ(mm->kind, MetricKind::histogram);
+  EXPECT_EQ(mm->count, 1u);
+}
+
+TEST(ObsRegistry, ToTextMentionsEveryMetric) {
+  counter("test_obs.registry.text").inc();
+  const std::string text =
+      to_text(MetricsRegistry::instance().snapshot());
+  EXPECT_NE(text.find("test_obs.registry.text"), std::string::npos);
+}
+
+// --- tracing ----------------------------------------------------------
+
+TEST(ObsTrace, DisabledSpansRecordNothing) {
+  Tracer& tracer = Tracer::instance();
+  ASSERT_FALSE(tracer.enabled());
+  const std::size_t before = tracer.event_count();
+  {
+    TraceSpan span("test_obs.disabled");
+    TraceSpan inner("test_obs.disabled.inner", 7);
+  }
+  tracer.record("test_obs.disabled.direct", 0, 100);
+  EXPECT_EQ(tracer.event_count(), before);
+}
+
+TEST(ObsTrace, JsonIsWellFormedAndNestsSpans) {
+  const std::string path = "test_obs_trace.json";
+  Tracer& tracer = Tracer::instance();
+  tracer.start(path);
+  ASSERT_TRUE(tracer.enabled());
+
+  // Caller-supplied monotonic timestamps: outer [1000, 9000) ns wraps
+  // inner [2000, 5000) ns — nesting the exporter must preserve via
+  // ts/dur (Chrome trace "X" events nest by interval containment).
+  tracer.record("test_obs.outer", 1000, 8000, 3);
+  tracer.record("test_obs.inner", 2000, 3000);
+  // And one RAII span with real clock readings.
+  { TraceSpan span("test_obs.raii"); }
+  EXPECT_GE(tracer.event_count(), 3u);
+
+  tracer.stop();  // last stop writes the file
+  ASSERT_FALSE(tracer.enabled());
+  EXPECT_EQ(tracer.event_count(), 0u);  // buffers cleared
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::ostringstream os;
+  os << in.rdbuf();
+  const std::string json = os.str();
+  std::remove(path.c_str());
+
+  // Structural well-formedness: balanced braces/brackets and the
+  // Chrome trace-event envelope.
+  long depth = 0;
+  for (const char c : json) {
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') --depth;
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("test_obs.outer"), std::string::npos);
+  EXPECT_NE(json.find("test_obs.inner"), std::string::npos);
+  EXPECT_NE(json.find("test_obs.raii"), std::string::npos);
+  // The explicit arg surfaces as args.index.
+  EXPECT_NE(json.find("\"args\":{\"index\":3}"), std::string::npos);
+
+  // Nesting: both spans were recorded on this thread, timestamps are
+  // rebased to the earliest event (outer starts at ts 0), and the
+  // inner span's [ts, ts+dur) interval sits inside the outer's.
+  // Events are sorted by start time, so outer precedes inner.
+  const std::size_t outer_pos = json.find("test_obs.outer");
+  const std::size_t inner_pos = json.find("test_obs.inner");
+  EXPECT_LT(outer_pos, inner_pos);
+  double outer_ts = -1, outer_dur = -1, inner_ts = -1, inner_dur = -1;
+  const auto field_after = [&](std::size_t from, const char* key) {
+    const std::size_t at = json.find(key, from);
+    EXPECT_NE(at, std::string::npos);
+    return std::strtod(json.c_str() + at + std::strlen(key), nullptr);
+  };
+  // Events carry ts/dur before the name field; search backward from
+  // each name by scanning the enclosing object start.
+  const std::size_t outer_obj = json.rfind('{', outer_pos);
+  const std::size_t inner_obj = json.rfind('{', inner_pos);
+  outer_ts = field_after(outer_obj, "\"ts\":");
+  outer_dur = field_after(outer_obj, "\"dur\":");
+  inner_ts = field_after(inner_obj, "\"ts\":");
+  inner_dur = field_after(inner_obj, "\"dur\":");
+  EXPECT_DOUBLE_EQ(outer_ts, 0.0);  // rebased to the earliest event
+  EXPECT_GE(inner_ts, outer_ts);
+  EXPECT_LE(inner_ts + inner_dur, outer_ts + outer_dur);
+}
+
+TEST(ObsTrace, NestedStartsWriteOnLastStop) {
+  const std::string path_a = "test_obs_trace_a.json";
+  const std::string path_b = "test_obs_trace_b.json";
+  Tracer& tracer = Tracer::instance();
+  tracer.start(path_a);  // first path wins
+  tracer.start(path_b);
+  tracer.record("test_obs.nested", 0, 10);
+  tracer.stop();
+  EXPECT_TRUE(tracer.enabled());  // one start still active
+  tracer.stop();
+  EXPECT_FALSE(tracer.enabled());
+
+  std::ifstream a(path_a);
+  EXPECT_TRUE(a.good());
+  EXPECT_FALSE(std::ifstream(path_b).good());
+  std::remove(path_a.c_str());
+}
+
+}  // namespace
+}  // namespace atlas::obs

@@ -757,5 +757,107 @@ TEST(Serve, ResultFifoIsBoundedOldestEvicted) {
   server.stop();
 }
 
+// --- observability ----------------------------------------------------
+
+TEST(Serve, MetricsOpReportsSortedEntriesAndTenantLatency) {
+  Server server(test_server_config());
+  server.start();
+  Client client("127.0.0.1", server.port());
+
+  OpenSessionRequest open;
+  open.tenant = "metrics-tenant";
+  const std::uint64_t sid = client.open_session(open);
+  const CompileReply compiled =
+      client.compile(sid, client.submit_qasm(sid, ansatz_qasm()).circuit_id);
+  (void)client.run(sid, compiled.compiled_id, {0.25});
+
+  const MetricsReply reply = client.metrics();
+  ASSERT_FALSE(reply.metrics.empty());
+  for (std::size_t i = 1; i < reply.metrics.size(); ++i) {
+    EXPECT_LT(reply.metrics[i - 1].name, reply.metrics[i].name);
+  }
+
+  const auto find = [&](const std::string& name) -> const MetricEntry* {
+    for (const auto& m : reply.metrics)
+      if (m.name == name) return &m;
+    return nullptr;
+  };
+  // The registry is process-global, so counts are cumulative across
+  // every test in this binary — assert presence and lower bounds only.
+  const MetricEntry* requests = find("serve.requests");
+  ASSERT_NE(requests, nullptr);
+  EXPECT_EQ(requests->kind, 0);  // counter
+  EXPECT_GE(requests->count, 4u);  // open+submit+compile+run at least
+
+  const MetricEntry* latency =
+      find("serve.request_latency_us.metrics-tenant");
+  ASSERT_NE(latency, nullptr);
+  EXPECT_EQ(latency->kind, 2);  // histogram
+  EXPECT_GE(latency->count, 4u);
+  EXPECT_GT(latency->sum, 0.0);
+  EXPECT_GE(latency->p99, latency->p50);
+
+  const MetricEntry* misses = find("core.plan_cache.misses");
+  ASSERT_NE(misses, nullptr);
+  EXPECT_GE(misses->count, 1u);
+  server.stop();
+}
+
+TEST(Serve, AggregatePlanCacheStatsMatchesDirectSessionWalk) {
+  SessionStore store(test_session_config(), StoreLimits{});
+  auto alice = store.open("alice", store.base_config(),
+                          std::chrono::milliseconds(60000));
+  auto bob = store.open("bob", store.base_config(),
+                        std::chrono::milliseconds(60000));
+
+  // Cache traffic: alice compiles cold then warm (miss + hit), bob
+  // compiles cold (miss) — all routed to the telemetry listener.
+  const Circuit circuit =
+      qasm::parse_with_noise(ansatz_qasm()).circuit;
+  (void)alice->session().compile(circuit);
+  (void)alice->session().compile(circuit);
+  (void)bob->session().compile(circuit);
+
+  const auto walk = [&store] {
+    PlanCacheStats sum;
+    for (const auto& s : store.snapshot()) {
+      const PlanCacheStats st = s->session().plan_cache_stats();
+      sum.hits += st.hits;
+      sum.misses += st.misses;
+      sum.evictions += st.evictions;
+      sum.size += st.size;
+      sum.capacity += st.capacity;
+      sum.resident_bytes += st.resident_bytes;
+    }
+    return sum;
+  };
+
+  PlanCacheStats counted = store.aggregate_plan_cache_stats();
+  PlanCacheStats walked = walk();
+  EXPECT_EQ(counted.hits, walked.hits);
+  EXPECT_EQ(counted.misses, walked.misses);
+  EXPECT_EQ(counted.evictions, walked.evictions);
+  EXPECT_EQ(counted.size, walked.size);
+  EXPECT_EQ(counted.capacity, walked.capacity);
+  EXPECT_EQ(counted.resident_bytes, walked.resident_bytes);
+  EXPECT_EQ(counted.hits, 1u);
+  EXPECT_EQ(counted.misses, 2u);
+
+  // A departing session's final contribution is subtracted entirely —
+  // the old walk's live-sessions-only semantics.
+  const std::uint64_t bob_id = bob->id();
+  bob.reset();
+  store.erase(bob_id);
+  counted = store.aggregate_plan_cache_stats();
+  walked = walk();
+  EXPECT_EQ(counted.hits, walked.hits);
+  EXPECT_EQ(counted.misses, walked.misses);
+  EXPECT_EQ(counted.evictions, walked.evictions);
+  EXPECT_EQ(counted.size, walked.size);
+  EXPECT_EQ(counted.capacity, walked.capacity);
+  EXPECT_EQ(counted.resident_bytes, walked.resident_bytes);
+  EXPECT_EQ(counted.misses, 1u);  // bob's miss left with bob
+}
+
 }  // namespace
 }  // namespace atlas::serve

@@ -6,6 +6,9 @@
 //   atlas-lint --shape 4,1,1 ...            also stage/kernelize under
 //                                           the given L,R,G machine
 //                                           shape and verify the plan
+//   atlas-lint --metrics-catalog FILE       check an obs name catalog
+//                                           (src/obs/names.h) for
+//                                           duplicate name strings
 //
 // Exit codes: 0 clean, 1 diagnostics reported, 2 usage/parse/IO error.
 //
@@ -13,9 +16,11 @@
 // them and verifier gate indices (via qasm::NoisyParse::gate_lines)
 // into the editor-clickable "<file>:<line>:" form.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -44,6 +49,7 @@ void usage() {
       stderr,
       "usage: atlas-lint [--level off|boundaries|paranoid] [--shape L,R,G]\n"
       "                  [--opt 0|1|2] <file.qasm>...\n"
+      "       atlas-lint --metrics-catalog <names.h>\n"
       "\n"
       "Checks each QASM file against the engine's IR invariants\n"
       "(docs/VERIFY.md) and prints diagnostics as <file>:<line>: code:\n"
@@ -163,6 +169,57 @@ int lint_file(const std::string& file, const Options& opts) {
   return findings;
 }
 
+/// Checks an obs name catalog (src/obs/names.h shape: `constexpr char
+/// kName[] = "string";`, possibly wrapped) for two constants carrying
+/// the same string — the way a copy-pasted registration ends up
+/// double-counting under one name. Returns 0 clean, 1 on duplicates,
+/// 2 on IO error.
+int check_metrics_catalog(const std::string& file) {
+  std::ifstream in(file);
+  if (!in.good()) {
+    std::fprintf(stderr, "atlas-lint: cannot open %s\n", file.c_str());
+    return 2;
+  }
+  std::ostringstream os;
+  os << in.rdbuf();
+  const std::string text = os.str();
+
+  // name string -> line of first definition
+  std::map<std::string, int> first_seen;
+  int duplicates = 0;
+  std::size_t pos = 0;
+  while ((pos = text.find("constexpr char", pos)) != std::string::npos) {
+    const std::size_t open = text.find('"', pos);
+    pos += std::strlen("constexpr char");
+    if (open == std::string::npos) break;
+    const std::size_t close = text.find('"', open + 1);
+    if (close == std::string::npos) break;
+    const std::string name = text.substr(open + 1, close - open - 1);
+    const int line = 1 + static_cast<int>(
+        std::count(text.begin(),
+                   text.begin() + static_cast<std::ptrdiff_t>(open), '\n'));
+    const auto [it, inserted] = first_seen.emplace(name, line);
+    if (!inserted) {
+      std::printf("%s:%d: duplicate-metric-name: \"%s\" already defined at "
+                  "line %d\n",
+                  file.c_str(), line, name.c_str(), it->second);
+      ++duplicates;
+    }
+  }
+  if (first_seen.empty()) {
+    std::fprintf(stderr,
+                 "atlas-lint: %s contains no `constexpr char ... = \"...\"` "
+                 "entries — wrong file?\n",
+                 file.c_str());
+    return 2;
+  }
+  if (duplicates == 0) {
+    std::printf("%s: OK (%zu names)\n", file.c_str(), first_seen.size());
+    return 0;
+  }
+  return 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -172,6 +229,8 @@ int main(int argc, char** argv) {
     if (arg == "--help" || arg == "-h") {
       usage();
       return 0;
+    } else if (arg == "--metrics-catalog" && i + 1 < argc) {
+      return check_metrics_catalog(argv[i + 1]);
     } else if (arg == "--level" && i + 1 < argc) {
       if (!parse_level(argv[++i], opts.level)) {
         std::fprintf(stderr, "atlas-lint: bad --level '%s'\n", argv[i]);

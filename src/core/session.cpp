@@ -436,6 +436,35 @@ SimulationResult Session::run_with_slots(const CompiledCircuit& compiled,
   return result;
 }
 
+std::vector<SimulationResult> Session::run_batch_with_slots(
+    const CompiledCircuit& compiled, std::vector<SlotValues> values) const {
+  std::vector<SimulationResult> results(values.size());
+  std::vector<exec::BatchPoint> points(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    SimulationResult& r = results[i];
+    r.plan = compiled.plan();
+    r.slot_values = std::move(values[i]);
+    // Identical seed derivation to run_with_slots(): batching must not
+    // change any sample stream.
+    Fnv f;
+    f.mix(compiled.plan_key());
+    for (double v : r.slot_values) f.mix_double(v);
+    r.seed = rng_stream_seed(config_.seed, f.value());
+    r.state = executor_->initial_state(*r.plan, cluster_);
+    points[i].state = &r.state;
+    points[i].env.slots = &r.slot_values;
+  }
+  std::vector<exec::ExecutionReport> reports =
+      executor_->execute_batch(*compiled.plan(), cluster_, points);
+  ATLAS_CHECK(reports.size() == results.size(),
+              "executor '" << executor_->name() << "' returned "
+                           << reports.size() << " batch reports for "
+                           << results.size() << " points");
+  for (std::size_t i = 0; i < results.size(); ++i)
+    results[i].report = std::move(reports[i]);
+  return results;
+}
+
 std::future<SimulationResult> Session::submit(const CompiledCircuit& compiled,
                                               ParamBinding binding) const {
   auto task = std::make_shared<std::packaged_task<SimulationResult()>>(
@@ -458,6 +487,13 @@ std::vector<SimulationResult> Session::sweep(
       ATLAS_CHECK_ARG(bindings[i].contains(s), "sweep binding #"
                                                << i << " is missing symbol '"
                                                << s << "'");
+  if (executor_->batched_launches(cluster_.config())) {
+    std::vector<SlotValues> values;
+    values.reserve(bindings.size());
+    for (const ParamBinding& b : bindings)
+      values.push_back(compiled.slot_values(b));
+    return run_batch_with_slots(compiled, std::move(values));
+  }
   return fan_out(bindings.size(),
                  [&](std::size_t i) { return run(compiled, bindings[i]); });
 }
@@ -472,6 +508,13 @@ std::vector<SimulationResult> Session::sweep(
                 "sweep point #" << i << " has " << points[i].size()
                                 << " values but the compiled circuit takes "
                                 << want << " symbols");
+  if (executor_->batched_launches(cluster_.config())) {
+    std::vector<SlotValues> values;
+    values.reserve(points.size());
+    for (const std::vector<double>& p : points)
+      values.push_back(compiled.slot_values_from(p));
+    return run_batch_with_slots(compiled, std::move(values));
+  }
   return fan_out(points.size(),
                  [&](std::size_t i) { return run(compiled, points[i]); });
 }

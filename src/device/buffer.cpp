@@ -1,0 +1,190 @@
+#include "device/buffer.h"
+
+#include <atomic>
+#include <cstring>
+#include <unordered_map>
+#include <vector>
+
+#include "common/error.h"
+#include "common/mutex.h"
+#include "obs/metrics.h"
+#include "obs/names.h"
+
+namespace atlas::device {
+namespace {
+
+// Process-wide accounting. Relaxed atomics: the counters are telemetry
+// and test probes, not synchronization.
+struct StatCells {
+  std::atomic<std::uint64_t> allocated_blocks{0};
+  std::atomic<std::uint64_t> freed_blocks{0};
+  std::atomic<std::uint64_t> live_buffers{0};
+  std::atomic<std::uint64_t> live_bytes{0};
+  std::atomic<std::uint64_t> uploads{0};
+  std::atomic<std::uint64_t> upload_bytes{0};
+  std::atomic<std::uint64_t> downloads{0};
+  std::atomic<std::uint64_t> download_bytes{0};
+};
+
+StatCells& cells() {
+  static StatCells c;
+  return c;
+}
+
+}  // namespace
+
+BufferStats buffer_stats() {
+  const StatCells& c = cells();
+  BufferStats s;
+  s.allocated_blocks = c.allocated_blocks.load(std::memory_order_relaxed);
+  s.freed_blocks = c.freed_blocks.load(std::memory_order_relaxed);
+  s.live_buffers = c.live_buffers.load(std::memory_order_relaxed);
+  s.live_bytes = c.live_bytes.load(std::memory_order_relaxed);
+  s.uploads = c.uploads.load(std::memory_order_relaxed);
+  s.upload_bytes = c.upload_bytes.load(std::memory_order_relaxed);
+  s.downloads = c.downloads.load(std::memory_order_relaxed);
+  s.download_bytes = c.download_bytes.load(std::memory_order_relaxed);
+  return s;
+}
+
+namespace detail {
+
+/// One device-side allocation: the storage plus a weak edge back to the
+/// pool so the handle deleter can recycle it. Amp-typed storage keeps
+/// the "device" memory correctly aligned for kernel replay.
+struct Block {
+  std::vector<Amp> storage;
+  std::size_t bytes = 0;
+  std::weak_ptr<PoolImpl> pool;
+};
+
+/// The pool state shared between the pool facade and every outstanding
+/// handle's deleter. Kept alive by whichever of them dies last.
+class PoolImpl : public std::enable_shared_from_this<PoolImpl> {
+ public:
+  DeviceBuffer allocate(std::size_t bytes) {
+    ATLAS_CHECK_ARG(bytes > 0, "DeviceBuffer of zero bytes");
+    std::unique_ptr<Block> block;
+    {
+      MutexLock lock(mu_);
+      auto it = free_.find(bytes);
+      if (it != free_.end() && !it->second.empty()) {
+        block = std::move(it->second.back());
+        it->second.pop_back();
+        free_bytes_ -= bytes;
+      }
+    }
+    if (!block) {
+      block = std::make_unique<Block>();
+      block->bytes = bytes;
+      block->storage.resize((bytes + sizeof(Amp) - 1) / sizeof(Amp));
+      block->pool = weak_from_this();
+      cells().allocated_blocks.fetch_add(1, std::memory_order_relaxed);
+    }
+    cells().live_buffers.fetch_add(1, std::memory_order_relaxed);
+    cells().live_bytes.fetch_add(bytes, std::memory_order_relaxed);
+    live_.fetch_add(1, std::memory_order_relaxed);
+    live_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+    // The shared_ptr aliases the raw Block; its deleter routes the block
+    // back through the pool (or frees it when the pool died first).
+    Block* raw = block.release();
+    return DeviceBuffer(std::shared_ptr<Block>(raw, [](Block* b) {
+      cells().live_buffers.fetch_sub(1, std::memory_order_relaxed);
+      cells().live_bytes.fetch_sub(b->bytes, std::memory_order_relaxed);
+      if (std::shared_ptr<PoolImpl> pool = b->pool.lock()) {
+        pool->recycle(std::unique_ptr<Block>(b));
+      } else {
+        cells().freed_blocks.fetch_add(1, std::memory_order_relaxed);
+        delete b;
+      }
+    }));
+  }
+
+  void recycle(std::unique_ptr<Block> block) {
+    live_.fetch_sub(1, std::memory_order_relaxed);
+    live_bytes_.fetch_sub(block->bytes, std::memory_order_relaxed);
+    MutexLock lock(mu_);
+    free_bytes_ += block->bytes;
+    free_[block->bytes].push_back(std::move(block));
+  }
+
+  /// Pool teardown: the free list dies here; in-flight handles outlive
+  /// the pool and free their blocks directly from the deleter.
+  void drop_free_list() {
+    std::unordered_map<std::size_t, std::vector<std::unique_ptr<Block>>> dead;
+    {
+      MutexLock lock(mu_);
+      dead.swap(free_);
+      free_bytes_ = 0;
+    }
+    std::uint64_t n = 0;
+    for (auto& [bytes, blocks] : dead) n += blocks.size();
+    if (n) cells().freed_blocks.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  std::uint64_t live() const { return live_.load(std::memory_order_relaxed); }
+  std::uint64_t resident_bytes() const {
+    MutexLock lock(mu_);
+    return free_bytes_ + live_bytes_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  mutable Mutex mu_;
+  std::unordered_map<std::size_t, std::vector<std::unique_ptr<Block>>> free_
+      ATLAS_GUARDED_BY(mu_);
+  std::uint64_t free_bytes_ ATLAS_GUARDED_BY(mu_) = 0;
+  std::atomic<std::uint64_t> live_{0};
+  std::atomic<std::uint64_t> live_bytes_{0};
+};
+
+}  // namespace detail
+
+std::size_t DeviceBuffer::bytes() const {
+  return block_ ? block_->bytes : 0;
+}
+
+Amp* DeviceBuffer::data() const {
+  ATLAS_CHECK(block_, "null DeviceBuffer");
+  return block_->storage.data();
+}
+
+void DeviceBuffer::upload(const void* host_src, std::size_t bytes) const {
+  ATLAS_CHECK(block_, "upload into a null DeviceBuffer");
+  ATLAS_CHECK_ARG(bytes <= block_->bytes,
+                  "upload of " << bytes << " bytes overflows a "
+                               << block_->bytes << "-byte DeviceBuffer");
+  std::memcpy(block_->storage.data(), host_src, bytes);
+  cells().uploads.fetch_add(1, std::memory_order_relaxed);
+  cells().upload_bytes.fetch_add(bytes, std::memory_order_relaxed);
+  static obs::Counter& metered = obs::counter(obs::names::kDeviceUploadBytes);
+  metered.add(bytes);
+}
+
+void DeviceBuffer::download(void* host_dst, std::size_t bytes) const {
+  ATLAS_CHECK(block_, "download from a null DeviceBuffer");
+  ATLAS_CHECK_ARG(bytes <= block_->bytes,
+                  "download of " << bytes << " bytes overflows a "
+                                 << block_->bytes << "-byte DeviceBuffer");
+  std::memcpy(host_dst, block_->storage.data(), bytes);
+  cells().downloads.fetch_add(1, std::memory_order_relaxed);
+  cells().download_bytes.fetch_add(bytes, std::memory_order_relaxed);
+  static obs::Counter& metered =
+      obs::counter(obs::names::kDeviceDownloadBytes);
+  metered.add(bytes);
+}
+
+StagingPool::StagingPool() : impl_(std::make_shared<detail::PoolImpl>()) {}
+
+StagingPool::~StagingPool() { impl_->drop_free_list(); }
+
+DeviceBuffer StagingPool::allocate(std::size_t bytes) {
+  return impl_->allocate(bytes);
+}
+
+std::uint64_t StagingPool::live_buffers() const { return impl_->live(); }
+
+std::uint64_t StagingPool::resident_bytes() const {
+  return impl_->resident_bytes();
+}
+
+}  // namespace atlas::device

@@ -6,6 +6,7 @@
 /// shard. Shard buffers live in host memory; the topology determines
 /// how data movement is metered and how work is scheduled.
 
+#include <cstdint>
 #include <memory>
 
 #include "common/error.h"
@@ -25,10 +26,17 @@ struct ClusterConfig {
   int gpus_per_node = 0;
   /// Worker threads for per-shard parallelism (0 = hardware).
   int num_threads = 0;
+  /// Capacity ceiling for the device backend's staging arena (two
+  /// slots per physical GPU), in bytes; 0 = unlimited. The "device"
+  /// executor refuses clusters whose double-buffered staging footprint
+  /// exceeds this, and "auto" surfaces the refusal as a typed capacity
+  /// error when no backend is left.
+  std::uint64_t max_staging_bytes = 0;
 
   int num_nodes() const { return 1 << global_qubits; }
   int shards_per_node() const { return 1 << regional_qubits; }
   int num_shards() const { return num_nodes() * shards_per_node(); }
+  int total_gpus() const { return num_nodes() * gpus_per_node; }
   int total_qubits() const {
     return local_qubits + regional_qubits + global_qubits;
   }

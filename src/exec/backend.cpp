@@ -1,6 +1,7 @@
 #include "exec/backend.h"
 
 #include "common/error.h"
+#include "exec/device_executor.h"
 
 namespace atlas::exec {
 namespace {
@@ -38,13 +39,51 @@ class OffloadBackend final : public ExecutorBackend {
 class AutoBackend final : public ExecutorBackend {
  public:
   std::string name() const override { return "auto"; }
+
+  /// Resolves the backend "auto" stands for under `cfg`: "inmemory"
+  /// when every shard fits a GPU, otherwise "device" (batched launches
+  /// plus real staging beat the metering-only "offload" backend).
+  /// Throws a typed capacity error when no backend is viable —
+  /// offloading rules out "inmemory" by definition, so if the device
+  /// staging arena does not fit either, there is nothing left to pick.
+  static std::shared_ptr<ExecutorBackend> resolve(
+      const device::ClusterConfig& cfg) {
+    if (!cfg.offloading()) return executor_registry().create("inmemory");
+    std::shared_ptr<ExecutorBackend> device =
+        executor_registry().create("device");
+    try {
+      device->validate(cfg);
+    } catch (const Error& e) {
+      throw Error(
+          std::string("no executor backend can serve this cluster shape: "
+                      "'inmemory' needs one GPU per shard (") +
+              std::to_string(cfg.shards_per_node()) + " shards/node, " +
+              std::to_string(cfg.gpus_per_node) +
+              " gpus/node) and 'device' refused it: " + e.what(),
+          ErrorCode::capacity);
+    }
+    return device;
+  }
+
+  void validate(const device::ClusterConfig& cfg) const override {
+    resolve(cfg);  // surfaces the typed capacity error at construction
+  }
+  bool batched_launches(const device::ClusterConfig& cfg) const override {
+    return resolve(cfg)->batched_launches(cfg);
+  }
+  DistState initial_state(const ExecutionPlan& plan,
+                          const device::Cluster& cluster) const override {
+    return resolve(cluster.config())->initial_state(plan, cluster);
+  }
   ExecutionReport execute(const ExecutionPlan& plan,
                           const device::Cluster& cluster, DistState& state,
                           const ParamEnv& env) const override {
-    const char* chosen =
-        cluster.config().offloading() ? "offload" : "inmemory";
-    return executor_registry().create(chosen)->execute(plan, cluster, state,
-                                                       env);
+    return resolve(cluster.config())->execute(plan, cluster, state, env);
+  }
+  std::vector<ExecutionReport> execute_batch(
+      const ExecutionPlan& plan, const device::Cluster& cluster,
+      const std::vector<BatchPoint>& points) const override {
+    return resolve(cluster.config())->execute_batch(plan, cluster, points);
   }
 };
 
@@ -55,6 +94,7 @@ ExecutorRegistry& executor_registry() {
     auto* r = new ExecutorRegistry("executor");
     r->add("inmemory", [] { return std::make_shared<InMemoryBackend>(); });
     r->add("offload", [] { return std::make_shared<OffloadBackend>(); });
+    r->add("device", [] { return std::make_shared<DeviceExecutor>(); });
     r->add("auto", [] { return std::make_shared<AutoBackend>(); });
     return r;
   }();

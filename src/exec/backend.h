@@ -10,15 +10,29 @@
 ///    mistakes surface at session construction, not mid-run.
 ///  * "offload"  — offload-aware: shards may outnumber GPUs and swap
 ///    through them, with the staging traffic metered (Section VII-C).
-///  * "auto"     — picks by ClusterConfig::offloading().
+///  * "device"   — device-style backend (exec/device_executor.h):
+///    explicit buffer lifecycle, an async command queue overlapping
+///    copies with kernel replay, and batched launches that amortize
+///    per-point setup across a sweep or trajectory batch.
+///  * "auto"     — "device" when offloading (typed capacity error when
+///    the staging arena does not fit either), "inmemory" otherwise.
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/registry.h"
 #include "exec/executor.h"
 
 namespace atlas::exec {
+
+/// One point of a batched execution: the point's initial state (run in
+/// place) and its parameter environment. The pointees must stay alive
+/// for the whole execute_batch() call.
+struct BatchPoint {
+  DistState* state = nullptr;
+  ParamEnv env;
+};
 
 /// An execution runtime. Implementations run a plan over a distributed
 /// state, mutating the state in place and returning timing/traffic.
@@ -52,6 +66,32 @@ class ExecutorBackend {
                                   const device::Cluster& cluster,
                                   DistState& state,
                                   const ParamEnv& env) const = 0;
+
+  /// True when this backend amortizes per-point work across a batch on
+  /// `cfg`-shaped clusters: Session::sweep()/run_noisy() then route
+  /// whole point sets through execute_batch() (one command list per
+  /// stage, bind-many deltas) instead of fanning execute() out per
+  /// point. Takes the config because delegating backends ("auto")
+  /// answer per shape.
+  virtual bool batched_launches(const device::ClusterConfig&) const {
+    return false;
+  }
+
+  /// Runs `plan` once per batch point, mutating each point's state in
+  /// place and returning one report per point, in order. Results must
+  /// be bit-identical to calling execute() per point — batching is a
+  /// scheduling optimization, never a semantic one. The default does
+  /// exactly that serial loop; backends returning batched_launches()
+  /// override it with a fused schedule.
+  virtual std::vector<ExecutionReport> execute_batch(
+      const ExecutionPlan& plan, const device::Cluster& cluster,
+      const std::vector<BatchPoint>& points) const {
+    std::vector<ExecutionReport> reports;
+    reports.reserve(points.size());
+    for (const BatchPoint& p : points)
+      reports.push_back(execute(plan, cluster, *p.state, p.env));
+    return reports;
+  }
 
   /// Convenience for named-binding callers (may be null).
   ExecutionReport execute(const ExecutionPlan& plan,

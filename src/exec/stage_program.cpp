@@ -16,6 +16,7 @@ namespace atlas::exec {
 namespace {
 
 std::atomic<std::uint64_t> g_skeleton_compiles{0};
+std::atomic<std::uint64_t> g_kernel_binds{0};
 
 using GateSlot = StageSkeleton::GateSlot;
 using VariantSkeleton = StageSkeleton::VariantSkeleton;
@@ -193,6 +194,10 @@ std::uint64_t stage_skeleton_compiles() {
   return g_skeleton_compiles.load(std::memory_order_relaxed);
 }
 
+std::uint64_t stage_kernel_binds() {
+  return g_kernel_binds.load(std::memory_order_relaxed);
+}
+
 StageSkeleton compile_stage_skeleton(const Circuit& subcircuit,
                                      const kernelize::Kernelization& kernels,
                                      const Layout& layout) {
@@ -208,14 +213,17 @@ StageSkeleton compile_stage_skeleton(const Circuit& subcircuit,
   for (const auto& kernel : kernels.kernels) {
     std::vector<GateSlot> slots;
     slots.reserve(kernel.gate_indices.size());
+    bool param_dependent = false;
     for (int gi : kernel.gate_indices) {
       const Gate& g = subcircuit.gate(gi);
+      param_dependent |= g.is_parameterized();
       slots.push_back(prep_gate(g, gi, layout, cur));
       if (g.antidiagonal_1q() && !layout.is_local(g.qubits()[0]))
         cur ^= bit(layout.phys_of_logical[g.qubits()[0]] - layout.num_local);
     }
     skel.kernels.push_back(
         compile_kernel_skeleton(std::move(slots), kernel.type));
+    skel.kernels.back().param_dependent = param_dependent;
   }
   skel.final_xor = cur;
   return skel;
@@ -223,13 +231,40 @@ StageSkeleton compile_stage_skeleton(const Circuit& subcircuit,
 
 StageProgram bind_stage_program(const Circuit& subcircuit,
                                 const StageSkeleton& skeleton,
-                                const ParamEnv& env) {
+                                const ParamEnv& env,
+                                const StageProgram* reuse) {
+  ATLAS_CHECK(!reuse || reuse->kernels.size() == skeleton.kernels.size(),
+              "bind reuse program was bound from a different skeleton ("
+                  << (reuse ? reuse->kernels.size() : 0) << " kernels vs "
+                  << skeleton.kernels.size() << ")");
   StageProgram prog;
   prog.final_xor = skeleton.final_xor;
   prog.kernels.reserve(skeleton.kernels.size());
-  for (const KernelSkeleton& ks : skeleton.kernels) {
+  for (std::size_t ki = 0; ki < skeleton.kernels.size(); ++ki) {
+    const KernelSkeleton& ks = skeleton.kernels[ki];
+    // The bind-many delta, decided by value: canonical plans carry
+    // every angle (constant or swept) as a slot symbol, so the useful
+    // reuse test is whether this env resolves the kernel's parameters
+    // to the same values the base program was bound under. When it
+    // does — always for parameter-free kernels, and for every kernel
+    // whose slots the sweep does not vary — the batch shares the first
+    // binding's immutable KernelProgram instead of re-materializing
+    // fusion products and shm tables per point.
+    std::vector<double> bound;
+    if (ks.param_dependent) {
+      for (const GateSlot& slot : ks.slots)
+        for (const Param& param : subcircuit.gate(slot.gate).params())
+          bound.push_back(resolve_param(param, env));
+    }
+    if (reuse && (!ks.param_dependent ||
+                  reuse->kernels[ki]->bound_values == bound)) {
+      prog.kernels.push_back(reuse->kernels[ki]);
+      continue;
+    }
+    g_kernel_binds.fetch_add(1, std::memory_order_relaxed);
     KernelProgram kp;
     kp.pattern_bits = ks.pattern_bits;
+    kp.bound_values = std::move(bound);
 
     // Materialize each slot's matrix exactly once per bind, shared by
     // every variant that reads it.
@@ -306,7 +341,7 @@ StageProgram bind_stage_program(const Circuit& subcircuit,
       }
       kp.variants.push_back(std::move(v));
     }
-    prog.kernels.push_back(std::move(kp));
+    prog.kernels.push_back(std::make_shared<const KernelProgram>(std::move(kp)));
   }
   return prog;
 }
@@ -336,7 +371,8 @@ StageProgram compile_stage_program(const Circuit& subcircuit,
 
 void run_stage_program(const StageProgram& prog, int shard, Amp* data,
                        Index size, std::vector<Amp>& scratch) {
-  for (const KernelProgram& kp : prog.kernels) {
+  for (const std::shared_ptr<const KernelProgram>& kpp : prog.kernels) {
+    const KernelProgram& kp = *kpp;
     Index pattern = 0;
     for (std::size_t i = 0; i < kp.pattern_bits.size(); ++i)
       if (test_bit(static_cast<Index>(shard), kp.pattern_bits[i]))

@@ -75,13 +75,25 @@ struct KernelProgram {
   /// Lowered variants indexed by the gathered pattern (size
   /// 2^|pattern_bits|).
   std::vector<KernelVariant> variants;
+  /// The resolved parameter values this program was bound under, in
+  /// slot walk order (empty for kernels without parameters). Batched
+  /// binds compare these against the new point's values: canonical
+  /// plans carry every angle as a "$k" slot symbol, so value equality
+  /// — not symbol presence — is what decides whether a kernel's fusion
+  /// products can be shared across sweep points.
+  std::vector<double> bound_values;
 };
 
 /// A stage compiled against a concrete layout and parameter
 /// environment. Immutable after compilation; run_stage_program() is
-/// const and called concurrently from every shard worker.
+/// const and called concurrently from every shard worker. Kernels are
+/// held by shared_ptr so consecutive bindings of the same skeleton can
+/// share the parameter-independent ones (the bind-many delta: a sweep
+/// re-materializes only the kernels whose gates read a swept slot —
+/// constant matrices, fusion products, and shm tables bind once and
+/// are replayed by every queue launch of the batch).
 struct StageProgram {
-  std::vector<KernelProgram> kernels;
+  std::vector<std::shared_ptr<const KernelProgram>> kernels;
   /// shard_xor in effect after the stage (anti-diagonal non-local gates
   /// flip shard-id mapping bits as they execute).
   Index final_xor = 0;
@@ -136,6 +148,11 @@ struct StageSkeleton {
     kernelize::KernelType type = kernelize::KernelType::Fusion;
     std::vector<GateSlot> slots;
     std::vector<VariantSkeleton> variants;  ///< size 2^|pattern_bits|
+    /// True when any slot's gate carries a non-constant Param: the
+    /// bound KernelProgram then depends on the ParamEnv and must be
+    /// re-materialized per binding. Constant kernels bind once and are
+    /// shared across every binding of the skeleton (delta bind).
+    bool param_dependent = false;
   };
   std::vector<KernelSkeleton> kernels;
   Index final_xor = 0;
@@ -160,14 +177,27 @@ StageSkeleton compile_stage_skeleton(const Circuit& subcircuit,
 /// matrices are materialized once per slot, fusion products multiplied
 /// out, and shm programs bound over the cached gather maps. Throws
 /// atlas::Error when a symbolic parameter cannot be resolved.
+///
+/// `reuse` (optional) must be a program previously bound from the SAME
+/// skeleton: its parameter-independent kernels are shared instead of
+/// re-materialized, so a batch of N bindings pays C + N*P kernel binds
+/// (C constant kernels bound once, P parameter-dependent kernels per
+/// binding) instead of N*(C+P). Every actual materialization counts in
+/// stage_kernel_binds().
 StageProgram bind_stage_program(const Circuit& subcircuit,
                                 const StageSkeleton& skeleton,
-                                const ParamEnv& env);
+                                const ParamEnv& env,
+                                const StageProgram* reuse = nullptr);
 
 /// Process-wide count of compile_stage_skeleton() calls. Regression
 /// probe: an S-stage sweep over N points must compile exactly S
 /// skeletons, not N*S (the cache on PlannedStage re-binds values only).
 std::uint64_t stage_skeleton_compiles();
+
+/// Process-wide count of KernelProgram materializations inside
+/// bind_stage_program(). Regression probe for the bind-many delta: a
+/// batched sweep re-binds only parameter-dependent kernels per point.
+std::uint64_t stage_kernel_binds();
 
 /// Thread-safe lazy holder for one stage's skeleton, shared by every
 /// run of the owning plan. Rebuilds (and replaces) the skeleton when a

@@ -8,6 +8,7 @@
 // so the general-Kraus path can reach build_plan() directly and keep
 // its per-trajectory plans out of the session's LRU cache.
 
+#include <algorithm>
 #include <map>
 #include <mutex>
 #include <numeric>
@@ -31,6 +32,14 @@ namespace {
 /// Salt separating the measurement-shot streams from the channel-
 /// outcome streams of the same trajectory.
 constexpr std::uint64_t kMeasureSalt = 0x6d65617375726531ull;
+
+/// Pauli-fast-path trajectories routed through a batched-launch
+/// executor go in chunks of this many points: within a chunk every
+/// trajectory's state is resident at once (the batch schedule needs
+/// them), so the chunk bounds peak memory the way the streaming
+/// per-trajectory path did, while still amortizing per-point executor
+/// setup across the chunk.
+constexpr std::size_t kTrajectoryBatchChunk = 32;
 
 /// General-Kraus trajectory plans are memoized on the sampled outcome
 /// *pattern* when the whole pattern space — prod over sites of the
@@ -159,13 +168,38 @@ noise::NoisyResult Session::run_noisy(
       else
         base[i] = options.binding.at(sym);  // throws naming the symbol
     }
-    dispatch_each(count, [&](std::size_t t) {
-      std::vector<double> values = base;
-      prog.sample_pauli_angles(seed, t, positions, values);
-      const SimulationResult r = run(compiled, values);
-      partials[t] = partial_of(r.state, readout, options.shots,
-                               options.accumulate_probabilities, seed, t);
-    });
+    if (executor_->batched_launches(cluster_.config())) {
+      // Batched launches: each chunk of trajectories ships as one
+      // command list per stage (constant kernels bind once, every
+      // trajectory enqueues only its sampled-angle delta). Seeds,
+      // states, and sample streams are bit-identical to the
+      // per-trajectory path — batching is scheduling, not semantics.
+      for (std::size_t begin = 0; begin < count;
+           begin += kTrajectoryBatchChunk) {
+        const std::size_t n = std::min(kTrajectoryBatchChunk, count - begin);
+        std::vector<SlotValues> chunk(n);
+        dispatch_each(n, [&](std::size_t j) {
+          std::vector<double> values = base;
+          prog.sample_pauli_angles(seed, begin + j, positions, values);
+          chunk[j] = compiled.slot_values_from(values);
+        });
+        const std::vector<SimulationResult> results =
+            run_batch_with_slots(compiled, std::move(chunk));
+        dispatch_each(n, [&](std::size_t j) {
+          partials[begin + j] =
+              partial_of(results[j].state, readout, options.shots,
+                         options.accumulate_probabilities, seed, begin + j);
+        });
+      }
+    } else {
+      dispatch_each(count, [&](std::size_t t) {
+        std::vector<double> values = base;
+        prog.sample_pauli_angles(seed, t, positions, values);
+        const SimulationResult r = run(compiled, values);
+        partials[t] = partial_of(r.state, readout, options.shots,
+                                 options.accumulate_probabilities, seed, t);
+      });
+    }
   } else {
     // General Kraus: each trajectory carries its own sampled operator
     // matrices, so it is lowered and planned per outcome *pattern* —

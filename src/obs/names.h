@@ -40,6 +40,16 @@ inline constexpr char kExecStageUs[] = "exec.stage_us";
 inline constexpr char kSkeletonCacheHits[] = "exec.skeleton_cache.hits";
 inline constexpr char kSkeletonCacheMisses[] = "exec.skeleton_cache.misses";
 
+// --- device backend (device/buffer.cpp, device/command_queue.cpp,
+// --- exec/device_executor.cpp) ----------------------------------------
+inline constexpr char kDeviceQueueDepth[] = "device.queue.depth";
+inline constexpr char kDeviceUploadBytes[] = "device.upload_bytes";
+inline constexpr char kDeviceDownloadBytes[] = "device.download_bytes";
+inline constexpr char kDeviceConstUploads[] = "device.const_uploads";
+inline constexpr char kDeviceLaunches[] = "device.launches";
+inline constexpr char kDeviceBatches[] = "device.batches";
+inline constexpr char kDeviceBatchSize[] = "device.launch_batch_size";
+
 // --- noise engine (noise/engine.cpp) ----------------------------------
 inline constexpr char kNoiseTrajectories[] = "noise.trajectories";
 inline constexpr char kNoiseBatches[] = "noise.batches";
@@ -65,5 +75,10 @@ inline constexpr char kSpanExecStage[] = "exec.stage";
 inline constexpr char kSpanExecBind[] = "exec.bind";
 inline constexpr char kSpanExecShard[] = "exec.shard";
 inline constexpr char kSpanNoiseBatch[] = "noise.batch";
+inline constexpr char kSpanDeviceStage[] = "device.stage";
+inline constexpr char kSpanDeviceBatch[] = "device.batch";
+inline constexpr char kSpanDeviceH2D[] = "device.h2d";
+inline constexpr char kSpanDeviceD2H[] = "device.d2h";
+inline constexpr char kSpanDeviceLaunch[] = "device.launch";
 
 }  // namespace atlas::obs::names

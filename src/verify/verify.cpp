@@ -558,7 +558,7 @@ VerifyReport verify_stage_program(const exec::StageProgram& program,
   const Index shard_size = Index{1} << num_local;
   for (std::size_t ki = 0; ki < program.kernels.size(); ++ki) {
     const int kid = static_cast<int>(ki);
-    const exec::KernelProgram& kp = program.kernels[ki];
+    const exec::KernelProgram& kp = *program.kernels[ki];
     // Pattern bits: sorted, unique, within the shard-index width.
     for (std::size_t i = 0; i < kp.pattern_bits.size(); ++i) {
       const int b = kp.pattern_bits[i];

@@ -803,6 +803,51 @@ TEST(Serve, MetricsOpReportsSortedEntriesAndTenantLatency) {
   server.stop();
 }
 
+TEST(Serve, MetricsRoundTripExportsDeviceCounters) {
+  // An offloading shape (8 shards through 1 GPU) makes "auto" route
+  // the daemon's sessions through the device backend; its device.*
+  // counters must then survive the wire round trip. The shape must
+  // total the 8 qubits of the ansatz fixture.
+  ServerConfig cfg = test_server_config();
+  cfg.session.cluster.local_qubits = 5;
+  cfg.session.cluster.regional_qubits = 3;
+  cfg.session.cluster.global_qubits = 0;
+  cfg.session.cluster.gpus_per_node = 1;
+  Server server(cfg);
+  server.start();
+  Client client("127.0.0.1", server.port());
+
+  OpenSessionRequest open;
+  open.tenant = "device-tenant";
+  const std::uint64_t sid = client.open_session(open);
+  const CompileReply compiled =
+      client.compile(sid, client.submit_qasm(sid, ansatz_qasm()).circuit_id);
+  (void)client.run(sid, compiled.compiled_id, {0.42});
+
+  const MetricsReply reply = client.metrics();
+  const auto find = [&](const std::string& name) -> const MetricEntry* {
+    for (const auto& m : reply.metrics)
+      if (m.name == name) return &m;
+    return nullptr;
+  };
+  // Cumulative process-wide counters: assert presence and that the
+  // device path genuinely ran (nonzero traffic and launches).
+  const MetricEntry* uploads = find("device.upload_bytes");
+  ASSERT_NE(uploads, nullptr);
+  EXPECT_EQ(uploads->kind, 0);  // counter
+  EXPECT_GT(uploads->count, 0u);
+  const MetricEntry* downloads = find("device.download_bytes");
+  ASSERT_NE(downloads, nullptr);
+  EXPECT_GT(downloads->count, 0u);
+  const MetricEntry* launches = find("device.launches");
+  ASSERT_NE(launches, nullptr);
+  EXPECT_GT(launches->count, 0u);
+  const MetricEntry* const_uploads = find("device.const_uploads");
+  ASSERT_NE(const_uploads, nullptr);
+  EXPECT_GT(const_uploads->count, 0u);
+  server.stop();
+}
+
 TEST(Serve, AggregatePlanCacheStatsMatchesDirectSessionWalk) {
   SessionStore store(test_session_config(), StoreLimits{});
   auto alice = store.open("alice", store.base_config(),

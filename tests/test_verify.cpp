@@ -195,11 +195,16 @@ TEST(VerifyStageProgram, PatternBitsUnsortedOrOutOfRange) {
   exec::KernelProgram kp;
   kp.pattern_bits = {1, 0};  // not ascending
   kp.variants.resize(4);
-  program.kernels.push_back(std::move(kp));
+  program.kernels.push_back(
+      std::make_shared<const exec::KernelProgram>(std::move(kp)));
   auto report = verify::verify_stage_program(program, 2, 2);
   EXPECT_TRUE(has_code(report, Code::pattern_bits_invalid));
 
-  program.kernels[0].pattern_bits = {0, 5};  // 5 >= num_shard_bits
+  exec::KernelProgram kp2;
+  kp2.pattern_bits = {0, 5};  // 5 >= num_shard_bits
+  kp2.variants.resize(4);
+  program.kernels[0] =
+      std::make_shared<const exec::KernelProgram>(std::move(kp2));
   report = verify::verify_stage_program(program, 2, 2);
   EXPECT_TRUE(has_code(report, Code::pattern_bits_invalid));
 }
@@ -209,7 +214,8 @@ TEST(VerifyStageProgram, VariantCountMismatch) {
   exec::KernelProgram kp;
   kp.pattern_bits = {0};
   kp.variants.resize(1);  // want 2^1 = 2
-  program.kernels.push_back(std::move(kp));
+  program.kernels.push_back(
+      std::make_shared<const exec::KernelProgram>(std::move(kp)));
   const auto report = verify::verify_stage_program(program, 2, 2);
   EXPECT_TRUE(has_code(report, Code::variant_count));
 }
@@ -221,7 +227,8 @@ TEST(VerifyStageProgram, GatherTableRepeatsAnOffset) {
   kp.variants[0].op = exec::KernelVariant::Op::Shm;
   kp.variants[0].shm.active = {0};
   kp.variants[0].shm.offset = {3, 3};  // size ok, but not injective
-  program.kernels.push_back(std::move(kp));
+  program.kernels.push_back(
+      std::make_shared<const exec::KernelProgram>(std::move(kp)));
   const auto report = verify::verify_stage_program(program, 2, 2);
   EXPECT_TRUE(has_code(report, Code::gather_not_bijective));
 }
@@ -233,7 +240,8 @@ TEST(VerifyStageProgram, GatherTableExceedsShardBounds) {
   kp.variants[0].op = exec::KernelVariant::Op::Shm;
   kp.variants[0].shm.active = {0};
   kp.variants[0].shm.offset = {1, 7};  // shard holds 2^2 = 4 amplitudes
-  program.kernels.push_back(std::move(kp));
+  program.kernels.push_back(
+      std::make_shared<const exec::KernelProgram>(std::move(kp)));
   const auto report = verify::verify_stage_program(program, 2, 2);
   EXPECT_TRUE(has_code(report, Code::gather_not_bijective));
 }
